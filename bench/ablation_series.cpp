@@ -1,0 +1,44 @@
+// Ablation: alternative broadcast series through the same client design.
+//
+// The paper frames SB as a family parameterized by the broadcast series and
+// picks one whose odd/even groups interleave. This ablation runs the flat
+// law (staggered), the skyscraper law, and the fast-broadcast doubling law
+// through the exact two-loader client and reports which remain jitter-free —
+// quantifying why the series was designed the way it was.
+#include <cstdio>
+
+#include "analysis/experiments.hpp"
+#include "client/reception_plan.hpp"
+#include "series/broadcast_series.hpp"
+#include "util/text_table.hpp"
+
+int main() {
+  using namespace vodbcast;
+  std::puts("=== Ablation: broadcast series laws under the two-loader "
+            "client (K = 8) ===\n");
+  const core::VideoParams video{core::Minutes{120.0}, core::MbitPerSec{1.5}};
+
+  util::TextTable table({"series", "total units", "latency (min)",
+                         "jitter-free", "peak buffer (units)",
+                         "peak tuners"});
+  for (const char* law_name : {"flat", "skyscraper", "fast"}) {
+    const auto law = series::make_series(law_name);
+    const series::SegmentLayout layout(*law, 8, series::kUncapped, video);
+    const auto worst = client::worst_case_over_phases(layout, 2048);
+    table.add_row(
+        {law_name,
+         util::TextTable::num(static_cast<long long>(layout.total_units())),
+         util::TextTable::num(layout.unit_duration().v, 4),
+         worst.always_jitter_free ? "yes" : "NO",
+         util::TextTable::num(
+             static_cast<long long>(worst.max_buffer_units)),
+         util::TextTable::num(
+             static_cast<long long>(worst.max_concurrent_downloads))});
+  }
+  std::puts(table.render().c_str());
+  std::puts("The doubling law packs more units into K channels (lower\n"
+            "latency) but its groups do not alternate parity, so the\n"
+            "two-loader client misses deadlines; the skyscraper law is the\n"
+            "densest series that stays correct.");
+  return 0;
+}

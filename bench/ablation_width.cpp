@@ -1,0 +1,47 @@
+// Ablation: walk the skyscraper width W along the series and chart the
+// latency/storage trade-off at fixed bandwidth — the design knob the paper's
+// Section 5.4 recommends cross-examining Figures 7 and 8 for.
+#include <cstdio>
+
+#include "analysis/experiments.hpp"
+#include "schemes/skyscraper.hpp"
+#include "series/broadcast_series.hpp"
+#include "util/text_table.hpp"
+
+int main() {
+  using namespace vodbcast;
+  std::puts("=== Ablation: the width knob (B = 400 Mb/s, M = 10) ===\n");
+  const auto input = analysis::paper_design_input(400.0);
+  const series::SkyscraperSeries law;
+
+  util::TextTable table({"W", "K", "latency (min)", "buffer (MB)",
+                         "disk bw (Mb/s)"});
+  for (int n = 1; n <= 26; n += 2) {
+    const std::uint64_t w = law.element(n);
+    const schemes::SkyscraperScheme sb(w);
+    const auto eval = sb.evaluate(input);
+    if (!eval.has_value()) {
+      continue;
+    }
+    table.add_row({util::TextTable::num(static_cast<long long>(w)),
+                   util::TextTable::num(
+                       static_cast<long long>(eval->design.segments)),
+                   util::TextTable::num(eval->metrics.access_latency.v, 4),
+                   util::TextTable::num(eval->metrics.client_buffer.mbytes(),
+                                        1),
+                   util::TextTable::num(
+                       eval->metrics.client_disk_bandwidth.v, 1)});
+  }
+  std::puts(table.render().c_str());
+
+  std::puts("width_for_latency(): smallest W meeting a latency target");
+  const schemes::SkyscraperScheme sb(52);
+  for (const double target : {1.0, 0.5, 0.1, 0.05}) {
+    const auto choice =
+        sb.width_for_latency(input, core::Minutes{target});
+    std::printf("  target %.2f min -> W = %llu (achieves %.4f min)\n",
+                target, static_cast<unsigned long long>(choice.width),
+                choice.latency.v);
+  }
+  return 0;
+}

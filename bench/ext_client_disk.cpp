@@ -1,0 +1,79 @@
+// Extension bench: can the set-top box's disk actually keep up?
+//
+// Figure 6 reports each scheme's client disk *bandwidth*; this bench runs
+// the numbers through a round-based disk scheduler on era-appropriate drive
+// specs: smallest feasible service round, media utilization, and the
+// double-buffer memory the round implies. PB's ~50b write load saturates a
+// consumer 1997 drive outright — the paper's motivation for SB stated in
+// hardware terms.
+#include <cstdio>
+
+#include "disk/disk_model.hpp"
+#include "schemes/permutation_pyramid.hpp"
+#include "schemes/pyramid.hpp"
+#include "schemes/skyscraper.hpp"
+#include "util/text_table.hpp"
+
+int main() {
+  using namespace vodbcast;
+  std::puts("=== Extension: client disk admission (B = 600 Mb/s, b = 1.5 "
+            "Mb/s) ===\n");
+
+  const schemes::DesignInput input{
+      .server_bandwidth = core::MbitPerSec{600.0},
+      .num_videos = 10,
+      .video = core::VideoParams{core::Minutes{120.0}, core::MbitPerSec{1.5}},
+  };
+  const core::MbitPerSec b = input.video.display_rate;
+
+  struct Case {
+    const char* scheme;
+    std::vector<disk::DiskStream> set;
+  };
+  std::vector<Case> cases;
+  // SB: playback + two display-rate loader streams.
+  cases.push_back({"SB (any W >= 5)", disk::client_stream_set(b, 2, b)});
+  // PPB:b: playback + one subchannel-rate stream.
+  {
+    const schemes::PermutationPyramidScheme ppb(schemes::Variant::kB);
+    const auto d = ppb.design(input);
+    const core::MbitPerSec sub{input.server_bandwidth.v /
+                               (d->segments * 10.0 * d->replicas)};
+    cases.push_back({"PPB:b", disk::client_stream_set(b, 1, sub)});
+  }
+  // PB:a: playback + two channel-rate streams.
+  {
+    const schemes::PyramidScheme pb(schemes::Variant::kA);
+    const auto d = pb.design(input);
+    const core::MbitPerSec channel{input.server_bandwidth.v / d->segments};
+    cases.push_back({"PB:a", disk::client_stream_set(b, 2, channel)});
+  }
+
+  for (const auto& spec : {disk::DiskSpec::consumer_1997(),
+                           disk::DiskSpec::premium_1997(),
+                           disk::DiskSpec::modern()}) {
+    std::printf("--- drive: %s (seek %.1f ms, media %.0f Mb/s) ---\n",
+                spec.name.c_str(), spec.avg_seek_ms, spec.media_rate.v);
+    util::TextTable table({"scheme", "streams", "aggregate (Mb/s)",
+                           "utilization", "min round (ms)",
+                           "buffer for round (MB)"});
+    for (const auto& c : cases) {
+      const auto round = disk::min_round_seconds(spec, c.set);
+      table.add_row(
+          {c.scheme,
+           util::TextTable::num(static_cast<long long>(c.set.size())),
+           util::TextTable::num(disk::total_rate(c.set).v, 1),
+           util::TextTable::num(disk::media_utilization(spec, c.set), 3),
+           round.has_value() ? util::TextTable::num(*round * 1000.0, 1)
+                             : "infeasible",
+           round.has_value()
+               ? util::TextTable::num(
+                     disk::double_buffer_memory(c.set, *round).mbytes(), 3)
+               : "-"});
+    }
+    std::puts(table.render().c_str());
+  }
+  std::puts("A consumer 1997 drive cannot host a PB client at any service\n"
+            "round; SB runs at 7% utilization on the same hardware.");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Extension bench: server dimensioning — the evaluation read backwards.
+// For a range of latency SLOs (with a 128 MB set-top-box buffer cap), how
+// much network-I/O bandwidth does each scheme require?
+#include <cstdio>
+
+#include "analysis/dimensioning.hpp"
+#include "analysis/experiments.hpp"
+#include "schemes/registry.hpp"
+#include "util/text_table.hpp"
+
+int main() {
+  using namespace vodbcast;
+  std::puts("=== Extension: minimum bandwidth per latency SLO ===");
+  std::puts("(M = 10, D = 120 min, b = 1.5 Mb/s; client buffer cap 128 MB;\n"
+            " '-' = unreachable at any bandwidth up to 2 Gb/s)\n");
+
+  const auto base = analysis::paper_design_input(100.0);
+  util::TextTable table({"SLO (min)", "staggered", "PB:a", "PPB:b", "SB:W=2",
+                         "SB:W=52", "FB", "HB"});
+  for (const double slo_min : {5.0, 2.0, 1.0, 0.5, 0.2, 0.1}) {
+    analysis::SloRequirements slo;
+    slo.max_latency = core::Minutes{slo_min};
+    slo.max_client_buffer = core::Mbits{128.0 * 8.0};
+    std::vector<std::string> row{util::TextTable::num(slo_min, 2)};
+    for (const char* label : {"staggered", "PB:a", "PPB:b", "SB:W=2",
+                              "SB:W=52", "FB", "HB"}) {
+      const auto scheme = schemes::make_scheme(label);
+      const auto result = analysis::dimension_bandwidth(
+          *scheme, base, slo, 15.0, 2000.0, 1.0);
+      row.push_back(result.has_value()
+                        ? util::TextTable::num(result->bandwidth.v, 0)
+                        : "-");
+    }
+    table.add_row(std::move(row));
+  }
+  std::puts(table.render().c_str());
+  std::puts("SB meets tight SLOs at a fraction of the staggered bandwidth\n"
+            "while PB and FB never fit the buffer cap at all -- the paper's\n"
+            "trade-off stated as a procurement question.");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Extension bench: SB against the follow-on protocols it inspired — Fast
+// Broadcasting (FB) and Cautious Harmonic Broadcasting (HB) — over the
+// paper's bandwidth axis. The trade-off triangle: FB buys the lowest
+// latency with ~50% of the video buffered and one tuner per channel; HB
+// buys the lowest server cost per latency with ~37% buffered and many slow
+// tuners; SB keeps the client cheapest (<= 3b disk bandwidth, tens of MB).
+#include <cstdio>
+#include <memory>
+
+#include "analysis/experiments.hpp"
+#include "analysis/report.hpp"
+#include "schemes/registry.hpp"
+
+int main() {
+  using namespace vodbcast;
+  std::puts("=== Extension: SB vs follow-on protocols (FB, HB) ===\n");
+
+  std::vector<std::unique_ptr<schemes::BroadcastScheme>> set;
+  set.push_back(schemes::make_scheme("SB:W=2"));
+  set.push_back(schemes::make_scheme("SB:W=52"));
+  set.push_back(schemes::make_scheme("FB"));
+  set.push_back(schemes::make_scheme("HB"));
+  set.push_back(schemes::make_scheme("staggered"));
+
+  const auto sweeps = analysis::sweep_bandwidth(
+      set, analysis::paper_design_input(), analysis::paper_bandwidth_axis());
+
+  const auto latency = analysis::render_metric_figure(
+      sweeps, analysis::access_latency_minutes(),
+      "Follow-ons: access latency (minutes)", "latency (min)", true);
+  std::puts(latency.plot.c_str());
+  std::puts(latency.table.c_str());
+
+  const auto storage = analysis::render_metric_figure(
+      sweeps, analysis::storage_mbytes(),
+      "Follow-ons: client storage (MBytes)", "storage (MB)", true);
+  std::puts(storage.plot.c_str());
+  std::puts(storage.table.c_str());
+
+  const auto diskbw = analysis::render_metric_figure(
+      sweeps, analysis::disk_bandwidth_mbyte_per_sec(),
+      "Follow-ons: client disk bandwidth (MBytes/sec)", "disk bw (MB/s)",
+      true);
+  std::puts(diskbw.plot.c_str());
+  std::puts(diskbw.table.c_str());
+  return 0;
+}

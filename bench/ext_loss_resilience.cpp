@@ -1,0 +1,79 @@
+// Extension bench: failure injection on the broadcast channels.
+//
+// Periodic broadcast has no retransmission path, so packet loss punches
+// holes that persist until a segment's next repetition. This bench sweeps
+// the loss probability (independent and bursty at matched average rates)
+// and reports how many client sessions stay jitter-free and how many
+// segments develop holes — the robustness picture the fluid model cannot
+// show.
+#include <cstdio>
+
+#include "net/packet_client.hpp"
+#include "schemes/skyscraper.hpp"
+#include "util/text_table.hpp"
+
+int main() {
+  using namespace vodbcast;
+  std::puts("=== Extension: packet-loss resilience of SB sessions ===");
+  std::puts("(K = 8, W = 12, MTU 10 Mbit, 40 sessions per point)\n");
+
+  const schemes::SkyscraperScheme scheme(12);
+  const schemes::DesignInput input{
+      .server_bandwidth = core::MbitPerSec{120.0},  // K = 8
+      .num_videos = 10,
+      .video = core::VideoParams{core::Minutes{120.0}, core::MbitPerSec{1.5}},
+  };
+  const auto design = scheme.design(input);
+  const auto layout = scheme.layout(input, *design);
+  const auto plan = scheme.plan(input, *design);
+
+  util::TextTable table({"loss model", "avg loss", "clean sessions",
+                         "mean gap segments", "mean lost packets"});
+  const int kSessions = 40;
+  for (const double p : {0.0, 0.0005, 0.002, 0.01, 0.05}) {
+    for (const bool bursty : {false, true}) {
+      if (p == 0.0 && bursty) {
+        continue;
+      }
+      int clean = 0;
+      double gaps = 0.0;
+      double lost = 0.0;
+      for (int s = 0; s < kSessions; ++s) {
+        const auto seed = static_cast<std::uint64_t>(s) * 7919 + 17;
+        net::PacketSessionReport report;
+        if (bursty) {
+          net::GilbertElliottLoss::Params params;
+          params.p_bad_to_good = 0.25;
+          params.loss_bad = 0.8;
+          // Match the average rate: stationary bad fraction * loss_bad = p.
+          params.p_good_to_bad = 0.25 * p / (0.8 - p);
+          net::GilbertElliottLoss model(params, util::Rng(seed));
+          report = net::run_packet_session(
+              plan, 0, layout, static_cast<std::uint64_t>(s) % 24, model,
+              core::Mbits{10.0});
+        } else {
+          net::BernoulliLoss model(p, util::Rng(seed));
+          report = net::run_packet_session(
+              plan, 0, layout, static_cast<std::uint64_t>(s) % 24, model,
+              core::Mbits{10.0});
+        }
+        clean += report.jitter_free ? 1 : 0;
+        gaps += static_cast<double>(report.segments_with_gaps);
+        lost += static_cast<double>(report.packets_lost);
+      }
+      char label[32];
+      std::snprintf(label, sizeof label, "%s",
+                    bursty ? "Gilbert-Elliott" : "Bernoulli");
+      table.add_row({label, util::TextTable::num(p, 4),
+                     util::TextTable::num(static_cast<long long>(clean)) +
+                         "/" + std::to_string(kSessions),
+                     util::TextTable::num(gaps / kSessions, 2),
+                     util::TextTable::num(lost / kSessions, 1)});
+    }
+  }
+  std::puts(table.render().c_str());
+  std::puts("Bursty loss at the same average rate concentrates damage in\n"
+            "fewer segments (cheaper to re-fetch on the next repetition),\n"
+            "while independent loss touches almost every segment.");
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Figure 5: the values of K, P and alpha each scheme derives across the
+// 100-600 Mb/s network-I/O bandwidth axis.
+#include <cstdio>
+
+#include "analysis/experiments.hpp"
+
+int main() {
+  const auto figure = vodbcast::analysis::figure5_parameters();
+  std::puts(figure.title.c_str());
+  std::puts(figure.plot.c_str());
+  std::puts(figure.table.c_str());
+  std::puts("--- CSV ---");
+  std::fputs(figure.csv.c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Figure 6: client disk bandwidth requirement (MBytes/sec) vs network-I/O
+// bandwidth. The paper's shape: PB needs ~50x the display rate (~10 MB/s);
+// PPB and SB sit near the display rate, with SB flat at <= 3b.
+#include <cstdio>
+
+#include "analysis/experiments.hpp"
+
+int main() {
+  const auto figure = vodbcast::analysis::figure6_disk_bandwidth();
+  std::puts(figure.plot.c_str());
+  std::puts(figure.table.c_str());
+  std::puts("--- CSV ---");
+  std::fputs(figure.csv.c_str(), stdout);
+  return 0;
+}

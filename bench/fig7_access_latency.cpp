@@ -1,0 +1,15 @@
+// Figure 7: access latency (minutes) vs network-I/O bandwidth. The paper's
+// shape: PB exponentially small; SB controlled by W (larger W -> lower
+// latency); PPB worst, needing >= 300 Mb/s for sub-half-minute waits.
+#include <cstdio>
+
+#include "analysis/experiments.hpp"
+
+int main() {
+  const auto figure = vodbcast::analysis::figure7_access_latency();
+  std::puts(figure.plot.c_str());
+  std::puts(figure.table.c_str());
+  std::puts("--- CSV ---");
+  std::fputs(figure.csv.c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figure 8: client storage requirement (MBytes) vs network-I/O bandwidth.
+// The paper's shape: PB > 1 GB (>75% of the video); PPB ~150-250 MB; SB
+// tens of MB for practical widths (e.g. ~33 MB at 320 Mb/s with W = 2, ~40
+// MB at 600 Mb/s with W = 52).
+#include <cstdio>
+
+#include "analysis/experiments.hpp"
+
+int main() {
+  const auto figure = vodbcast::analysis::figure8_storage();
+  std::puts(figure.plot.c_str());
+  std::puts(figure.table.c_str());
+  std::puts("--- CSV ---");
+  std::fputs(figure.csv.c_str(), stdout);
+  return 0;
+}

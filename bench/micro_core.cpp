@@ -1,0 +1,83 @@
+// google-benchmark microbenchmarks for the library's hot paths: series
+// generation, reception planning, the exhaustive phase sweep and the
+// end-to-end simulator inner loop.
+#include <benchmark/benchmark.h>
+
+#include "client/client_session.hpp"
+#include "client/reception_plan.hpp"
+#include "schemes/registry.hpp"
+#include "schemes/skyscraper.hpp"
+#include "series/broadcast_series.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace vodbcast;
+
+const core::VideoParams kVideo{core::Minutes{120.0}, core::MbitPerSec{1.5}};
+
+void BM_SkyscraperSeriesPrefix(benchmark::State& state) {
+  const auto k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const series::SkyscraperSeries law;  // fresh memo each iteration
+    benchmark::DoNotOptimize(law.prefix_sum(k, 52));
+  }
+}
+BENCHMARK(BM_SkyscraperSeriesPrefix)->Arg(10)->Arg(40)->Arg(80);
+
+void BM_PlanReception(benchmark::State& state) {
+  const series::SkyscraperSeries law;
+  const series::SegmentLayout layout(
+      law, static_cast<int>(state.range(0)), 52, kVideo);
+  std::uint64_t t0 = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client::plan_reception(layout, t0++ % 64));
+  }
+}
+BENCHMARK(BM_PlanReception)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_WorstCaseSweep(benchmark::State& state) {
+  const series::SkyscraperSeries law;
+  const series::SegmentLayout layout(law, 10, 12, kVideo);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client::worst_case_over_phases(layout, 256));
+  }
+}
+BENCHMARK(BM_WorstCaseSweep);
+
+void BM_ClientSessionSlotSim(benchmark::State& state) {
+  const series::SkyscraperSeries law;
+  const series::SegmentLayout layout(
+      law, static_cast<int>(state.range(0)), 12, kVideo);
+  std::uint64_t t0 = 0;
+  for (auto _ : state) {
+    client::ClientSession session(layout, t0++ % 24);
+    benchmark::DoNotOptimize(session.run());
+  }
+}
+BENCHMARK(BM_ClientSessionSlotSim)->Arg(8)->Arg(12);
+
+void BM_SchemeEvaluation(benchmark::State& state) {
+  const auto set = schemes::paper_figure_set();
+  const schemes::DesignInput input{core::MbitPerSec{400.0}, 10, kVideo};
+  for (auto _ : state) {
+    for (const auto& scheme : set) {
+      benchmark::DoNotOptimize(scheme->evaluate(input));
+    }
+  }
+}
+BENCHMARK(BM_SchemeEvaluation);
+
+void BM_EndToEndSimulation(benchmark::State& state) {
+  const schemes::SkyscraperScheme sb(52);
+  const schemes::DesignInput input{core::MbitPerSec{300.0}, 10, kVideo};
+  for (auto _ : state) {
+    sim::SimulationConfig config;
+    config.horizon = core::Minutes{30.0};
+    config.arrivals_per_minute = 2.0;
+    benchmark::DoNotOptimize(sim::simulate(sb, input, config));
+  }
+}
+BENCHMARK(BM_EndToEndSimulation);
+
+}  // namespace

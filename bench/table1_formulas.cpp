@@ -1,0 +1,17 @@
+// Regenerates the paper's Table 1: the closed-form I/O bandwidth, access
+// latency and buffer space of every scheme, at representative operating
+// points of the Section 5 workload.
+#include <cstdio>
+
+#include "analysis/experiments.hpp"
+
+int main() {
+  std::puts("=== Table 1: performance computation ===");
+  std::puts("(M = 10 videos, D = 120 min, b = 1.5 Mb/s MPEG-1)\n");
+  for (const double bandwidth : {100.0, 320.0, 600.0}) {
+    std::puts(vodbcast::analysis::table1_performance(bandwidth).c_str());
+  }
+  std::puts("Note: '-' marks designs that are infeasible at that bandwidth");
+  std::puts("(the pyramid family needs alpha > 1).");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Quickstart: design a Skyscraper Broadcasting deployment in a dozen lines.
+//
+//   1. Describe the server (bandwidth, videos, encoding).
+//   2. Pick a width W (or derive one from a latency target).
+//   3. Read off the three client-side costs and build the channel plan.
+#include <cstdio>
+
+#include "schemes/skyscraper.hpp"
+
+int main() {
+  using namespace vodbcast;
+  using namespace vodbcast::core::literals;
+
+  // A metropolitan head-end with 600 Mb/s of network-I/O, broadcasting the
+  // 10 hottest movies (2 hours of MPEG-1 at 1.5 Mb/s).
+  const schemes::DesignInput input{
+      .server_bandwidth = 600.0_mbps,
+      .num_videos = 10,
+      .video = core::VideoParams{120.0_min, 1.5_mbps},
+  };
+
+  // Skyscraper Broadcasting with the paper's recommended width.
+  const schemes::SkyscraperScheme scheme(52);
+  const auto evaluation = scheme.evaluate(input);
+  if (!evaluation.has_value()) {
+    std::puts("not enough bandwidth for one channel per video");
+    return 1;
+  }
+
+  const auto& d = evaluation->design;
+  const auto& m = evaluation->metrics;
+  std::printf("scheme            : %s\n", scheme.name().c_str());
+  std::printf("channels per video: K = %d (each at the 1.5 Mb/s display "
+              "rate)\n",
+              d.segments);
+  std::printf("worst access wait : %.3f minutes (%.1f seconds)\n",
+              m.access_latency.v, m.access_latency.seconds());
+  std::printf("client buffer     : %.1f MB\n", m.client_buffer.mbytes());
+  std::printf("client disk rate  : %.1f Mb/s (3x the display rate)\n",
+              m.client_disk_bandwidth.v);
+
+  // The concrete broadcast plan a server would execute.
+  const auto plan = scheme.plan(input, d);
+  std::printf("server streams    : %zu periodic segment loops\n",
+              plan.stream_count());
+  const auto first = plan.find(/*video=*/0, /*segment=*/1);
+  std::printf("video 0 segment 1 : repeats every %.3f minutes\n",
+              first->period.v);
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Tune the skyscraper width for a deployment: given a latency budget and a
+// per-client buffer budget, find the widths that satisfy each and report
+// whether a single W satisfies both (the Section 5.4 cross-examination of
+// Figures 7 and 8, as an API).
+#include <cstdio>
+#include <cstdlib>
+
+#include "schemes/skyscraper.hpp"
+#include "series/broadcast_series.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vodbcast;
+  using namespace vodbcast::core::literals;
+
+  double bandwidth = 400.0;
+  double latency_budget_min = 0.25;
+  double buffer_budget_mb = 100.0;
+  if (argc == 4) {
+    bandwidth = std::atof(argv[1]);
+    latency_budget_min = std::atof(argv[2]);
+    buffer_budget_mb = std::atof(argv[3]);
+  } else if (argc != 1) {
+    std::fprintf(stderr,
+                 "usage: %s [bandwidth-mbps latency-min buffer-mb]\n",
+                 argv[0]);
+    return 1;
+  }
+
+  const schemes::DesignInput input{
+      .server_bandwidth = core::MbitPerSec{bandwidth},
+      .num_videos = 10,
+      .video = core::VideoParams{120.0_min, 1.5_mbps},
+  };
+  std::printf("=== Width tuning at B = %.0f Mb/s ===\n", bandwidth);
+  std::printf("budgets: latency <= %.2f min, buffer <= %.0f MB\n\n",
+              latency_budget_min, buffer_budget_mb);
+
+  // Find the smallest W meeting the latency budget...
+  const schemes::SkyscraperScheme probe(2);
+  const auto choice =
+      probe.width_for_latency(input, core::Minutes{latency_budget_min});
+  std::printf("smallest W meeting the latency budget: %llu "
+              "(latency %.4f min)\n",
+              static_cast<unsigned long long>(choice.width),
+              choice.latency.v);
+
+  // ... and check what it costs in buffer; then scan the series for the
+  // feasible band.
+  const series::SkyscraperSeries law;
+  std::puts("\n  W        latency(min)  buffer(MB)  verdict");
+  bool any = false;
+  for (int n = 1; n <= 30; n += 2) {
+    const std::uint64_t w = law.element(n);
+    const auto eval = schemes::SkyscraperScheme(w).evaluate(input);
+    if (!eval.has_value()) {
+      continue;
+    }
+    const bool latency_ok =
+        eval->metrics.access_latency.v <= latency_budget_min;
+    const bool buffer_ok =
+        eval->metrics.client_buffer.mbytes() <= buffer_budget_mb;
+    std::printf("  %-8llu %-13.4f %-11.1f %s%s\n",
+                static_cast<unsigned long long>(w),
+                eval->metrics.access_latency.v,
+                eval->metrics.client_buffer.mbytes(),
+                latency_ok ? "+latency " : "-latency ",
+                buffer_ok ? "+buffer" : "-buffer");
+    any = any || (latency_ok && buffer_ok);
+  }
+  std::printf("\n%s\n",
+              any ? "a width satisfying both budgets exists"
+                  : "no width satisfies both budgets; raise one of them or "
+                    "add bandwidth");
+  return any ? 0 : 2;
+}

@@ -1,0 +1,44 @@
+#include "analysis/dimensioning.hpp"
+
+#include "util/contracts.hpp"
+
+namespace vodbcast::analysis {
+
+bool meets_slo(const schemes::Evaluation& evaluation,
+               const SloRequirements& slo) {
+  const auto& m = evaluation.metrics;
+  if (m.access_latency.v > slo.max_latency.v + 1e-12) {
+    return false;
+  }
+  if (slo.max_client_buffer.has_value() &&
+      m.client_buffer.v > slo.max_client_buffer->v + 1e-9) {
+    return false;
+  }
+  if (slo.max_client_disk_bandwidth.has_value() &&
+      m.client_disk_bandwidth.v > slo.max_client_disk_bandwidth->v + 1e-9) {
+    return false;
+  }
+  return true;
+}
+
+std::optional<DimensioningResult> dimension_bandwidth(
+    const schemes::BroadcastScheme& scheme, const schemes::DesignInput& base,
+    const SloRequirements& slo, double floor_mbps, double ceiling_mbps,
+    double tolerance_mbps) {
+  VB_EXPECTS(floor_mbps > 0.0);
+  VB_EXPECTS(ceiling_mbps >= floor_mbps);
+  VB_EXPECTS(tolerance_mbps > 0.0);
+  VB_EXPECTS(slo.max_latency.v > 0.0);
+
+  for (double b = floor_mbps; b <= ceiling_mbps + 1e-9; b += tolerance_mbps) {
+    schemes::DesignInput input = base;
+    input.server_bandwidth = core::MbitPerSec{b};
+    const auto evaluation = scheme.evaluate(input);
+    if (evaluation.has_value() && meets_slo(*evaluation, slo)) {
+      return DimensioningResult{core::MbitPerSec{b}, *evaluation};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace vodbcast::analysis

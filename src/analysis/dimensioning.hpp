@@ -1,0 +1,43 @@
+// Server dimensioning: the inverse of the paper's evaluation.
+//
+// The paper sweeps bandwidth and reads off latency/storage; a deployment
+// asks the opposite question — "how much network-I/O must I buy for a
+// latency SLO, and does the set-top box budget hold?". The design
+// parameters step discretely in B (K, P and alpha are floors/ceilings), so
+// the SLO predicate is not guaranteed monotone across those steps; a linear
+// scan at the caller's resolution finds the smallest feasible B robustly.
+#pragma once
+
+#include <optional>
+
+#include "schemes/scheme.hpp"
+
+namespace vodbcast::analysis {
+
+struct SloRequirements {
+  core::Minutes max_latency{0.5};
+  /// Optional client-side ceilings; unset means unconstrained.
+  std::optional<core::Mbits> max_client_buffer;
+  std::optional<core::MbitPerSec> max_client_disk_bandwidth;
+};
+
+struct DimensioningResult {
+  core::MbitPerSec bandwidth{0.0};   ///< smallest B meeting the SLO
+  schemes::Evaluation evaluation;    ///< the design at that B
+};
+
+/// Finds the smallest server bandwidth (within `tolerance`, searched in
+/// [floor, ceiling]) at which `scheme` meets every requirement. Returns
+/// nullopt when even the ceiling fails — e.g. a buffer cap below the
+/// scheme's floor, which no bandwidth fixes for PB.
+/// Preconditions: floor > 0, ceiling >= floor, tolerance > 0.
+[[nodiscard]] std::optional<DimensioningResult> dimension_bandwidth(
+    const schemes::BroadcastScheme& scheme, const schemes::DesignInput& base,
+    const SloRequirements& slo, double floor_mbps = 15.0,
+    double ceiling_mbps = 2000.0, double tolerance_mbps = 0.5);
+
+/// True when the evaluation meets every requirement.
+[[nodiscard]] bool meets_slo(const schemes::Evaluation& evaluation,
+                             const SloRequirements& slo);
+
+}  // namespace vodbcast::analysis

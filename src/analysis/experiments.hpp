@@ -1,0 +1,77 @@
+// Named experiments: one entry point per table/figure of the paper's
+// evaluation section, shared by the bench harness, the examples and the
+// integration tests so all of them exercise identical code paths.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/report.hpp"
+#include "client/reception_plan.hpp"
+#include "schemes/scheme.hpp"
+#include "series/segmentation.hpp"
+
+namespace vodbcast::analysis {
+
+/// The paper's Section 5 workload: M = 10 videos, D = 120 minutes, MPEG-1 at
+/// b = 1.5 Mb/s, with the bandwidth axis supplied per experiment.
+[[nodiscard]] schemes::DesignInput paper_design_input(
+    double bandwidth_mbps = 600.0);
+
+/// The paper's bandwidth axis: 100 to 600 Mb/s.
+[[nodiscard]] std::vector<double> paper_bandwidth_axis(double step = 20.0);
+
+/// Table 1: I/O bandwidth / access latency / buffer space of every scheme at
+/// one operating point.
+[[nodiscard]] std::string table1_performance(double bandwidth_mbps);
+
+/// Table 2: the design parameters (K, P, alpha, W) each scheme derives.
+[[nodiscard]] std::string table2_parameters(double bandwidth_mbps);
+
+/// Figures 5-8 over the paper's bandwidth axis.
+[[nodiscard]] FigureReport figure5_parameters();
+[[nodiscard]] FigureReport figure6_disk_bandwidth();
+[[nodiscard]] FigureReport figure7_access_latency();
+[[nodiscard]] FigureReport figure8_storage();
+
+/// Figures 1-4: the group-transition scenarios. The experiment fragments a
+/// video with the first `segments` skyscraper elements (optionally capped),
+/// sweeps every distinct client phase, and reports the observed worst-case
+/// buffer against the paper's per-transition bound.
+struct TransitionExperiment {
+  std::string title;
+  series::SegmentLayout layout;
+  client::WorstCase worst;            ///< exhaustive sweep result
+  client::ReceptionPlan worst_plan;   ///< the plan attaining the peak
+  std::uint64_t paper_bound_units = 0;  ///< max transition bound, units of D1
+};
+
+[[nodiscard]] TransitionExperiment transition_experiment(
+    int segments, std::uint64_t width = series::kUncapped);
+
+/// The paper's per-transition worst-case bound for a layout: the maximum of
+/// worst_case_buffer_units over its consecutive group transitions.
+[[nodiscard]] std::uint64_t transition_bound_units(
+    const series::SegmentLayout& layout);
+
+/// The buffer demand of one group transition *in isolation*, exactly as the
+/// paper's Figures 1-4 account it: only the downloads of groups
+/// `group_index` and `group_index + 1` (0-based) contribute, drained by the
+/// playback of those two groups. Returns the worst peak over client phases
+/// whose (A,A)-playback-start parity matches `playback_parity` (0 even,
+/// 1 odd, -1 both). Whole-session peaks can exceed the per-transition
+/// bound because adjacent transitions overlap; this accounting cannot.
+struct TransitionLocalWorst {
+  std::int64_t peak_units = 0;
+  std::uint64_t worst_phase = 0;
+};
+[[nodiscard]] TransitionLocalWorst transition_local_worst(
+    const series::SegmentLayout& layout, std::size_t group_index,
+    int playback_parity = -1);
+
+/// Renders a reception plan (downloads + buffer trace) for the Figure 1-4
+/// style walkthroughs.
+[[nodiscard]] std::string describe_plan(const series::SegmentLayout& layout,
+                                        const client::ReceptionPlan& plan);
+
+}  // namespace vodbcast::analysis

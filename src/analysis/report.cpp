@@ -1,0 +1,155 @@
+#include "analysis/report.hpp"
+
+#include <sstream>
+
+#include "util/ascii_plot.hpp"
+#include "util/csv.hpp"
+#include "util/text_table.hpp"
+
+namespace vodbcast::analysis {
+
+namespace {
+
+std::string sweep_table(const std::vector<SchemeSweep>& sweeps,
+                        const MetricFn& metric, int precision) {
+  std::vector<std::string> header{"B (Mb/s)"};
+  for (const auto& s : sweeps) {
+    header.push_back(s.scheme);
+  }
+  util::TextTable table(std::move(header));
+  if (sweeps.empty()) {
+    return table.render();
+  }
+  const auto& axis = sweeps.front().points;
+  for (std::size_t i = 0; i < axis.size(); ++i) {
+    std::vector<std::string> row{util::TextTable::num(
+        static_cast<long long>(axis[i].bandwidth_mbps))};
+    for (const auto& s : sweeps) {
+      const auto& point = s.points[i];
+      row.push_back(point.evaluation.has_value()
+                        ? util::TextTable::num(metric(*point.evaluation),
+                                               precision)
+                        : "-");
+    }
+    table.add_row(std::move(row));
+  }
+  return table.render();
+}
+
+std::string sweep_csv(const std::vector<SchemeSweep>& sweeps,
+                      const MetricFn& metric) {
+  std::ostringstream out;
+  util::CsvWriter csv(out, {"bandwidth_mbps", "scheme", "value"});
+  for (const auto& s : sweeps) {
+    for (const auto& point : s.points) {
+      if (point.evaluation.has_value()) {
+        csv.row({util::CsvWriter::cell(point.bandwidth_mbps), s.scheme,
+                 util::CsvWriter::cell(metric(*point.evaluation))});
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace
+
+FigureReport render_metric_figure(const std::vector<SchemeSweep>& sweeps,
+                                  const MetricFn& metric,
+                                  const std::string& title,
+                                  const std::string& y_label, bool log_scale) {
+  std::vector<util::Series> series;
+  series.reserve(sweeps.size());
+  for (const auto& s : sweeps) {
+    util::Series curve;
+    curve.label = s.scheme;
+    for (const auto& point : s.points) {
+      if (point.evaluation.has_value()) {
+        curve.x.push_back(point.bandwidth_mbps);
+        curve.y.push_back(metric(*point.evaluation));
+      }
+    }
+    series.push_back(std::move(curve));
+  }
+  util::PlotOptions options;
+  options.title = title;
+  options.x_label = "network-I/O bandwidth (Mb/s)";
+  options.y_label = y_label;
+  options.log_y = log_scale;
+
+  return FigureReport{
+      .title = title,
+      .plot = util::render_plot(series, options),
+      .table = sweep_table(sweeps, metric, 3),
+      .csv = sweep_csv(sweeps, metric),
+  };
+}
+
+FigureReport render_parameter_figure(const std::vector<SchemeSweep>& sweeps) {
+  std::vector<std::string> header{"B (Mb/s)"};
+  for (const auto& s : sweeps) {
+    header.push_back(s.scheme + " K");
+    header.push_back(s.scheme + " P");
+    header.push_back(s.scheme + " alpha");
+  }
+  util::TextTable table(std::move(header));
+
+  std::ostringstream csv_out;
+  util::CsvWriter csv(csv_out,
+                      {"bandwidth_mbps", "scheme", "K", "P", "alpha"});
+
+  std::vector<util::Series> k_series;
+  if (!sweeps.empty()) {
+    const auto& axis = sweeps.front().points;
+    for (const auto& s : sweeps) {
+      util::Series curve;
+      curve.label = s.scheme + " (K)";
+      for (const auto& point : s.points) {
+        if (point.evaluation.has_value()) {
+          curve.x.push_back(point.bandwidth_mbps);
+          curve.y.push_back(
+              static_cast<double>(point.evaluation->design.segments));
+        }
+      }
+      k_series.push_back(std::move(curve));
+    }
+    for (std::size_t i = 0; i < axis.size(); ++i) {
+      std::vector<std::string> row{util::TextTable::num(
+          static_cast<long long>(axis[i].bandwidth_mbps))};
+      for (const auto& s : sweeps) {
+        const auto& point = s.points[i];
+        if (point.evaluation.has_value()) {
+          const auto& d = point.evaluation->design;
+          row.push_back(util::TextTable::num(
+              static_cast<long long>(d.segments)));
+          row.push_back(util::TextTable::num(
+              static_cast<long long>(d.replicas)));
+          row.push_back(d.alpha > 0.0 ? util::TextTable::num(d.alpha, 3)
+                                      : "-");
+          csv.row({util::CsvWriter::cell(point.bandwidth_mbps), s.scheme,
+                   util::CsvWriter::cell(
+                       static_cast<long long>(d.segments)),
+                   util::CsvWriter::cell(
+                       static_cast<long long>(d.replicas)),
+                   util::CsvWriter::cell(d.alpha)});
+        } else {
+          row.insert(row.end(), {"-", "-", "-"});
+        }
+      }
+      table.add_row(std::move(row));
+    }
+  }
+
+  util::PlotOptions options;
+  options.title = "Figure 5(a): K under different network-I/O bandwidth";
+  options.x_label = "network-I/O bandwidth (Mb/s)";
+  options.y_label = "K (number of data segments)";
+
+  return FigureReport{
+      .title = "Figure 5: design parameters",
+      .plot = util::render_plot(k_series, options),
+      .table = table.render(),
+      .csv = csv_out.str(),
+  };
+}
+
+}  // namespace vodbcast::analysis

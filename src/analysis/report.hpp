@@ -1,0 +1,31 @@
+// Rendering of sweep results as the paper's figures: an ASCII plot, an
+// aligned numeric table, and machine-readable CSV.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/sweep.hpp"
+
+namespace vodbcast::analysis {
+
+/// A fully rendered figure.
+struct FigureReport {
+  std::string title;
+  std::string plot;   ///< ASCII line chart
+  std::string table;  ///< aligned rows (scheme x bandwidth)
+  std::string csv;    ///< bandwidth_mbps,scheme,value rows
+};
+
+/// Renders one metric of a sweep as a figure. `log_scale` matches the
+/// paper's log-axis storage/bandwidth plots.
+[[nodiscard]] FigureReport render_metric_figure(
+    const std::vector<SchemeSweep>& sweeps, const MetricFn& metric,
+    const std::string& title, const std::string& y_label, bool log_scale);
+
+/// Renders the design parameters (K, P and alpha) across a sweep
+/// (the paper's Figure 5).
+[[nodiscard]] FigureReport render_parameter_figure(
+    const std::vector<SchemeSweep>& sweeps);
+
+}  // namespace vodbcast::analysis

@@ -1,0 +1,54 @@
+#include "analysis/sweep.hpp"
+
+#include "util/contracts.hpp"
+
+namespace vodbcast::analysis {
+
+std::vector<double> bandwidth_range(double lo, double hi, double step) {
+  VB_EXPECTS(lo > 0.0 && hi >= lo && step > 0.0);
+  std::vector<double> values;
+  for (double b = lo; b <= hi + 1e-9; b += step) {
+    values.push_back(b);
+  }
+  return values;
+}
+
+std::vector<SchemeSweep> sweep_bandwidth(
+    const std::vector<std::unique_ptr<schemes::BroadcastScheme>>& set,
+    const schemes::DesignInput& base, const std::vector<double>& bandwidths) {
+  std::vector<SchemeSweep> sweeps;
+  sweeps.reserve(set.size());
+  for (const auto& scheme : set) {
+    VB_EXPECTS(scheme != nullptr);
+    SchemeSweep sweep;
+    sweep.scheme = scheme->name();
+    sweep.points.reserve(bandwidths.size());
+    for (const double b : bandwidths) {
+      schemes::DesignInput input = base;
+      input.server_bandwidth = core::MbitPerSec{b};
+      sweep.points.push_back(SweepPoint{b, scheme->evaluate(input)});
+    }
+    sweeps.push_back(std::move(sweep));
+  }
+  return sweeps;
+}
+
+MetricFn disk_bandwidth_mbyte_per_sec() {
+  return [](const schemes::Evaluation& e) {
+    return e.metrics.client_disk_bandwidth.mbyte_per_sec();
+  };
+}
+
+MetricFn access_latency_minutes() {
+  return [](const schemes::Evaluation& e) {
+    return e.metrics.access_latency.v;
+  };
+}
+
+MetricFn storage_mbytes() {
+  return [](const schemes::Evaluation& e) {
+    return e.metrics.client_buffer.mbytes();
+  };
+}
+
+}  // namespace vodbcast::analysis

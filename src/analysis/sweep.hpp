@@ -1,0 +1,44 @@
+// Bandwidth sweeps over scheme sets (the x-axis of Figures 5-8).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "schemes/scheme.hpp"
+
+namespace vodbcast::analysis {
+
+/// One evaluated point of a sweep; `evaluation` is empty where the scheme is
+/// infeasible (the pyramid family below ~90 Mb/s).
+struct SweepPoint {
+  double bandwidth_mbps = 0.0;
+  std::optional<schemes::Evaluation> evaluation;
+};
+
+/// One scheme's curve.
+struct SchemeSweep {
+  std::string scheme;
+  std::vector<SweepPoint> points;
+};
+
+/// Inclusive range [lo, hi] stepped by `step`.
+[[nodiscard]] std::vector<double> bandwidth_range(double lo, double hi,
+                                                  double step);
+
+/// Evaluates every scheme at every bandwidth, holding M, D, b fixed.
+[[nodiscard]] std::vector<SchemeSweep> sweep_bandwidth(
+    const std::vector<std::unique_ptr<schemes::BroadcastScheme>>& set,
+    const schemes::DesignInput& base, const std::vector<double>& bandwidths);
+
+/// Projects one metric out of an evaluation (used to drive a figure).
+using MetricFn = std::function<double(const schemes::Evaluation&)>;
+
+/// The three paper metrics, in the units the figures use.
+[[nodiscard]] MetricFn disk_bandwidth_mbyte_per_sec();  ///< Figure 6
+[[nodiscard]] MetricFn access_latency_minutes();        ///< Figure 7
+[[nodiscard]] MetricFn storage_mbytes();                ///< Figure 8
+
+}  // namespace vodbcast::analysis

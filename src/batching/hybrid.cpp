@@ -1,0 +1,95 @@
+#include "batching/hybrid.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+#include "util/math.hpp"
+#include "workload/request.hpp"
+#include "workload/zipf.hpp"
+
+namespace vodbcast::batching {
+
+HybridReport evaluate_hybrid(const BatchingPolicy& policy,
+                             const HybridConfig& config) {
+  VB_EXPECTS(config.hot_titles >= 1);
+  VB_EXPECTS(config.hot_titles <= config.catalog_size);
+  VB_EXPECTS(config.broadcast_channels_per_video >= 1);
+
+  const double b = config.video.display_rate.v;
+  const double broadcast_bw = b * config.broadcast_channels_per_video *
+                              static_cast<double>(config.hot_titles);
+  const double remaining_bw = config.total_bandwidth.v - broadcast_bw;
+  const int multicast_channels =
+      static_cast<int>(util::robust_floor(remaining_bw / b));
+  VB_EXPECTS_MSG(multicast_channels >= 1,
+                 "broadcast side leaves no channels for the tail");
+
+  // Broadcast side: SB over the hot titles with K channels each.
+  const schemes::SkyscraperScheme sb(config.sb_width);
+  const schemes::DesignInput sb_input{
+      .server_bandwidth = core::MbitPerSec{broadcast_bw},
+      .num_videos = static_cast<int>(config.hot_titles),
+      .video = config.video,
+  };
+  const auto evaluation = sb.evaluate(sb_input);
+  VB_EXPECTS(evaluation.has_value());
+
+  // Workload: split one Zipf stream into hot (absorbed by broadcast) and
+  // cold (queued for multicast) requests.
+  const auto popularity = workload::zipf_probabilities(config.catalog_size);
+  workload::RequestGenerator generator(popularity, config.arrivals_per_minute,
+                                       util::Rng(config.seed));
+  const auto all_requests = generator.generate_until(config.horizon);
+
+  std::vector<workload::Request> cold;
+  std::uint64_t hot_count = 0;
+  for (const auto& r : all_requests) {
+    if (r.video < config.hot_titles) {
+      ++hot_count;
+    } else {
+      cold.push_back(workload::Request{
+          .arrival = r.arrival,
+          .video = r.video - static_cast<core::VideoId>(config.hot_titles),
+      });
+    }
+  }
+
+  const MulticastConfig mc{
+      .channels = multicast_channels,
+      .video_length = config.video.duration,
+      .horizon = config.horizon,
+      .mean_patience = config.mean_patience,
+      .seed = config.seed + 1,
+  };
+  HybridReport report;
+  report.multicast = simulate_scheduled_multicast(
+      policy, cold, config.catalog_size - config.hot_titles, mc);
+
+  report.hot_titles = config.hot_titles;
+  double mass = 0.0;
+  for (std::size_t i = 0; i < config.hot_titles; ++i) {
+    mass += popularity[i];
+  }
+  report.hot_demand_fraction = mass;
+  report.broadcast_worst_latency = evaluation->metrics.access_latency;
+  report.broadcast_bandwidth = core::MbitPerSec{broadcast_bw};
+  report.multicast_channels = multicast_channels;
+
+  // Hot requests wait uniformly within the broadcast period -> half the
+  // worst latency on average; cold requests use the simulated mean.
+  const double hot_mean = evaluation->metrics.access_latency.v / 2.0;
+  const double cold_mean = report.multicast.wait_minutes.empty()
+                               ? 0.0
+                               : report.multicast.wait_minutes.mean();
+  const double total_requests =
+      static_cast<double>(hot_count + report.multicast.served);
+  report.combined_mean_wait_minutes =
+      total_requests == 0.0
+          ? 0.0
+          : (hot_mean * static_cast<double>(hot_count) +
+             cold_mean * static_cast<double>(report.multicast.served)) /
+                total_requests;
+  return report;
+}
+
+}  // namespace vodbcast::batching

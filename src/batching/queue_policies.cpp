@@ -1,0 +1,43 @@
+#include "batching/queue_policies.hpp"
+
+namespace vodbcast::batching {
+
+std::optional<core::VideoId> FcfsPolicy::pick(const WaitQueues& queues) const {
+  std::optional<core::VideoId> best;
+  double oldest = 0.0;
+  for (std::size_t v = 0; v < queues.size(); ++v) {
+    if (queues[v].empty()) {
+      continue;
+    }
+    const double head = queues[v].front().arrival.v;
+    if (!best.has_value() || head < oldest) {
+      best = static_cast<core::VideoId>(v);
+      oldest = head;
+    }
+  }
+  return best;
+}
+
+std::optional<core::VideoId> MqlPolicy::pick(const WaitQueues& queues) const {
+  std::optional<core::VideoId> best;
+  std::size_t longest = 0;
+  double oldest = 0.0;
+  for (std::size_t v = 0; v < queues.size(); ++v) {
+    const auto len = queues[v].size();
+    if (len == 0) {
+      continue;
+    }
+    const double head = queues[v].front().arrival.v;
+    const bool better =
+        !best.has_value() || len > longest ||
+        (len == longest && head < oldest);
+    if (better) {
+      best = static_cast<core::VideoId>(v);
+      longest = len;
+      oldest = head;
+    }
+  }
+  return best;
+}
+
+}  // namespace vodbcast::batching

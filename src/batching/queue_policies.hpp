@@ -1,0 +1,55 @@
+// Scheduled-multicast batching policies (paper Section 1).
+//
+// When a server channel frees up, the server picks one video and serves its
+// whole queue of pending requests with a single multicast stream. The paper
+// cites two selection policies from Dan, Sitaram & Shahabuddin:
+//   FCFS - serve the video whose head-of-line request has waited longest
+//   MQL  - Maximum Queue Length: serve the video with the most pending
+//          requests (maximizing throughput at the cost of fairness)
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/units.hpp"
+#include "core/video.hpp"
+
+namespace vodbcast::batching {
+
+/// A pending request in a per-video queue. `renege_at` is the instant the
+/// subscriber abandons if still unserved (infinity = infinite patience).
+struct PendingRequest {
+  core::Minutes arrival{0.0};
+  core::Minutes renege_at{1e300};
+};
+
+/// Per-video waiting queues, indexed by VideoId.
+using WaitQueues = std::vector<std::vector<PendingRequest>>;
+
+class BatchingPolicy {
+ public:
+  virtual ~BatchingPolicy() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Chooses the video to serve next, or nullopt if every queue is empty.
+  [[nodiscard]] virtual std::optional<core::VideoId> pick(
+      const WaitQueues& queues) const = 0;
+};
+
+class FcfsPolicy final : public BatchingPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "FCFS"; }
+  [[nodiscard]] std::optional<core::VideoId> pick(
+      const WaitQueues& queues) const override;
+};
+
+class MqlPolicy final : public BatchingPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "MQL"; }
+  [[nodiscard]] std::optional<core::VideoId> pick(
+      const WaitQueues& queues) const override;
+};
+
+}  // namespace vodbcast::batching

@@ -1,0 +1,100 @@
+#include "batching/scheduled_multicast.hpp"
+
+#include <algorithm>
+
+#include "sim/event_queue.hpp"
+#include "util/contracts.hpp"
+
+namespace vodbcast::batching {
+
+namespace {
+
+/// Drops pending requests whose patience expired before `now`.
+std::uint64_t clean_expired(WaitQueues& queues, double now) {
+  std::uint64_t reneged = 0;
+  for (auto& queue : queues) {
+    const auto kept = std::remove_if(
+        queue.begin(), queue.end(), [now](const PendingRequest& r) {
+          return r.renege_at.v < now;
+        });
+    reneged += static_cast<std::uint64_t>(queue.end() - kept);
+    queue.erase(kept, queue.end());
+  }
+  return reneged;
+}
+
+}  // namespace
+
+MulticastReport simulate_scheduled_multicast(
+    const BatchingPolicy& policy,
+    const std::vector<workload::Request>& requests, std::size_t num_videos,
+    const MulticastConfig& config) {
+  VB_EXPECTS(config.channels >= 1);
+  VB_EXPECTS(config.video_length.v > 0.0);
+  VB_EXPECTS(num_videos >= 1);
+
+  MulticastReport report;
+  report.policy = policy.name();
+
+  WaitQueues queues(num_videos);
+  int free_channels = config.channels;
+  double busy_minutes = 0.0;
+  util::Rng rng(config.seed);
+
+  sim::EventQueue events;
+
+  // Serves one batch if a channel and a non-empty queue are available.
+  const auto try_dispatch = [&](auto&& self) -> void {
+    if (free_channels == 0) {
+      return;
+    }
+    const double now = events.now();
+    report.reneged += clean_expired(queues, now);
+    const auto video = policy.pick(queues);
+    if (!video.has_value()) {
+      return;
+    }
+    auto& queue = queues[*video];
+    VB_ASSERT(!queue.empty());
+    for (const auto& r : queue) {
+      report.wait_minutes.add(now - r.arrival.v);
+    }
+    report.batch_size.add(static_cast<double>(queue.size()));
+    report.served += queue.size();
+    queue.clear();
+    ++report.streams_started;
+    --free_channels;
+    busy_minutes += config.video_length.v;
+    events.schedule(now + config.video_length.v, [&, self]() {
+      ++free_channels;
+      self(self);
+    });
+  };
+
+  for (const auto& request : requests) {
+    VB_EXPECTS(request.video < num_videos);
+    events.schedule(request.arrival.v, [&, request]() {
+      PendingRequest pending{.arrival = request.arrival,
+                             .renege_at = core::Minutes{1e300}};
+      if (config.mean_patience.v > 0.0) {
+        pending.renege_at =
+            request.arrival +
+            core::Minutes{rng.next_exponential(1.0 / config.mean_patience.v)};
+      }
+      queues[request.video].push_back(pending);
+      try_dispatch(try_dispatch);
+    });
+  }
+
+  events.run_until(config.horizon.v);
+
+  // Anything still queued at the horizon: expired entries reneged, the rest
+  // simply remain unserved (neither served nor reneged).
+  report.reneged += clean_expired(queues, config.horizon.v);
+
+  report.channel_utilization =
+      busy_minutes / (config.channels * config.horizon.v);
+  return report;
+}
+
+}  // namespace vodbcast::batching

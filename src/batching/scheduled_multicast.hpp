@@ -1,0 +1,46 @@
+// Scheduled-multicast server simulation.
+//
+// The paper assumes "some existing scheduled multicast scheme is used to
+// handle the less popular videos"; this is that substrate. A pool of
+// channels serves per-video batches: when a channel frees, the batching
+// policy picks a queue and the whole batch shares one stream for the video's
+// full duration. Optional reneging models subscribers abandoning after an
+// exponentially-distributed patience, which is what guaranteed-latency
+// periodic broadcast improves on.
+#pragma once
+
+#include <memory>
+
+#include "batching/queue_policies.hpp"
+#include "sim/stats.hpp"
+#include "util/rng.hpp"
+#include "workload/request.hpp"
+
+namespace vodbcast::batching {
+
+struct MulticastConfig {
+  int channels = 10;
+  core::Minutes video_length{120.0};
+  core::Minutes horizon{2000.0};
+  /// Mean patience before a waiting subscriber reneges; <= 0 disables
+  /// reneging (everyone waits indefinitely).
+  core::Minutes mean_patience{-1.0};
+  std::uint64_t seed = 7;
+};
+
+struct MulticastReport {
+  std::string policy;
+  sim::Distribution wait_minutes;    ///< waits of served requests
+  sim::Distribution batch_size;      ///< requests sharing each stream
+  std::uint64_t served = 0;
+  std::uint64_t reneged = 0;
+  std::uint64_t streams_started = 0;
+  double channel_utilization = 0.0;  ///< busy channel-minutes / capacity
+};
+
+/// Simulates the policy on a pre-generated request stream (arrival order).
+[[nodiscard]] MulticastReport simulate_scheduled_multicast(
+    const BatchingPolicy& policy, const std::vector<workload::Request>& requests,
+    std::size_t num_videos, const MulticastConfig& config);
+
+}  // namespace vodbcast::batching

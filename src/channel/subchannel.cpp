@@ -1,0 +1,49 @@
+#include "channel/subchannel.hpp"
+
+#include "util/contracts.hpp"
+
+namespace vodbcast::channel {
+
+core::MbitPerSec subchannel_rate(const SubchannelSpec& spec) {
+  VB_EXPECTS(spec.logical_channels >= 1);
+  VB_EXPECTS(spec.replicas >= 1);
+  VB_EXPECTS(spec.videos >= 1);
+  VB_EXPECTS(spec.server_bandwidth.v > 0.0);
+  return core::MbitPerSec{spec.server_bandwidth.v /
+                          (static_cast<double>(spec.logical_channels) *
+                           spec.videos * spec.replicas)};
+}
+
+std::vector<PeriodicBroadcast> replica_streams(const SubchannelSpec& spec,
+                                               core::VideoId video,
+                                               int segment,
+                                               core::Minutes segment_duration,
+                                               core::MbitPerSec display_rate) {
+  VB_EXPECTS(segment >= 1 && segment <= spec.logical_channels);
+  VB_EXPECTS(segment_duration.v > 0.0);
+  VB_EXPECTS(display_rate.v > 0.0);
+
+  const core::MbitPerSec rate = subchannel_rate(spec);
+  const core::Mbits segment_size = display_rate * segment_duration;
+  // A subchannel loops its segment continuously: period == transmission.
+  const core::Minutes period = segment_size / rate;
+  const core::Minutes shift = period / static_cast<double>(spec.replicas);
+
+  std::vector<PeriodicBroadcast> streams;
+  streams.reserve(static_cast<std::size_t>(spec.replicas));
+  for (int p = 0; p < spec.replicas; ++p) {
+    streams.push_back(PeriodicBroadcast{
+        .logical_channel = segment - 1,
+        .subchannel = p,
+        .video = video,
+        .segment = segment,
+        .rate = rate,
+        .period = period,
+        .phase = static_cast<double>(p) * shift,
+        .transmission = period,
+    });
+  }
+  return streams;
+}
+
+}  // namespace vodbcast::channel

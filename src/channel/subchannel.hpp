@@ -1,0 +1,35 @@
+// PPB subchannel construction (paper Section 2).
+//
+// PPB splits each of the K logical channels (B/K Mb/s each) into P*M
+// time-multiplexed subchannels of B/(K*M*P) Mb/s. Segment i of video v is
+// replicated on P subchannels whose broadcasts are phase-shifted by
+// period/P, so a client that tunes only at broadcast starts waits at most
+// period/P for the next replica.
+#pragma once
+
+#include "channel/schedule.hpp"
+#include "core/units.hpp"
+#include "core/video.hpp"
+
+namespace vodbcast::channel {
+
+/// Inputs for building a PPB subchannel plan.
+struct SubchannelSpec {
+  int logical_channels = 0;       ///< K
+  int replicas = 0;               ///< P
+  int videos = 0;                 ///< M
+  core::MbitPerSec server_bandwidth{0.0};  ///< B
+};
+
+/// Per-subchannel transmission rate B / (K * M * P).
+[[nodiscard]] core::MbitPerSec subchannel_rate(const SubchannelSpec& spec);
+
+/// Builds the P phase-shifted replica streams for one (video, segment).
+/// `segment_duration` is the playback duration D_i of the segment;
+/// `display_rate` the video's b. The broadcast period of each replica is the
+/// transmission time of the segment at the subchannel rate.
+[[nodiscard]] std::vector<PeriodicBroadcast> replica_streams(
+    const SubchannelSpec& spec, core::VideoId video, int segment,
+    core::Minutes segment_duration, core::MbitPerSec display_rate);
+
+}  // namespace vodbcast::channel

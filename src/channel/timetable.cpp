@@ -1,0 +1,63 @@
+#include "channel/timetable.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+#include "util/text_table.hpp"
+
+namespace vodbcast::channel {
+
+std::vector<Emission> timetable(const ChannelPlan& plan, core::Minutes from,
+                                core::Minutes until,
+                                std::size_t max_emissions) {
+  VB_EXPECTS(until.v >= from.v);
+  VB_EXPECTS(max_emissions >= 1);
+
+  std::vector<Emission> emissions;
+  for (const auto& s : plan.streams()) {
+    core::Minutes start = s.next_start_at_or_after(from);
+    while (start.v < until.v) {
+      VB_EXPECTS_MSG(emissions.size() < max_emissions,
+                     "timetable window too large");
+      emissions.push_back(Emission{
+          .start = start,
+          .end = core::Minutes{start.v + s.transmission.v},
+          .logical_channel = s.logical_channel,
+          .subchannel = s.subchannel,
+          .video = s.video,
+          .segment = s.segment,
+          .rate = s.rate,
+      });
+      start = core::Minutes{start.v + s.period.v};
+    }
+  }
+  std::sort(emissions.begin(), emissions.end(),
+            [](const Emission& a, const Emission& b) {
+              if (a.start.v != b.start.v) {
+                return a.start.v < b.start.v;
+              }
+              if (a.logical_channel != b.logical_channel) {
+                return a.logical_channel < b.logical_channel;
+              }
+              return a.subchannel < b.subchannel;
+            });
+  return emissions;
+}
+
+std::string render_timetable(const std::vector<Emission>& t) {
+  util::TextTable table({"start (min)", "end (min)", "channel", "sub",
+                         "video", "segment", "rate (Mb/s)"});
+  for (const auto& e : t) {
+    table.add_row({util::TextTable::num(e.start.v, 3),
+                   util::TextTable::num(e.end.v, 3),
+                   util::TextTable::num(
+                       static_cast<long long>(e.logical_channel)),
+                   util::TextTable::num(static_cast<long long>(e.subchannel)),
+                   util::TextTable::num(static_cast<long long>(e.video)),
+                   util::TextTable::num(static_cast<long long>(e.segment)),
+                   util::TextTable::num(e.rate.v, 2)});
+  }
+  return table.render();
+}
+
+}  // namespace vodbcast::channel

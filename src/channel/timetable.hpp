@@ -1,0 +1,36 @@
+// Emission timetable: the concrete program guide a broadcast server
+// operator runs from. Enumerates every transmission start of a channel plan
+// inside a time window, in order — the executable form of "channel i
+// repeatedly broadcasts segment i".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "channel/schedule.hpp"
+
+namespace vodbcast::channel {
+
+/// One scheduled transmission.
+struct Emission {
+  core::Minutes start{0.0};
+  core::Minutes end{0.0};
+  int logical_channel = 0;
+  int subchannel = 0;
+  core::VideoId video = 0;
+  int segment = 1;
+  core::MbitPerSec rate{0.0};
+};
+
+/// All transmissions of `plan` starting in [from, until), ordered by start
+/// time, then channel. The window is capped to `max_emissions` entries
+/// (contract-checked) so a runaway query cannot exhaust memory.
+/// Preconditions: until >= from.
+[[nodiscard]] std::vector<Emission> timetable(
+    const ChannelPlan& plan, core::Minutes from, core::Minutes until,
+    std::size_t max_emissions = 100000);
+
+/// Renders a timetable as an aligned text program guide.
+[[nodiscard]] std::string render_timetable(const std::vector<Emission>& t);
+
+}  // namespace vodbcast::channel

@@ -1,0 +1,66 @@
+#include "client/buffer_trace.hpp"
+
+#include <algorithm>
+
+#include "util/ascii_plot.hpp"
+#include "util/contracts.hpp"
+
+namespace vodbcast::client {
+
+BufferTrace::BufferTrace(std::vector<BufferPoint> points)
+    : points_(std::move(points)) {
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    VB_EXPECTS_MSG(points_[i].time > points_[i - 1].time,
+                   "trace breakpoints must be strictly increasing");
+  }
+}
+
+std::int64_t BufferTrace::max_level() const noexcept {
+  std::int64_t peak = 0;
+  for (const auto& p : points_) {
+    peak = std::max(peak, p.level);
+  }
+  return peak;
+}
+
+double BufferTrace::level_at(double time) const {
+  VB_EXPECTS(!points_.empty());
+  if (time <= static_cast<double>(points_.front().time)) {
+    return static_cast<double>(points_.front().level);
+  }
+  if (time >= static_cast<double>(points_.back().time)) {
+    return static_cast<double>(points_.back().level);
+  }
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), time,
+      [](const BufferPoint& p, double t) {
+        return static_cast<double>(p.time) < t;
+      });
+  const auto& hi = *it;
+  const auto& lo = *(it - 1);
+  const double span = static_cast<double>(hi.time - lo.time);
+  const double f = (time - static_cast<double>(lo.time)) / span;
+  return static_cast<double>(lo.level) +
+         f * static_cast<double>(hi.level - lo.level);
+}
+
+std::string BufferTrace::render(int width, int height) const {
+  if (points_.empty()) {
+    return "(empty trace)\n";
+  }
+  util::Series series;
+  series.label = "buffer (units of D1)";
+  for (const auto& p : points_) {
+    series.x.push_back(static_cast<double>(p.time));
+    series.y.push_back(static_cast<double>(p.level));
+  }
+  util::PlotOptions options;
+  options.width = width;
+  options.height = height;
+  options.x_label = "time (units of D1)";
+  options.y_label = "buffered data (units of D1)";
+  options.y_min = 0.0;
+  return util::render_plot({series}, options);
+}
+
+}  // namespace vodbcast::client

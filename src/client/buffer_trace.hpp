@@ -1,0 +1,51 @@
+// Piecewise-linear client buffer occupancy traces.
+//
+// Downloads and playback both progress at constant rates, so buffer
+// occupancy over time is piecewise linear with breakpoints only where a
+// download starts/ends or playback starts/ends. The trace stores exact
+// integer levels (in units of D1 worth of data) at those breakpoints; the
+// true maximum of a piecewise-linear function is attained at a breakpoint,
+// so max() is exact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vodbcast::client {
+
+/// One breakpoint: buffer level (units of D1 data) at an integer time.
+/// A negative level means the player outran the loaders (a buffer underrun);
+/// jitter-free plans never produce one.
+struct BufferPoint {
+  std::uint64_t time = 0;   ///< units of D1 since the broadcast epoch
+  std::int64_t level = 0;   ///< buffered data, units of D1
+};
+
+class BufferTrace {
+ public:
+  BufferTrace() = default;
+  /// Points must be strictly increasing in time.
+  explicit BufferTrace(std::vector<BufferPoint> points);
+
+  [[nodiscard]] const std::vector<BufferPoint>& points() const noexcept {
+    return points_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
+
+  /// Peak buffer level over the whole trace; 0 for an empty trace.
+  [[nodiscard]] std::int64_t max_level() const noexcept;
+
+  /// Level at an arbitrary time by linear interpolation; clamps outside the
+  /// recorded range to the boundary values.
+  [[nodiscard]] double level_at(double time) const;
+
+  /// Renders the trace as a small ASCII occupancy chart (used by the
+  /// Figure 1-4 benches).
+  [[nodiscard]] std::string render(int width = 64, int height = 10) const;
+
+ private:
+  std::vector<BufferPoint> points_;
+};
+
+}  // namespace vodbcast::client

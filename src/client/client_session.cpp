@@ -1,0 +1,87 @@
+#include "client/client_session.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace vodbcast::client {
+
+namespace {
+constexpr std::uint64_t kNotArrived = static_cast<std::uint64_t>(-1);
+}  // namespace
+
+ClientSession::ClientSession(const series::SegmentLayout& layout,
+                             std::uint64_t t0)
+    : layout_(layout), t0_(t0) {}
+
+SessionResult ClientSession::run() {
+  // Split segments between the two loaders by transmission-group parity.
+  std::vector<LoaderTask> odd_tasks;
+  std::vector<LoaderTask> even_tasks;
+  for (const auto& group : layout_.groups()) {
+    auto& tasks = group.parity == series::GroupParity::kOdd ? odd_tasks
+                                                            : even_tasks;
+    for (int s = group.first_segment;
+         s < group.first_segment + group.length; ++s) {
+      tasks.push_back(LoaderTask{
+          .segment = s,
+          .size = layout_.units(s),
+          .deadline = t0_ + layout_.playback_offset_units(s),
+      });
+    }
+  }
+  Loader odd(std::move(odd_tasks), t0_);
+  Loader even(std::move(even_tasks), t0_);
+
+  const std::uint64_t total = layout_.total_units();
+  SessionResult result;
+  result.unit_arrival.assign(total, kNotArrived);
+  std::vector<std::uint64_t> segment_progress(
+      static_cast<std::size_t>(layout_.segment_count()) + 1, 0);
+
+  Player player(t0_, total);
+  std::uint64_t arrived = 0;
+
+  // A jitter-free run finishes at exactly t0 + total; the horizon leaves
+  // room for a full extra broadcast cycle of the largest segment so broken
+  // schedules terminate too.
+  const std::uint64_t horizon =
+      t0_ + total + 2 * layout_.effective_width() + 2;
+
+  result.buffer_levels.reserve(horizon + 1);
+  result.buffer_levels.push_back(0);
+
+  for (std::uint64_t slot = 0; slot < horizon && !player.finished(); ++slot) {
+    int active = 0;
+    for (Loader* loader : {&odd, &even}) {
+      const auto segment = loader->step(slot);
+      if (segment.has_value()) {
+        ++active;
+        auto& progress =
+            segment_progress[static_cast<std::size_t>(*segment)];
+        const std::uint64_t unit =
+            layout_.playback_offset_units(*segment) + progress;
+        VB_ASSERT(unit < total);
+        VB_ASSERT(result.unit_arrival[unit] == kNotArrived);
+        result.unit_arrival[unit] = slot;
+        ++progress;
+        ++arrived;
+      }
+    }
+    result.max_concurrent_downloads =
+        std::max(result.max_concurrent_downloads, active);
+
+    player.step(slot, result.unit_arrival);
+
+    const std::int64_t level = static_cast<std::int64_t>(arrived) -
+                               static_cast<std::int64_t>(player.position());
+    result.buffer_levels.push_back(level);
+    result.max_buffer_units = std::max(result.max_buffer_units, level);
+  }
+
+  result.stall_count = player.stall_count();
+  result.jitter_free = player.finished() && !player.stalled();
+  return result;
+}
+
+}  // namespace vodbcast::client

@@ -1,0 +1,46 @@
+// Slot-stepped SB client session: loaders + player wired together.
+//
+// This is the operational implementation of the paper's client design,
+// advanced one slot (one unit of D1) at a time. It is deliberately
+// independent of the analytic planner in reception_plan.hpp — it derives
+// download starts from the Loader state machines and stalls from per-unit
+// arrival times — so tests can require the two to agree exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "client/loader.hpp"
+#include "client/player.hpp"
+#include "series/segmentation.hpp"
+
+namespace vodbcast::client {
+
+/// Result of running a session to completion.
+struct SessionResult {
+  bool jitter_free = false;
+  std::uint64_t stall_count = 0;
+  std::int64_t max_buffer_units = 0;
+  int max_concurrent_downloads = 0;
+  /// Buffer level at each slot boundary from slot 0 through playback end.
+  std::vector<std::int64_t> buffer_levels;
+  /// Arrival slot of each video unit.
+  std::vector<std::uint64_t> unit_arrival;
+};
+
+class ClientSession {
+ public:
+  /// A client whose playback starts at slot `t0`.
+  ClientSession(const series::SegmentLayout& layout, std::uint64_t t0);
+
+  /// Runs the session until the player finishes; aborts (returning the
+  /// partial result) if the player cannot finish within a generous horizon,
+  /// which only happens for schedules that are not jitter-free.
+  [[nodiscard]] SessionResult run();
+
+ private:
+  const series::SegmentLayout& layout_;
+  std::uint64_t t0_;
+};
+
+}  // namespace vodbcast::client

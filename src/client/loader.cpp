@@ -1,0 +1,51 @@
+#include "client/loader.hpp"
+
+#include "util/contracts.hpp"
+
+namespace vodbcast::client {
+
+Loader::Loader(std::vector<LoaderTask> tasks, std::uint64_t earliest_tune)
+    : tasks_(std::move(tasks)),
+      starts_(tasks_.size()),
+      free_at_(earliest_tune) {
+  for (const auto& t : tasks_) {
+    VB_EXPECTS(t.size >= 1);
+    VB_EXPECTS(t.segment >= 1);
+  }
+}
+
+std::optional<int> Loader::step(std::uint64_t slot) {
+  if (remaining_ == 0) {
+    if (current_ >= tasks_.size()) {
+      return std::nullopt;
+    }
+    const auto& task = tasks_[current_];
+    // Join only at a broadcast start (a multiple of the segment size), no
+    // earlier than the loader became free, and just in time: only the last
+    // start meeting the deadline -- equivalently a start whose broadcast
+    // extends past the deadline -- is taken. Earlier aligned slots pass by.
+    const bool at_broadcast_start = slot % task.size == 0;
+    const bool just_in_time = slot + task.size > task.deadline;
+    if (slot < free_at_ || !at_broadcast_start || !just_in_time) {
+      return std::nullopt;
+    }
+    starts_[current_] = slot;
+    remaining_ = task.size;
+  }
+  VB_ASSERT(current_ < tasks_.size());
+  const int segment = tasks_[current_].segment;
+  --remaining_;
+  if (remaining_ == 0) {
+    free_at_ = slot + 1;
+    ++current_;
+  }
+  return segment;
+}
+
+std::optional<std::uint64_t> Loader::download_start(
+    std::size_t task_index) const {
+  VB_EXPECTS(task_index < starts_.size());
+  return starts_[task_index];
+}
+
+}  // namespace vodbcast::client

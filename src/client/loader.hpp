@@ -1,0 +1,59 @@
+// Slot-stepped loader state machine (paper Section 3.3).
+//
+// This is the operational counterpart of the analytic planner in
+// reception_plan.hpp: a Loader owns one tuner, is handed the ordered list of
+// segments of its parity, and at every integer slot decides whether to join
+// a broadcast -- only ever at a broadcast start (multiples of the segment's
+// size), and just in time: the last start that still meets the segment's
+// playback deadline, or failing that the first start after the loader frees
+// up. It accumulates one unit per slot while downloading. Tests step this
+// machine slot-by-slot and require bit-identical schedules to the planner,
+// so the two implementations check each other.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace vodbcast::client {
+
+/// A segment handed to a loader: index, size (= broadcast period) and the
+/// slot its playback starts (the download deadline).
+struct LoaderTask {
+  int segment = 0;
+  std::uint64_t size = 0;
+  std::uint64_t deadline = 0;
+};
+
+class Loader {
+ public:
+  /// `tasks` are this loader's segments in file order; `earliest_tune` is
+  /// the client's playback start t0 (no broadcast before it is joinable).
+  Loader(std::vector<LoaderTask> tasks, std::uint64_t earliest_tune);
+
+  /// Advances over slot [slot, slot+1). Returns the segment index a unit was
+  /// downloaded for, or nullopt if the tuner was idle this slot.
+  std::optional<int> step(std::uint64_t slot);
+
+  /// True once every task has been fully downloaded.
+  [[nodiscard]] bool done() const noexcept {
+    return current_ >= tasks_.size() && remaining_ == 0;
+  }
+
+  /// Download start recorded for 1-based position `task_index` in this
+  /// loader's task list; nullopt if that download has not started yet.
+  [[nodiscard]] std::optional<std::uint64_t> download_start(
+      std::size_t task_index) const;
+
+  /// True if the tuner is receiving during the current slot.
+  [[nodiscard]] bool busy() const noexcept { return remaining_ > 0; }
+
+ private:
+  std::vector<LoaderTask> tasks_;
+  std::vector<std::optional<std::uint64_t>> starts_;
+  std::size_t current_ = 0;        ///< index of the task being fetched next
+  std::uint64_t remaining_ = 0;    ///< units left of the in-flight download
+  std::uint64_t free_at_;          ///< earliest joinable slot
+};
+
+}  // namespace vodbcast::client

@@ -1,0 +1,32 @@
+#include "client/player.hpp"
+
+#include "util/contracts.hpp"
+
+namespace vodbcast::client {
+
+namespace {
+/// Sentinel for "unit not yet received".
+constexpr std::uint64_t kNotArrived = static_cast<std::uint64_t>(-1);
+}  // namespace
+
+Player::Player(std::uint64_t t0, std::uint64_t total_units)
+    : t0_(t0), total_units_(total_units) {}
+
+void Player::step(std::uint64_t slot,
+                  const std::vector<std::uint64_t>& unit_arrival) {
+  if (slot < t0_ || finished()) {
+    return;
+  }
+  VB_EXPECTS(unit_arrival.size() == total_units_);
+  VB_ASSERT(slot - t0_ >= position_);  // the player never runs ahead of time
+  const std::uint64_t due = position_;
+  const std::uint64_t arrived = unit_arrival[due];
+  if (arrived == kNotArrived || arrived > slot) {
+    // The due unit is not receivable during this slot: jitter.
+    ++stalls_;
+    return;
+  }
+  ++position_;
+}
+
+}  // namespace vodbcast::client

@@ -1,0 +1,40 @@
+// Slot-stepped video player (paper Section 3.3).
+//
+// The Video Player consumes the shared buffer at the display rate: one unit
+// of D1 per slot, starting at t0. A unit is consumable during slot `s` if it
+// was (or is being) received during a slot <= s — the "play data as soon as
+// they arrive" rule of Figure 1(a). The player records any stall, which a
+// correct SB schedule must never produce.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace vodbcast::client {
+
+class Player {
+ public:
+  /// `total_units` is the video length in units of D1; playback begins at
+  /// slot `t0` and consumes exactly one unit per slot.
+  Player(std::uint64_t t0, std::uint64_t total_units);
+
+  /// `unit_arrival[u]` must give the slot during which global video unit u
+  /// is received. Advances over slot [slot, slot+1); records a stall if the
+  /// due unit has not arrived by this slot.
+  void step(std::uint64_t slot, const std::vector<std::uint64_t>& unit_arrival);
+
+  [[nodiscard]] bool finished() const noexcept {
+    return position_ >= total_units_;
+  }
+  [[nodiscard]] bool stalled() const noexcept { return stalls_ > 0; }
+  [[nodiscard]] std::uint64_t stall_count() const noexcept { return stalls_; }
+  [[nodiscard]] std::uint64_t position() const noexcept { return position_; }
+
+ private:
+  std::uint64_t t0_;
+  std::uint64_t total_units_;
+  std::uint64_t position_ = 0;
+  std::uint64_t stalls_ = 0;
+};
+
+}  // namespace vodbcast::client

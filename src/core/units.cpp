@@ -1,0 +1,21 @@
+#include "core/units.hpp"
+
+#include <cstdio>
+
+namespace vodbcast::core {
+
+namespace {
+std::string format(double v, const char* suffix) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.4g %s", v, suffix);
+  return buf;
+}
+}  // namespace
+
+std::string to_string(Minutes t) { return format(t.v, "min"); }
+
+std::string to_string(MbitPerSec r) { return format(r.v, "Mb/s"); }
+
+std::string to_string(Mbits s) { return format(s.mbytes(), "MB"); }
+
+}  // namespace vodbcast::core

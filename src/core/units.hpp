@@ -1,0 +1,120 @@
+// Strongly-typed physical quantities for the broadcasting domain.
+//
+// The paper mixes minutes, Mbit/s, Mbits and MBytes freely; unit slips (the
+// classic 60x and 8x factors) are the dominant source of bugs when
+// re-deriving its formulas. Each dimension gets its own type so the compiler
+// rejects e.g. adding a duration to a data size, while the conversions that
+// are legitimate (rate x duration = size) are provided explicitly.
+#pragma once
+
+#include <compare>
+#include <string>
+
+namespace vodbcast::core {
+
+namespace detail {
+
+/// CRTP base providing the affine arithmetic all quantities share.
+template <class Derived>
+struct QuantityOps {
+  double v = 0.0;
+
+  friend constexpr Derived operator+(Derived a, Derived b) noexcept {
+    return Derived{a.v + b.v};
+  }
+  friend constexpr Derived operator-(Derived a, Derived b) noexcept {
+    return Derived{a.v - b.v};
+  }
+  friend constexpr Derived operator*(double s, Derived a) noexcept {
+    return Derived{s * a.v};
+  }
+  friend constexpr Derived operator*(Derived a, double s) noexcept {
+    return Derived{a.v * s};
+  }
+  friend constexpr Derived operator/(Derived a, double s) noexcept {
+    return Derived{a.v / s};
+  }
+  friend constexpr double operator/(Derived a, Derived b) noexcept {
+    return a.v / b.v;
+  }
+  friend constexpr auto operator<=>(Derived a, Derived b) noexcept {
+    return a.v <=> b.v;
+  }
+  friend constexpr bool operator==(Derived a, Derived b) noexcept {
+    return a.v == b.v;
+  }
+  constexpr Derived& operator+=(Derived b) noexcept {
+    v += b.v;
+    return static_cast<Derived&>(*this);
+  }
+  constexpr Derived& operator-=(Derived b) noexcept {
+    v -= b.v;
+    return static_cast<Derived&>(*this);
+  }
+};
+
+}  // namespace detail
+
+/// Duration in minutes (the paper's native unit for video lengths).
+struct Minutes : detail::QuantityOps<Minutes> {
+  [[nodiscard]] constexpr double seconds() const noexcept { return v * 60.0; }
+};
+
+/// Data rate in Mbit/s (the paper's native unit for channel bandwidth).
+struct MbitPerSec : detail::QuantityOps<MbitPerSec> {
+  [[nodiscard]] constexpr double mbyte_per_sec() const noexcept {
+    return v / 8.0;
+  }
+};
+
+/// Data size in Mbits.
+struct Mbits : detail::QuantityOps<Mbits> {
+  [[nodiscard]] constexpr double mbytes() const noexcept { return v / 8.0; }
+  [[nodiscard]] constexpr double gbytes() const noexcept {
+    return v / 8.0 / 1024.0;
+  }
+};
+
+/// rate x duration = size; the 60 converts minutes to seconds.
+[[nodiscard]] constexpr Mbits operator*(MbitPerSec rate, Minutes t) noexcept {
+  return Mbits{rate.v * t.seconds()};
+}
+[[nodiscard]] constexpr Mbits operator*(Minutes t, MbitPerSec rate) noexcept {
+  return rate * t;
+}
+
+/// size / rate = duration.
+[[nodiscard]] constexpr Minutes operator/(Mbits size, MbitPerSec rate) noexcept {
+  return Minutes{size.v / rate.v / 60.0};
+}
+
+/// User-defined literals so parameters read like the paper:
+/// `120.0_min`, `1.5_mbps`.
+inline namespace literals {
+constexpr Minutes operator""_min(long double v) {
+  return Minutes{static_cast<double>(v)};
+}
+constexpr Minutes operator""_min(unsigned long long v) {
+  return Minutes{static_cast<double>(v)};
+}
+constexpr MbitPerSec operator""_mbps(long double v) {
+  return MbitPerSec{static_cast<double>(v)};
+}
+constexpr MbitPerSec operator""_mbps(unsigned long long v) {
+  return MbitPerSec{static_cast<double>(v)};
+}
+constexpr Mbits operator""_mbit(long double v) {
+  return Mbits{static_cast<double>(v)};
+}
+constexpr Mbits operator""_mbit(unsigned long long v) {
+  return Mbits{static_cast<double>(v)};
+}
+}  // namespace literals
+
+/// Human-readable formatting (used by reports): "12.0 min", "1.50 Mb/s",
+/// "33.8 MB".
+[[nodiscard]] std::string to_string(Minutes t);
+[[nodiscard]] std::string to_string(MbitPerSec r);
+[[nodiscard]] std::string to_string(Mbits s);
+
+}  // namespace vodbcast::core

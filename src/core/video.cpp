@@ -1,0 +1,50 @@
+#include "core/video.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace vodbcast::core {
+
+VideoCatalog::VideoCatalog(std::vector<CatalogEntry> entries)
+    : entries_(std::move(entries)) {
+  VB_EXPECTS_MSG(
+      std::is_sorted(entries_.begin(), entries_.end(),
+                     [](const CatalogEntry& a, const CatalogEntry& b) {
+                       return a.popularity > b.popularity;
+                     }),
+      "catalog must be ordered by decreasing popularity");
+}
+
+const CatalogEntry& VideoCatalog::at(std::size_t rank) const {
+  VB_EXPECTS(rank < entries_.size());
+  return entries_[rank];
+}
+
+double VideoCatalog::popularity_mass(std::size_t n) const {
+  VB_EXPECTS(n <= entries_.size());
+  double mass = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mass += entries_[i].popularity;
+  }
+  return mass;
+}
+
+VideoCatalog VideoCatalog::synthetic(std::size_t n,
+                                     const std::vector<double>& popularity,
+                                     VideoParams params) {
+  VB_EXPECTS(popularity.size() == n);
+  std::vector<CatalogEntry> entries;
+  entries.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    entries.push_back(CatalogEntry{
+        .id = static_cast<VideoId>(i),
+        .title = "video-" + std::to_string(i),
+        .params = params,
+        .popularity = popularity[i],
+    });
+  }
+  return VideoCatalog(std::move(entries));
+}
+
+}  // namespace vodbcast::core

@@ -1,0 +1,77 @@
+// Video and server models shared by every scheme.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/units.hpp"
+
+namespace vodbcast::core {
+
+/// Identifies a video within a catalog.
+using VideoId = std::uint32_t;
+
+/// One video title: length and (constant-bit-rate) display rate.
+/// The paper's running example is a 120-minute MPEG-1 movie at 1.5 Mb/s.
+struct VideoParams {
+  Minutes duration{120.0};
+  MbitPerSec display_rate{1.5};
+
+  /// Total size of the video file.
+  [[nodiscard]] constexpr Mbits size() const noexcept {
+    return display_rate * duration;
+  }
+};
+
+/// The server-side design inputs every broadcasting scheme consumes:
+///   B  - total network-I/O bandwidth dedicated to periodic broadcast
+///   M  - number of (equally popular) videos being broadcast
+///   video - the common length/rate of those videos
+struct ServerConfig {
+  MbitPerSec bandwidth{600.0};
+  int num_videos = 10;
+  VideoParams video{};
+
+  /// Bandwidth share available per video (B / M).
+  [[nodiscard]] constexpr MbitPerSec per_video_bandwidth() const noexcept {
+    return MbitPerSec{bandwidth.v / num_videos};
+  }
+};
+
+/// A named catalog entry with a popularity weight; used by the workload and
+/// hybrid-allocation substrates.
+struct CatalogEntry {
+  VideoId id = 0;
+  std::string title;
+  VideoParams params{};
+  double popularity = 0.0;  ///< normalized access probability
+};
+
+/// An immutable set of titles ordered by decreasing popularity.
+class VideoCatalog {
+ public:
+  VideoCatalog() = default;
+  explicit VideoCatalog(std::vector<CatalogEntry> entries);
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] const CatalogEntry& at(std::size_t rank) const;
+  [[nodiscard]] const std::vector<CatalogEntry>& entries() const noexcept {
+    return entries_;
+  }
+
+  /// Total popularity mass of the first `n` titles.
+  [[nodiscard]] double popularity_mass(std::size_t n) const;
+
+  /// Builds a catalog of `n` synthetic titles whose popularities follow the
+  /// given (already normalized) distribution.
+  [[nodiscard]] static VideoCatalog synthetic(
+      std::size_t n, const std::vector<double>& popularity,
+      VideoParams params);
+
+ private:
+  std::vector<CatalogEntry> entries_;
+};
+
+}  // namespace vodbcast::core

@@ -1,0 +1,85 @@
+#include "disk/disk_model.hpp"
+
+#include "util/contracts.hpp"
+
+namespace vodbcast::disk {
+
+DiskSpec DiskSpec::consumer_1997() {
+  return DiskSpec{"consumer-1997", 9.0, 5.6, core::MbitPerSec{64.0}};
+}
+
+DiskSpec DiskSpec::premium_1997() {
+  return DiskSpec{"premium-1997", 7.0, 4.2, core::MbitPerSec{128.0}};
+}
+
+DiskSpec DiskSpec::modern() {
+  return DiskSpec{"modern", 0.1, 0.0, core::MbitPerSec{4000.0}};
+}
+
+core::MbitPerSec total_rate(const std::vector<DiskStream>& set) {
+  double total = 0.0;
+  for (const auto& s : set) {
+    total += s.rate.v;
+  }
+  return core::MbitPerSec{total};
+}
+
+bool round_feasible(const DiskSpec& spec, const std::vector<DiskStream>& set,
+                    double round_seconds) {
+  VB_EXPECTS(round_seconds > 0.0);
+  VB_EXPECTS(spec.media_rate.v > 0.0);
+  double busy = 0.0;
+  for (const auto& s : set) {
+    VB_EXPECTS(s.rate.v > 0.0);
+    busy += spec.overhead_seconds() +
+            s.rate.v * round_seconds / spec.media_rate.v;
+  }
+  return busy <= round_seconds;
+}
+
+std::optional<double> min_round_seconds(const DiskSpec& spec,
+                                        const std::vector<DiskStream>& set) {
+  VB_EXPECTS(spec.media_rate.v > 0.0);
+  if (set.empty()) {
+    return 0.0;
+  }
+  const double utilization = total_rate(set).v / spec.media_rate.v;
+  if (utilization >= 1.0) {
+    return std::nullopt;
+  }
+  // busy(T) = N * overhead + utilization * T <= T
+  //   =>  T >= N * overhead / (1 - utilization)
+  const double n = static_cast<double>(set.size());
+  return n * spec.overhead_seconds() / (1.0 - utilization);
+}
+
+core::Mbits double_buffer_memory(const std::vector<DiskStream>& set,
+                                 double round_seconds) {
+  VB_EXPECTS(round_seconds >= 0.0);
+  double mbits = 0.0;
+  for (const auto& s : set) {
+    mbits += 2.0 * s.rate.v * round_seconds;
+  }
+  return core::Mbits{mbits};
+}
+
+double media_utilization(const DiskSpec& spec,
+                         const std::vector<DiskStream>& set) {
+  VB_EXPECTS(spec.media_rate.v > 0.0);
+  return total_rate(set).v / spec.media_rate.v;
+}
+
+std::vector<DiskStream> client_stream_set(core::MbitPerSec display_rate,
+                                          int concurrent_writes,
+                                          core::MbitPerSec write_rate) {
+  VB_EXPECTS(display_rate.v > 0.0);
+  VB_EXPECTS(concurrent_writes >= 0);
+  std::vector<DiskStream> set{DiskStream{display_rate}};
+  for (int i = 0; i < concurrent_writes; ++i) {
+    VB_EXPECTS(write_rate.v > 0.0);
+    set.push_back(DiskStream{write_rate});
+  }
+  return set;
+}
+
+}  // namespace vodbcast::disk

@@ -1,0 +1,83 @@
+// Client disk admission model.
+//
+// The paper's Figure 6 axis — client disk bandwidth — decides whether a
+// set-top box can host a scheme at all: PB asks a 1997 drive to absorb two
+// channel-rate writes (~50x the display rate) next to the playback read,
+// while SB needs at most two display-rate writes. This module models the
+// classic round-based (grouped-sweeping) disk scheduler those boxes used:
+// in each service round of length T the arm makes one sweep, paying a seek
+// plus rotational settle per stream and transferring r_i * T bits for each.
+// The round is feasible iff
+//
+//   sum_i (overhead + r_i * T / media_rate) <= T
+//
+// and double buffering makes the per-stream memory cost 2 * r_i * T.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/units.hpp"
+
+namespace vodbcast::disk {
+
+/// Mechanical characteristics of a drive.
+struct DiskSpec {
+  std::string name;
+  double avg_seek_ms = 9.0;        ///< average arm move
+  double rotational_ms = 4.2;      ///< half-rotation settle (7200 rpm)
+  core::MbitPerSec media_rate{64.0};  ///< sustained transfer off the platter
+
+  /// Per-stream positioning overhead in seconds.
+  [[nodiscard]] double overhead_seconds() const noexcept {
+    return (avg_seek_ms + rotational_ms) / 1000.0;
+  }
+
+  /// A commodity consumer drive of the paper's era (~1997): 9 ms seeks,
+  /// 5400 rpm, 8 MB/s off the media.
+  [[nodiscard]] static DiskSpec consumer_1997();
+  /// A premium SCSI drive of the era: 7 ms seeks, 7200 rpm, 16 MB/s.
+  [[nodiscard]] static DiskSpec premium_1997();
+  /// A modern reference point far above any scheme's needs.
+  [[nodiscard]] static DiskSpec modern();
+};
+
+/// One continuous stream the disk must sustain (a playback read or an
+/// incoming broadcast write); direction does not matter to the sweep.
+struct DiskStream {
+  core::MbitPerSec rate{0.0};
+};
+
+/// Aggregate transfer demand of a stream set.
+[[nodiscard]] core::MbitPerSec total_rate(const std::vector<DiskStream>& set);
+
+/// True if one sweep of length `round_seconds` can serve the set.
+/// Preconditions: round_seconds > 0, all rates > 0.
+[[nodiscard]] bool round_feasible(const DiskSpec& spec,
+                                  const std::vector<DiskStream>& set,
+                                  double round_seconds);
+
+/// Smallest feasible round length, or nullopt when the set's aggregate rate
+/// reaches the media rate (no round length helps). Empty sets are trivially
+/// feasible with a zero round.
+[[nodiscard]] std::optional<double> min_round_seconds(
+    const DiskSpec& spec, const std::vector<DiskStream>& set);
+
+/// Double-buffering memory implied by a round length.
+[[nodiscard]] core::Mbits double_buffer_memory(
+    const std::vector<DiskStream>& set, double round_seconds);
+
+/// Fraction of the media rate the set consumes (1.0 = saturated).
+[[nodiscard]] double media_utilization(const DiskSpec& spec,
+                                       const std::vector<DiskStream>& set);
+
+/// The client stream set a broadcasting scheme induces: one playback read
+/// at the display rate plus `concurrent_writes` incoming streams at
+/// `write_rate` each. (SB: <= 2 writes at b; PB: 2 at B/K; PPB: 1 at the
+/// subchannel rate; FB: K at b.)
+[[nodiscard]] std::vector<DiskStream> client_stream_set(
+    core::MbitPerSec display_rate, int concurrent_writes,
+    core::MbitPerSec write_rate);
+
+}  // namespace vodbcast::disk

@@ -1,0 +1,48 @@
+#include "net/delivery.hpp"
+
+#include "net/packetizer.hpp"
+#include "util/contracts.hpp"
+
+namespace vodbcast::net {
+
+DeliveryReport deliver_segment(const channel::PeriodicBroadcast& stream,
+                               std::uint64_t index, core::Mbits mtu,
+                               LossModel& loss, core::Minutes playback_start,
+                               core::MbitPerSec display_rate) {
+  VB_EXPECTS(display_rate.v > 0.0);
+  const auto sent = packetize_transmission(stream, index, mtu);
+  const auto survivors = apply_loss(sent, loss);
+
+  const core::Mbits segment_size = stream.rate * stream.transmission;
+  SegmentReassembler reassembler(segment_size);
+  for (const auto& p : survivors) {
+    reassembler.accept(p);
+  }
+
+  DeliveryReport report;
+  report.packets_sent = sent.size();
+  report.packets_lost = sent.size() - survivors.size();
+  report.complete = reassembler.complete();
+  report.gap_count = reassembler.gaps().size();
+
+  // Jitter-freedom: every byte x (we check packet boundaries, which is
+  // exact for piecewise delivery) must be readable by the time playback
+  // reaches it: playback_start + x / display_rate.
+  report.jitter_free = report.complete;
+  if (report.complete) {
+    for (const auto& p : sent) {
+      const core::Mbits through{p.offset.v + p.payload.v};
+      const auto available = reassembler.prefix_available_at(through);
+      VB_ASSERT(available.has_value());
+      const core::Minutes needed_by{playback_start.v +
+                                    (through / display_rate).v};
+      if (available->v > needed_by.v + 1e-9) {
+        report.jitter_free = false;
+        break;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace vodbcast::net

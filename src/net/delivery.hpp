@@ -1,0 +1,32 @@
+// End-to-end packet delivery for one client segment download: packetize the
+// joined transmission, push it through a loss model, reassemble, and grade
+// the result against the playback deadline — the packet-level counterpart
+// of the fluid-model SegmentDownload.
+#pragma once
+
+#include "channel/schedule.hpp"
+#include "net/loss.hpp"
+#include "net/reassembly.hpp"
+
+namespace vodbcast::net {
+
+struct DeliveryReport {
+  std::size_t packets_sent = 0;
+  std::size_t packets_lost = 0;
+  bool complete = false;           ///< every byte arrived
+  std::size_t gap_count = 0;       ///< holes left by loss
+  /// True when every byte was available no later than its playback time
+  /// for a playback beginning at `deadline` and consuming at the display
+  /// rate. Lost packets void this (there is no retransmission path).
+  bool jitter_free = false;
+};
+
+/// Delivers the `index`-th transmission of `stream` through `loss` and
+/// grades it against a playback that starts at `playback_start` and
+/// consumes at `display_rate`.
+[[nodiscard]] DeliveryReport deliver_segment(
+    const channel::PeriodicBroadcast& stream, std::uint64_t index,
+    core::Mbits mtu, LossModel& loss, core::Minutes playback_start,
+    core::MbitPerSec display_rate);
+
+}  // namespace vodbcast::net

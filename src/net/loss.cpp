@@ -1,0 +1,51 @@
+#include "net/loss.hpp"
+
+#include "util/contracts.hpp"
+
+namespace vodbcast::net {
+
+BernoulliLoss::BernoulliLoss(double probability, util::Rng rng)
+    : probability_(probability), rng_(rng) {
+  VB_EXPECTS(probability >= 0.0 && probability <= 1.0);
+}
+
+bool BernoulliLoss::drop(const Packet&) {
+  return rng_.next_double() < probability_;
+}
+
+GilbertElliottLoss::GilbertElliottLoss(Params params, util::Rng rng)
+    : params_(params), rng_(rng) {
+  VB_EXPECTS(params.p_good_to_bad >= 0.0 && params.p_good_to_bad <= 1.0);
+  VB_EXPECTS(params.p_bad_to_good >= 0.0 && params.p_bad_to_good <= 1.0);
+  VB_EXPECTS(params.loss_good >= 0.0 && params.loss_good <= 1.0);
+  VB_EXPECTS(params.loss_bad >= 0.0 && params.loss_bad <= 1.0);
+}
+
+bool GilbertElliottLoss::drop(const Packet&) {
+  // State transition first, then the state's loss draw.
+  if (bad_) {
+    if (rng_.next_double() < params_.p_bad_to_good) {
+      bad_ = false;
+    }
+  } else {
+    if (rng_.next_double() < params_.p_good_to_bad) {
+      bad_ = true;
+    }
+  }
+  const double p = bad_ ? params_.loss_bad : params_.loss_good;
+  return rng_.next_double() < p;
+}
+
+std::vector<Packet> apply_loss(const std::vector<Packet>& packets,
+                               LossModel& model) {
+  std::vector<Packet> survivors;
+  survivors.reserve(packets.size());
+  for (const auto& p : packets) {
+    if (!model.drop(p)) {
+      survivors.push_back(p);
+    }
+  }
+  return survivors;
+}
+
+}  // namespace vodbcast::net

@@ -1,0 +1,66 @@
+// Loss models for failure injection.
+//
+// Periodic broadcast has no retransmission path — a lost packet is a hole
+// in the segment until the next repetition — so the client pipeline must
+// detect gaps rather than assume fluid delivery. Two standard models:
+// independent (Bernoulli) loss and bursty Gilbert-Elliott two-state loss.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "util/rng.hpp"
+
+namespace vodbcast::net {
+
+class LossModel {
+ public:
+  virtual ~LossModel() = default;
+  /// True if this packet is dropped.
+  virtual bool drop(const Packet& packet) = 0;
+};
+
+/// Drops nothing; the fluid-model baseline.
+class NoLoss final : public LossModel {
+ public:
+  bool drop(const Packet&) override { return false; }
+};
+
+/// Independent loss with a fixed probability.
+class BernoulliLoss final : public LossModel {
+ public:
+  BernoulliLoss(double probability, util::Rng rng);
+  bool drop(const Packet&) override;
+
+ private:
+  double probability_;
+  util::Rng rng_;
+};
+
+/// Gilbert-Elliott: a good state with low loss and a bad (burst) state with
+/// high loss, with geometric dwell times.
+class GilbertElliottLoss final : public LossModel {
+ public:
+  struct Params {
+    double p_good_to_bad = 0.01;
+    double p_bad_to_good = 0.2;
+    double loss_good = 0.0;
+    double loss_bad = 0.5;
+  };
+  GilbertElliottLoss(Params params, util::Rng rng);
+  bool drop(const Packet&) override;
+
+  [[nodiscard]] bool in_bad_state() const noexcept { return bad_; }
+
+ private:
+  Params params_;
+  util::Rng rng_;
+  bool bad_ = false;
+};
+
+/// Applies a loss model to a packet sequence, returning the survivors.
+[[nodiscard]] std::vector<Packet> apply_loss(const std::vector<Packet>& packets,
+                                             LossModel& model);
+
+}  // namespace vodbcast::net

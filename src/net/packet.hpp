@@ -1,0 +1,41 @@
+// Packet-level model of a broadcast stream.
+//
+// The analytical layers treat a segment transmission as a fluid interval;
+// this substrate breaks it into packets so the client pipeline (tuner ->
+// reassembler -> player feed) can be exercised the way a metropolitan
+// network would deliver it, including loss injection. Payload bytes are not
+// materialized — correctness in this domain is purely about which byte
+// ranges arrive when.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+#include "core/units.hpp"
+#include "core/video.hpp"
+
+namespace vodbcast::net {
+
+/// Identifies one periodic broadcast stream on the wire.
+struct StreamKey {
+  core::VideoId video = 0;
+  int segment = 1;
+  int subchannel = 0;
+
+  friend constexpr auto operator<=>(const StreamKey&,
+                                    const StreamKey&) = default;
+};
+
+/// One packet of a segment transmission. `offset`/`payload` describe the
+/// byte range of the *segment* it carries; `send_time` is when its last bit
+/// leaves the server (and, in this zero-propagation-delay model, arrives).
+struct Packet {
+  StreamKey stream{};
+  std::uint64_t broadcast_index = 0;  ///< which repetition of the loop
+  std::uint32_t sequence = 0;         ///< position within the transmission
+  core::Mbits offset{0.0};
+  core::Mbits payload{0.0};
+  core::Minutes send_time{0.0};
+};
+
+}  // namespace vodbcast::net

@@ -1,0 +1,53 @@
+#include "net/packet_client.hpp"
+
+#include "net/delivery.hpp"
+#include "util/contracts.hpp"
+
+namespace vodbcast::net {
+
+PacketSessionReport run_packet_session(const channel::ChannelPlan& plan,
+                                       core::VideoId video,
+                                       const series::SegmentLayout& layout,
+                                       std::uint64_t t0, LossModel& loss,
+                                       core::Mbits mtu) {
+  const client::ReceptionPlan reception =
+      client::plan_reception(layout, t0);
+  const double d1 = layout.unit_duration().v;
+
+  PacketSessionReport report;
+  report.segments_total = reception.downloads.size();
+  bool all_clean = reception.jitter_free;
+
+  for (const auto& download : reception.downloads) {
+    const auto stream = plan.find(video, download.segment);
+    VB_EXPECTS_MSG(stream.has_value(),
+                   "channel plan does not carry the planned segment");
+    VB_EXPECTS_MSG(stream->phase.v == 0.0 &&
+                       stream->transmission.v >= stream->period.v - 1e-9,
+                   "packet session expects SB-shaped looping channels");
+    // The planner joins broadcast starts aligned to the segment size, so
+    // the repetition index is exact integer division.
+    VB_ASSERT(download.start % download.length == 0);
+    const std::uint64_t index = download.start / download.length;
+
+    const core::Minutes playback_start{static_cast<double>(download.deadline) *
+                                       d1};
+    const DeliveryReport delivered =
+        deliver_segment(*stream, index, mtu, loss, playback_start,
+                        layout.video().display_rate);
+    report.packets_sent += delivered.packets_sent;
+    report.packets_lost += delivered.packets_lost;
+    if (delivered.gap_count > 0) {
+      ++report.segments_with_gaps;
+    }
+    if (!delivered.jitter_free || !download.meets_deadline()) {
+      ++report.segments_stalled;
+      report.stalled_segments.push_back(download.segment);
+      all_clean = false;
+    }
+  }
+  report.jitter_free = all_clean;
+  return report;
+}
+
+}  // namespace vodbcast::net

@@ -1,0 +1,40 @@
+// Packet-level execution of a full SB client session.
+//
+// Takes the exact two-loader reception plan, resolves each planned download
+// against the server's channel plan, and delivers every joined transmission
+// packet-by-packet through a loss model. With a clean channel the verdict
+// must coincide with the fluid model (jitter-free everywhere); with loss it
+// quantifies how many segments develop holes — the failure-injection story
+// periodic broadcast needs because there is no retransmission path.
+#pragma once
+
+#include <vector>
+
+#include "channel/schedule.hpp"
+#include "client/reception_plan.hpp"
+#include "net/loss.hpp"
+#include "series/segmentation.hpp"
+
+namespace vodbcast::net {
+
+struct PacketSessionReport {
+  std::size_t packets_sent = 0;
+  std::size_t packets_lost = 0;
+  std::size_t segments_total = 0;
+  std::size_t segments_with_gaps = 0;
+  std::size_t segments_stalled = 0;  ///< late or incomplete for playback
+  bool jitter_free = false;          ///< every segment clean and on time
+  std::vector<int> stalled_segments; ///< 1-based indices, ascending
+};
+
+/// Runs the packet-level session for `video` under `plan` (the server's
+/// broadcast plan for the SB design that produced `layout`), with the
+/// client playback starting at slot `t0`.
+/// Preconditions: the plan carries every (video, segment) of the layout at
+/// phase 0 with period == transmission (the SB channel shape).
+[[nodiscard]] PacketSessionReport run_packet_session(
+    const channel::ChannelPlan& plan, core::VideoId video,
+    const series::SegmentLayout& layout, std::uint64_t t0, LossModel& loss,
+    core::Mbits mtu);
+
+}  // namespace vodbcast::net

@@ -1,0 +1,70 @@
+#include "net/packetizer.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace vodbcast::net {
+
+std::vector<Packet> packetize_transmission(
+    const channel::PeriodicBroadcast& stream, std::uint64_t index,
+    core::Mbits mtu) {
+  VB_EXPECTS(mtu.v > 0.0);
+  const core::Mbits total = stream.rate * stream.transmission;
+  VB_EXPECTS(total.v > 0.0);
+
+  const core::Minutes start{stream.phase.v +
+                            static_cast<double>(index) * stream.period.v};
+  const StreamKey key{stream.video, stream.segment, stream.subchannel};
+
+  std::vector<Packet> packets;
+  packets.reserve(static_cast<std::size_t>(std::ceil(total.v / mtu.v)));
+  double offset = 0.0;
+  std::uint32_t sequence = 0;
+  while (offset < total.v - 1e-12) {
+    const double payload = std::min(mtu.v, total.v - offset);
+    const double end_of_packet = offset + payload;
+    // The packet's last bit leaves when the stream has emitted
+    // `end_of_packet` Mbits at `rate`.
+    const core::Minutes send{start.v +
+                             (core::Mbits{end_of_packet} / stream.rate).v};
+    packets.push_back(Packet{
+        .stream = key,
+        .broadcast_index = index,
+        .sequence = sequence++,
+        .offset = core::Mbits{offset},
+        .payload = core::Mbits{payload},
+        .send_time = send,
+    });
+    offset = end_of_packet;
+  }
+  VB_ENSURES(!packets.empty());
+  return packets;
+}
+
+std::vector<Packet> packets_in_window(const channel::PeriodicBroadcast& stream,
+                                      core::Minutes from, core::Minutes until,
+                                      core::Mbits mtu) {
+  VB_EXPECTS(until.v >= from.v);
+  std::vector<Packet> packets;
+  // First repetition that could still emit packets after `from`.
+  const double first_relevant =
+      std::floor((from.v - stream.phase.v) / stream.period.v) - 1.0;
+  auto index = static_cast<std::uint64_t>(std::max(0.0, first_relevant));
+  while (true) {
+    const double start =
+        stream.phase.v + static_cast<double>(index) * stream.period.v;
+    if (start >= until.v) {
+      break;
+    }
+    for (auto& p : packetize_transmission(stream, index, mtu)) {
+      if (p.send_time.v >= from.v && p.send_time.v < until.v) {
+        packets.push_back(p);
+      }
+    }
+    ++index;
+  }
+  return packets;
+}
+
+}  // namespace vodbcast::net

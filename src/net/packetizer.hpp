@@ -1,0 +1,26 @@
+// Packetization of periodic broadcasts.
+#pragma once
+
+#include <vector>
+
+#include "channel/schedule.hpp"
+#include "net/packet.hpp"
+
+namespace vodbcast::net {
+
+/// Splits one transmission (the `index`-th repetition) of a periodic
+/// broadcast into packets of at most `mtu` payload each. The segment size
+/// is rate * transmission; the last packet may be short. Packets are
+/// timestamped with the instant their last bit is sent.
+/// Preconditions: mtu > 0.
+[[nodiscard]] std::vector<Packet> packetize_transmission(
+    const channel::PeriodicBroadcast& stream, std::uint64_t index,
+    core::Mbits mtu);
+
+/// All packets of all repetitions of `stream` whose send time falls in
+/// [from, until). Handy for window-based tuner tests.
+[[nodiscard]] std::vector<Packet> packets_in_window(
+    const channel::PeriodicBroadcast& stream, core::Minutes from,
+    core::Minutes until, core::Mbits mtu);
+
+}  // namespace vodbcast::net

@@ -1,0 +1,128 @@
+#include "net/reassembly.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace vodbcast::net {
+
+namespace {
+constexpr double kEps = 1e-9;
+}  // namespace
+
+SegmentReassembler::SegmentReassembler(core::Mbits expected)
+    : expected_(expected.v) {
+  VB_EXPECTS(expected.v > 0.0);
+}
+
+void SegmentReassembler::accept(const Packet& packet) {
+  const double begin = packet.offset.v;
+  const double end = packet.offset.v + packet.payload.v;
+  VB_EXPECTS_MSG(begin >= -kEps && end <= expected_ + kEps,
+                 "packet outside the segment");
+  VB_EXPECTS(packet.payload.v > 0.0);
+  packets_.push_back(Range{begin, end, packet.send_time.v});
+  ranges_dirty_ = true;
+}
+
+void SegmentReassembler::coalesce() const {
+  if (!ranges_dirty_) {
+    return;
+  }
+  ranges_ = packets_;
+  std::sort(ranges_.begin(), ranges_.end(),
+            [](const Range& a, const Range& b) { return a.begin < b.begin; });
+  std::vector<Range> merged;
+  for (const auto& r : ranges_) {
+    if (!merged.empty() && r.begin <= merged.back().end + kEps) {
+      merged.back().end = std::max(merged.back().end, r.end);
+      merged.back().last_arrival =
+          std::max(merged.back().last_arrival, r.last_arrival);
+    } else {
+      merged.push_back(r);
+    }
+  }
+  ranges_ = std::move(merged);
+  ranges_dirty_ = false;
+}
+
+core::Mbits SegmentReassembler::contiguous_prefix() const {
+  coalesce();
+  if (ranges_.empty() || ranges_.front().begin > kEps) {
+    return core::Mbits{0.0};
+  }
+  return core::Mbits{ranges_.front().end};
+}
+
+core::Mbits SegmentReassembler::received() const {
+  coalesce();
+  double total = 0.0;
+  for (const auto& r : ranges_) {
+    total += r.end - r.begin;
+  }
+  return core::Mbits{total};
+}
+
+bool SegmentReassembler::complete() const {
+  coalesce();
+  return ranges_.size() == 1 && ranges_.front().begin <= kEps &&
+         ranges_.front().end >= expected_ - kEps;
+}
+
+std::vector<Gap> SegmentReassembler::gaps() const {
+  coalesce();
+  std::vector<Gap> result;
+  double cursor = 0.0;
+  for (const auto& r : ranges_) {
+    if (r.begin > cursor + kEps) {
+      result.push_back(Gap{core::Mbits{cursor}, core::Mbits{r.begin}});
+    }
+    cursor = std::max(cursor, r.end);
+  }
+  if (cursor < expected_ - kEps) {
+    result.push_back(Gap{core::Mbits{cursor}, core::Mbits{expected_}});
+  }
+  return result;
+}
+
+std::optional<core::Minutes> SegmentReassembler::prefix_available_at(
+    core::Mbits point) const {
+  VB_EXPECTS(point.v >= -kEps && point.v <= expected_ + kEps);
+  if (point.v <= kEps) {
+    return core::Minutes{0.0};
+  }
+  if (contiguous_prefix().v + kEps < point.v) {
+    return std::nullopt;
+  }
+  // Replay packets in arrival order; the prefix through `point` becomes
+  // readable at the send time of the packet that first closes it. Exact
+  // for any delivery order at O(n^2) over the packet log, which segment
+  // granularity keeps small.
+  std::vector<Range> by_arrival = packets_;
+  std::sort(by_arrival.begin(), by_arrival.end(),
+            [](const Range& a, const Range& b) {
+              return a.last_arrival < b.last_arrival;
+            });
+  std::vector<Range> active;
+  for (const auto& next : by_arrival) {
+    active.push_back(next);
+    // Contiguous prefix of the active set.
+    std::vector<Range> sorted = active;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Range& a, const Range& b) { return a.begin < b.begin; });
+    double prefix = 0.0;
+    for (const auto& r : sorted) {
+      if (r.begin > prefix + kEps) {
+        break;
+      }
+      prefix = std::max(prefix, r.end);
+    }
+    if (prefix + kEps >= point.v) {
+      return core::Minutes{next.last_arrival};
+    }
+  }
+  VB_ASSERT(false);  // unreachable: the full prefix covers `point`
+  return std::nullopt;
+}
+
+}  // namespace vodbcast::net

@@ -1,0 +1,63 @@
+// Segment reassembly at the client.
+//
+// A tuner delivers the packets of one segment transmission; the reassembler
+// tracks which byte ranges arrived, reports the contiguous prefix (what the
+// player may consume), and diagnoses holes so a jitter-free verdict can be
+// made against the playback deadline.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace vodbcast::net {
+
+/// A missing byte range of the segment.
+struct Gap {
+  core::Mbits begin{0.0};
+  core::Mbits end{0.0};
+};
+
+class SegmentReassembler {
+ public:
+  /// `expected` is the full segment size.
+  explicit SegmentReassembler(core::Mbits expected);
+
+  /// Accepts one packet; out-of-order and duplicate delivery are fine.
+  /// Packets beyond the expected size are rejected (contract violation).
+  void accept(const Packet& packet);
+
+  /// Length of the contiguous prefix received so far.
+  [[nodiscard]] core::Mbits contiguous_prefix() const;
+
+  /// Total bytes received (ignoring order).
+  [[nodiscard]] core::Mbits received() const;
+
+  /// True once every byte of the segment has arrived.
+  [[nodiscard]] bool complete() const;
+
+  /// The missing ranges, in order.
+  [[nodiscard]] std::vector<Gap> gaps() const;
+
+  /// Send time of the packet that completed the prefix up to `point`, i.e.
+  /// when the player could first read through `point`; nullopt while the
+  /// prefix has not reached it.
+  [[nodiscard]] std::optional<core::Minutes> prefix_available_at(
+      core::Mbits point) const;
+
+ private:
+  struct Range {
+    double begin;
+    double end;
+    double last_arrival;  ///< latest send_time contributing to this range
+  };
+  void coalesce() const;
+
+  double expected_;
+  std::vector<Range> packets_;  ///< raw accepted packets, arrival order
+  mutable std::vector<Range> ranges_;  ///< coalesced cache
+  mutable bool ranges_dirty_ = true;
+};
+
+}  // namespace vodbcast::net

@@ -1,0 +1,82 @@
+#include "schemes/fast_broadcast.hpp"
+
+#include <algorithm>
+
+#include "series/broadcast_series.hpp"
+#include "util/contracts.hpp"
+#include "util/math.hpp"
+
+namespace vodbcast::schemes {
+
+FastBroadcastScheme::FastBroadcastScheme(int max_segments)
+    : max_segments_(max_segments) {
+  VB_EXPECTS(max_segments_ >= 1 && max_segments_ <= 62);
+}
+
+std::optional<Design> FastBroadcastScheme::design(
+    const DesignInput& input) const {
+  VB_EXPECTS(input.num_videos >= 1);
+  const auto k = util::robust_floor(
+      input.server_bandwidth.v /
+      (input.video.display_rate.v * input.num_videos));
+  if (k < 1) {
+    return std::nullopt;
+  }
+  return Design{
+      .segments = static_cast<int>(std::min<long long>(k, max_segments_)),
+      .replicas = 1,
+      .alpha = 2.0,  // the doubling factor, for reporting
+      .width = 0,
+  };
+}
+
+series::SegmentLayout FastBroadcastScheme::layout(const DesignInput& input,
+                                                  const Design& d) const {
+  const series::FastSeries law;
+  return series::SegmentLayout(law, d.segments, series::kUncapped,
+                               input.video);
+}
+
+Metrics FastBroadcastScheme::metrics(const DesignInput& input,
+                                     const Design& d) const {
+  VB_EXPECTS(d.segments >= 1);
+  const series::SegmentLayout lay = layout(input, d);
+  const core::Minutes d1 = lay.unit_duration();
+  const double b = input.video.display_rate.v;
+
+  const std::uint64_t half = d.segments == 1
+                                 ? 0
+                                 : (std::uint64_t{1} << (d.segments - 1)) - 1;
+  return Metrics{
+      .client_disk_bandwidth = core::MbitPerSec{(d.segments + 1) * b},
+      .access_latency = d1,
+      .client_buffer =
+          input.video.display_rate * d1 * static_cast<double>(half),
+  };
+}
+
+channel::ChannelPlan FastBroadcastScheme::plan(const DesignInput& input,
+                                               const Design& d) const {
+  const series::SegmentLayout lay = layout(input, d);
+  std::vector<channel::PeriodicBroadcast> streams;
+  streams.reserve(static_cast<std::size_t>(input.num_videos) *
+                  static_cast<std::size_t>(d.segments));
+  for (int v = 0; v < input.num_videos; ++v) {
+    for (int i = 1; i <= d.segments; ++i) {
+      const core::Minutes duration = lay.duration(i);
+      streams.push_back(channel::PeriodicBroadcast{
+          .logical_channel = v * d.segments + (i - 1),
+          .subchannel = 0,
+          .video = static_cast<core::VideoId>(v),
+          .segment = i,
+          .rate = input.video.display_rate,
+          .period = duration,
+          .phase = core::Minutes{0.0},
+          .transmission = duration,
+      });
+    }
+  }
+  return channel::ChannelPlan(std::move(streams));
+}
+
+}  // namespace vodbcast::schemes

@@ -1,0 +1,51 @@
+// Fast Broadcasting (Juhn & Tseng) — the best-known follow-on to the
+// pyramid/skyscraper family, implemented here as the extension point the
+// paper's conclusion anticipates ("each SB scheme is characterized by a
+// broadcast series").
+//
+// Channel design matches SB: K = floor(B/(b*M)) channels of b Mb/s per
+// video, one looping segment each — but the fragmentation law is the
+// doubling series [1, 2, 4, ..., 2^(K-1)] (total 2^K - 1 units), and the
+// client owns one tuner per channel, joining each segment's first broadcast
+// after arrival.
+//
+//   access latency   = D1 = D / (2^K - 1)        (fastest known decay in K)
+//   client disk b/w  = (K + 1) * b               (K tuners + playback)
+//   client buffer    = 60*b*D1*(2^(K-1) - 1)     (~half the video)
+//
+// The buffer form is exact: the worst phase is a fully aligned start
+// (every channel begins a broadcast at t0), where by time 2^(K-1) the
+// client has received segments 1..K-1 entirely plus 2^(K-1) units of
+// segment K while playing back only 2^(K-1) units. Against SB this trades
+// a ~17x larger buffer and K-fold tuner cost for a moderately lower
+// latency at equal bandwidth — quantified by bench/ext_followons.
+#pragma once
+
+#include "schemes/scheme.hpp"
+#include "series/segmentation.hpp"
+
+namespace vodbcast::schemes {
+
+class FastBroadcastScheme final : public BroadcastScheme {
+ public:
+  /// K is capped (default 30) to keep 2^K - 1 units addressable; latency is
+  /// already sub-millisecond well before the cap.
+  explicit FastBroadcastScheme(int max_segments = 30);
+
+  [[nodiscard]] std::string name() const override { return "FB"; }
+  [[nodiscard]] std::optional<Design> design(
+      const DesignInput& input) const override;
+  [[nodiscard]] Metrics metrics(const DesignInput& input,
+                                const Design& design) const override;
+  [[nodiscard]] channel::ChannelPlan plan(const DesignInput& input,
+                                          const Design& design) const override;
+
+  /// The doubling-series layout a design induces for one video.
+  [[nodiscard]] series::SegmentLayout layout(const DesignInput& input,
+                                             const Design& design) const;
+
+ private:
+  int max_segments_;
+};
+
+}  // namespace vodbcast::schemes

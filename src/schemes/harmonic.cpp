@@ -1,0 +1,107 @@
+#include "schemes/harmonic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace vodbcast::schemes {
+
+HarmonicScheme::HarmonicScheme(int max_segments)
+    : max_segments_(max_segments) {
+  VB_EXPECTS(max_segments_ >= 1);
+}
+
+double HarmonicScheme::harmonic_number(int k) {
+  VB_EXPECTS(k >= 0);
+  double h = 0.0;
+  for (int i = 1; i <= k; ++i) {
+    h += 1.0 / i;
+  }
+  return h;
+}
+
+bool HarmonicScheme::cautious_client_feasible(int k, int grid) {
+  VB_EXPECTS(k >= 1 && grid >= 1);
+  for (int step = 0; step <= k * grid; ++step) {
+    const double x = static_cast<double>(step) / grid;
+    double downloaded = 0.0;
+    for (int i = 1; i <= k; ++i) {
+      downloaded += std::min(x / i, 1.0);
+    }
+    if (downloaded + 1e-9 < x - 1.0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<Design> HarmonicScheme::design(const DesignInput& input) const {
+  VB_EXPECTS(input.num_videos >= 1);
+  const double budget = input.server_bandwidth.v /
+                        (input.video.display_rate.v * input.num_videos);
+  if (budget < 1.0) {
+    return std::nullopt;  // even one full-rate channel per video won't fit
+  }
+  // Largest K with H(K) <= budget; H grows like ln K so this explodes
+  // quickly, hence the cap.
+  int k = 0;
+  double h = 0.0;
+  while (k < max_segments_ && h + 1.0 / (k + 1) <= budget) {
+    ++k;
+    h += 1.0 / k;
+  }
+  VB_ASSERT(k >= 1);
+  return Design{.segments = k, .replicas = 1, .alpha = 0.0, .width = 0};
+}
+
+Metrics HarmonicScheme::metrics(const DesignInput& input,
+                                const Design& d) const {
+  VB_EXPECTS(d.segments >= 1);
+  const int k = d.segments;
+  const double b = input.video.display_rate.v;
+  const core::Minutes slot{input.video.duration.v / k};
+
+  // Peak buffer in slots: the occupancy m*(H(K) - H(m)) + 1 is piecewise
+  // linear between integer slot boundaries, so scanning them is exact.
+  const double hk = harmonic_number(k);
+  double peak_slots = 0.0;
+  double hm = 0.0;
+  for (int m = 1; m <= k; ++m) {
+    hm += 1.0 / m;
+    peak_slots = std::max(peak_slots, m * (hk - hm) + 1.0);
+  }
+
+  return Metrics{
+      .client_disk_bandwidth = core::MbitPerSec{b * (1.0 + hk)},
+      .access_latency = 2.0 * slot,
+      .client_buffer = input.video.display_rate * slot * peak_slots,
+  };
+}
+
+channel::ChannelPlan HarmonicScheme::plan(const DesignInput& input,
+                                          const Design& d) const {
+  const core::Minutes slot{input.video.duration.v / d.segments};
+  std::vector<channel::PeriodicBroadcast> streams;
+  streams.reserve(static_cast<std::size_t>(input.num_videos) *
+                  static_cast<std::size_t>(d.segments));
+  for (int v = 0; v < input.num_videos; ++v) {
+    for (int i = 1; i <= d.segments; ++i) {
+      // Segment i loops at rate b/i: one transmission takes i slots.
+      const core::Minutes period{slot.v * i};
+      streams.push_back(channel::PeriodicBroadcast{
+          .logical_channel = v * d.segments + (i - 1),
+          .subchannel = 0,
+          .video = static_cast<core::VideoId>(v),
+          .segment = i,
+          .rate = core::MbitPerSec{input.video.display_rate.v / i},
+          .period = period,
+          .phase = core::Minutes{0.0},
+          .transmission = period,
+      });
+    }
+  }
+  return channel::ChannelPlan(std::move(streams));
+}
+
+}  // namespace vodbcast::schemes

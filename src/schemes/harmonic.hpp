@@ -1,0 +1,49 @@
+// Cautious Harmonic Broadcasting (after Juhn & Tseng; the "cautious" start
+// fixes the original scheme's first-segment race) — the other canonical
+// follow-on protocol, included to situate SB within the family it founded.
+//
+// The video is cut into K *equal* segments of D/K minutes; channel i loops
+// segment i at rate b/i, so a video costs b * H(K) (harmonic number) of
+// server bandwidth instead of K*b. Given B, the design picks the largest K
+// with M * b * H(K) <= B. The client tunes all K channels from the first
+// slot boundary after arrival and delays playback by one extra slot (the
+// cautious start), guaranteeing segment i's trickle download (i slots long)
+// completes before its playback slot ends.
+//
+//   access latency   = 2 * D / K                 (slot wait + cautious slot)
+//   client disk b/w  = b * (1 + H(K))            (all channels + playback)
+//   client buffer    = 60*b*(D/K)*max_x(x*(H(K)-H(x)) + 1)  ~ 0.37 * video
+//
+// The buffer expression is evaluated exactly over the K slot boundaries;
+// its continuous relaxation peaks at x = K/e giving the well-known ~37%.
+#pragma once
+
+#include "schemes/scheme.hpp"
+
+namespace vodbcast::schemes {
+
+class HarmonicScheme final : public BroadcastScheme {
+ public:
+  explicit HarmonicScheme(int max_segments = 4096);
+
+  [[nodiscard]] std::string name() const override { return "HB"; }
+  [[nodiscard]] std::optional<Design> design(
+      const DesignInput& input) const override;
+  [[nodiscard]] Metrics metrics(const DesignInput& input,
+                                const Design& design) const override;
+  [[nodiscard]] channel::ChannelPlan plan(const DesignInput& input,
+                                          const Design& design) const override;
+
+  /// H(k) = 1 + 1/2 + ... + 1/k.
+  [[nodiscard]] static double harmonic_number(int k);
+
+  /// Verifies the cautious-client feasibility inequality
+  ///   sum_i min(x/i, 1) >= x - 1   for all x in [0, K]
+  /// on a fine grid; exposed for tests and the validation bench.
+  [[nodiscard]] static bool cautious_client_feasible(int k, int grid = 64);
+
+ private:
+  int max_segments_;
+};
+
+}  // namespace vodbcast::schemes

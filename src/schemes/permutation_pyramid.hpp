@@ -1,0 +1,48 @@
+// Permutation-Based Pyramid Broadcasting (Aggarwal, Wolf & Yu), paper
+// Section 2.
+//
+// PPB keeps PB's geometric fragmentation but splits each logical channel
+// into P*M time-multiplexed subchannels of B/(K*M*P) Mb/s. Segment i of a
+// video loops on P subchannels phase-shifted by 1/P of its period, so
+// clients tune at broadcast starts and wait at most period/P.
+//
+// Parameter determination (paper Section 2): K = floor(B/(b*M*e)) clamped
+// to [2, 7]; with c = B/(b*M*K),
+//   PPB:a  P = floor(c) - 2            (at least 1)
+//   PPB:b  P = max(2, floor(c) - 2)
+// and alpha = c - P (> 1 required).
+//
+// Closed forms (D1 = D*(alpha-1)/(alpha^K - 1)):
+//   access latency  = D1 * M * K * b / B = D1 / (alpha + P)
+//   client disk b/w = b + B/(K*M*P)
+//   client buffer   = 60*b*D*(b*M*K/B)*(alpha^K - alpha^{K-2})/(alpha^K - 1)
+//
+// At B ~ 320 Mb/s these give PPB:b roughly 141 MB of client disk and ~4.9
+// minutes of latency, matching the paper's quoted ~150 MB / ~5 minutes.
+#pragma once
+
+#include "schemes/scheme.hpp"
+
+namespace vodbcast::schemes {
+
+class PermutationPyramidScheme final : public BroadcastScheme {
+ public:
+  explicit PermutationPyramidScheme(Variant variant);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::optional<Design> design(
+      const DesignInput& input) const override;
+  [[nodiscard]] Metrics metrics(const DesignInput& input,
+                                const Design& design) const override;
+  [[nodiscard]] channel::ChannelPlan plan(const DesignInput& input,
+                                          const Design& design) const override;
+
+  /// K is clamped to this range (paper Section 2).
+  static constexpr int kMinSegments = 2;
+  static constexpr int kMaxSegments = 7;
+
+ private:
+  Variant variant_;
+};
+
+}  // namespace vodbcast::schemes

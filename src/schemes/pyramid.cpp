@@ -1,0 +1,113 @@
+#include "schemes/pyramid.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+#include "util/math.hpp"
+
+namespace vodbcast::schemes {
+
+PyramidScheme::PyramidScheme(Variant variant) : variant_(variant) {}
+
+std::string PyramidScheme::name() const {
+  return "PB:" + variant_suffix(variant_);
+}
+
+std::optional<Design> PyramidScheme::design(const DesignInput& input) const {
+  VB_EXPECTS(input.num_videos >= 1);
+  const double b = input.video.display_rate.v;
+  const double bm = b * input.num_videos;
+  VB_EXPECTS(bm > 0.0);
+  const double k_target = input.server_bandwidth.v / (bm * util::kEuler);
+
+  long long k = 0;
+  if (variant_ == Variant::kA) {
+    k = static_cast<long long>(std::ceil(k_target - 1e-9));
+  } else {
+    k = util::robust_floor(k_target);
+  }
+  if (k < 1) {
+    return std::nullopt;
+  }
+  const double alpha =
+      input.server_bandwidth.v / (bm * static_cast<double>(k));
+  if (alpha <= 1.0) {
+    return std::nullopt;
+  }
+  return Design{
+      .segments = static_cast<int>(k),
+      .replicas = 1,
+      .alpha = alpha,
+      .width = 0,
+  };
+}
+
+core::Minutes PyramidScheme::segment_duration(const DesignInput& input,
+                                              const Design& d, int i) {
+  VB_EXPECTS(i >= 1 && i <= d.segments);
+  VB_EXPECTS(d.alpha > 1.0);
+  const double d1 =
+      input.video.duration.v / util::geometric_sum(d.alpha, d.segments);
+  return core::Minutes{d1 * std::pow(d.alpha, i - 1)};
+}
+
+Metrics PyramidScheme::metrics(const DesignInput& input,
+                               const Design& d) const {
+  const double b = input.video.display_rate.v;
+  const double channel_rate =
+      input.server_bandwidth.v / static_cast<double>(d.segments);
+
+  const core::Minutes d1 = segment_duration(input, d, 1);
+  // Worst wait for S_1 = one full cycle of channel 1 over the M videos.
+  const core::Minutes latency{d1.v * input.num_videos * d.segments * b /
+                              input.server_bandwidth.v};
+
+  const core::MbitPerSec disk_bw{b + 2.0 * channel_rate};
+
+  core::Mbits buffer{0.0};
+  if (d.segments >= 2) {
+    const core::Minutes dk = segment_duration(input, d, d.segments);
+    const core::Minutes dk1 = segment_duration(input, d, d.segments - 1);
+    // Worst case: S_{K-1} fully buffered when its playback starts, then S_K
+    // burst-arrives at channel rate while only D_K*b*K/B minutes of playback
+    // drain the buffer.
+    const double drain_min = dk.v * b * d.segments / input.server_bandwidth.v;
+    buffer = input.video.display_rate *
+             core::Minutes{dk1.v + dk.v - drain_min};
+  } else {
+    buffer = core::Mbits{0.0};
+  }
+
+  return Metrics{disk_bw, latency, buffer};
+}
+
+channel::ChannelPlan PyramidScheme::plan(const DesignInput& input,
+                                         const Design& d) const {
+  const double channel_rate =
+      input.server_bandwidth.v / static_cast<double>(d.segments);
+  std::vector<channel::PeriodicBroadcast> streams;
+  streams.reserve(static_cast<std::size_t>(input.num_videos) *
+                  static_cast<std::size_t>(d.segments));
+  for (int i = 1; i <= d.segments; ++i) {
+    // Transmission time of S_i at the channel rate.
+    const core::Minutes duration = segment_duration(input, d, i);
+    const core::Mbits size = input.video.display_rate * duration;
+    const core::Minutes tx = size / core::MbitPerSec{channel_rate};
+    const core::Minutes cycle{tx.v * input.num_videos};
+    for (int v = 0; v < input.num_videos; ++v) {
+      streams.push_back(channel::PeriodicBroadcast{
+          .logical_channel = i - 1,
+          .subchannel = 0,
+          .video = static_cast<core::VideoId>(v),
+          .segment = i,
+          .rate = core::MbitPerSec{channel_rate},
+          .period = cycle,
+          .phase = core::Minutes{tx.v * v},
+          .transmission = tx,
+      });
+    }
+  }
+  return channel::ChannelPlan(std::move(streams));
+}
+
+}  // namespace vodbcast::schemes

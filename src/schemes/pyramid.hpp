@@ -1,0 +1,45 @@
+// Pyramid Broadcasting (Viswanathan & Imielinski), paper Section 2.
+//
+// B is divided into K logical channels of B/K Mb/s. Channel i broadcasts the
+// i-th segments of all M videos sequentially; segment sizes grow
+// geometrically with factor alpha = B/(b*M*K) (> 1 required). Two methods
+// pick K (the paper's PB:a and PB:b):
+//   PB:a  K = ceil(B / (b*M*e))   -> alpha <= e
+//   PB:b  K = floor(B / (b*M*e))  -> alpha >= e
+//
+// Closed forms (paper Section 2, with D1 = D*(alpha-1)/(alpha^K - 1)):
+//   access latency   = D1 * M * K * b / B = D1 / alpha
+//   client disk b/w  = b + 2*B/K           (download from 2 channels + play)
+//   client buffer    = 60*b*(D_{K-1} + D_K - D_K*b*K/B) Mbits
+//
+// The buffer term subtracts the data played back during S_K's (burst)
+// download; with M = 10 and alpha = e it approaches the paper's quoted
+// 0.84 * (60*b*D).
+#pragma once
+
+#include "schemes/scheme.hpp"
+
+namespace vodbcast::schemes {
+
+class PyramidScheme final : public BroadcastScheme {
+ public:
+  explicit PyramidScheme(Variant variant);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::optional<Design> design(
+      const DesignInput& input) const override;
+  [[nodiscard]] Metrics metrics(const DesignInput& input,
+                                const Design& design) const override;
+  [[nodiscard]] channel::ChannelPlan plan(const DesignInput& input,
+                                          const Design& design) const override;
+
+  /// Duration (minutes) of 1-based segment i under this design.
+  [[nodiscard]] static core::Minutes segment_duration(const DesignInput& input,
+                                                      const Design& design,
+                                                      int i);
+
+ private:
+  Variant variant_;
+};
+
+}  // namespace vodbcast::schemes

@@ -1,0 +1,92 @@
+#include "schemes/registry.hpp"
+
+#include <charconv>
+
+#include "schemes/fast_broadcast.hpp"
+#include "schemes/harmonic.hpp"
+#include "schemes/permutation_pyramid.hpp"
+#include "schemes/pyramid.hpp"
+#include "schemes/skyscraper.hpp"
+#include "schemes/staggered.hpp"
+#include "series/broadcast_series.hpp"
+#include "util/contracts.hpp"
+
+namespace vodbcast::schemes {
+
+namespace {
+
+std::uint64_t parse_width(const std::string& text) {
+  if (text == "inf" || text == "infinite") {
+    return series::kUncapped;
+  }
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  VB_EXPECTS_MSG(ec == std::errc() && ptr == text.data() + text.size() &&
+                     value >= 1,
+                 "bad width in scheme label: " + text);
+  return value;
+}
+
+}  // namespace
+
+std::unique_ptr<BroadcastScheme> make_scheme(const std::string& label) {
+  if (label == "PB:a") {
+    return std::make_unique<PyramidScheme>(Variant::kA);
+  }
+  if (label == "PB:b") {
+    return std::make_unique<PyramidScheme>(Variant::kB);
+  }
+  if (label == "PPB:a") {
+    return std::make_unique<PermutationPyramidScheme>(Variant::kA);
+  }
+  if (label == "PPB:b") {
+    return std::make_unique<PermutationPyramidScheme>(Variant::kB);
+  }
+  if (label == "staggered") {
+    return std::make_unique<StaggeredScheme>();
+  }
+  if (label == "FB") {
+    return std::make_unique<FastBroadcastScheme>();
+  }
+  if (label == "HB") {
+    return std::make_unique<HarmonicScheme>();
+  }
+  // "SB:W=<n>" or "SB(<series>):W=<n>"
+  if (label.rfind("SB", 0) == 0) {
+    std::string law = "skyscraper";
+    std::string rest = label.substr(2);
+    if (!rest.empty() && rest.front() == '(') {
+      const auto close = rest.find(')');
+      VB_EXPECTS_MSG(close != std::string::npos,
+                     "bad scheme label: " + label);
+      law = rest.substr(1, close - 1);
+      rest = rest.substr(close + 1);
+    }
+    VB_EXPECTS_MSG(rest.rfind(":W=", 0) == 0, "bad scheme label: " + label);
+    return std::make_unique<SkyscraperScheme>(parse_width(rest.substr(3)),
+                                              law);
+  }
+  VB_EXPECTS_MSG(false, "unknown scheme label: " + label);
+  return nullptr;  // unreachable
+}
+
+std::vector<std::uint64_t> paper_widths() {
+  const series::SkyscraperSeries s;
+  return {s.element(2), s.element(10), s.element(20), s.element(30),
+          series::kUncapped};
+}
+
+std::vector<std::unique_ptr<BroadcastScheme>> paper_figure_set() {
+  std::vector<std::unique_ptr<BroadcastScheme>> set;
+  set.push_back(std::make_unique<PyramidScheme>(Variant::kA));
+  set.push_back(std::make_unique<PyramidScheme>(Variant::kB));
+  set.push_back(std::make_unique<PermutationPyramidScheme>(Variant::kA));
+  set.push_back(std::make_unique<PermutationPyramidScheme>(Variant::kB));
+  for (const std::uint64_t w : paper_widths()) {
+    set.push_back(std::make_unique<SkyscraperScheme>(w));
+  }
+  return set;
+}
+
+}  // namespace vodbcast::schemes

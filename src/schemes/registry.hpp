@@ -1,0 +1,29 @@
+// Scheme factory: resolves the labels used throughout the paper's figures
+// ("SB:W=52", "PB:a", "PPB:b", ...) into scheme instances.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "schemes/scheme.hpp"
+
+namespace vodbcast::schemes {
+
+/// Creates a scheme from its figure label. Accepted spellings:
+///   "PB:a", "PB:b", "PPB:a", "PPB:b", "staggered",
+///   "SB:W=<n>", "SB:W=inf", "SB(<series>):W=<n>" for alternative laws,
+/// and the follow-on protocols "FB" (Fast Broadcasting) and "HB" (Cautious
+/// Harmonic Broadcasting). Throws ContractViolation on unknown labels.
+[[nodiscard]] std::unique_ptr<BroadcastScheme> make_scheme(
+    const std::string& label);
+
+/// The scheme set the paper's Figures 6-8 sweep: PB:a/b, PPB:a/b and
+/// SB at W in {2, 52, 1705, 54612, inf}.
+[[nodiscard]] std::vector<std::unique_ptr<BroadcastScheme>> paper_figure_set();
+
+/// The SB widths the paper studies: the 2nd, 10th, 20th and 30th series
+/// elements plus uncapped.
+[[nodiscard]] std::vector<std::uint64_t> paper_widths();
+
+}  // namespace vodbcast::schemes

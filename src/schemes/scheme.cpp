@@ -1,0 +1,16 @@
+#include "schemes/scheme.hpp"
+
+namespace vodbcast::schemes {
+
+std::optional<Evaluation> BroadcastScheme::evaluate(
+    const DesignInput& input) const {
+  const auto d = design(input);
+  if (!d.has_value()) {
+    return std::nullopt;
+  }
+  return Evaluation{*d, metrics(input, *d)};
+}
+
+std::string variant_suffix(Variant v) { return v == Variant::kA ? "a" : "b"; }
+
+}  // namespace vodbcast::schemes

@@ -1,0 +1,92 @@
+// Broadcasting scheme interface.
+//
+// A scheme answers three questions given the server design inputs
+// (B, M, D, b):
+//   1. design()  - its own methodology for picking the design parameters
+//                  (K segments, P replicas, geometric factor alpha, width W);
+//                  the paper's Table 2.
+//   2. metrics() - the closed-form client disk bandwidth, worst access
+//                  latency and client buffer space; the paper's Table 1.
+//   3. plan()    - the concrete periodic broadcast plan the discrete-event
+//                  simulator can execute, so formulas and simulation are two
+//                  independent views of the same object.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "channel/schedule.hpp"
+#include "core/units.hpp"
+#include "core/video.hpp"
+
+namespace vodbcast::schemes {
+
+/// Server-side design inputs common to every scheme (paper Section 2
+/// notation: B, M, D, b).
+struct DesignInput {
+  core::MbitPerSec server_bandwidth{600.0};  ///< B
+  int num_videos = 10;                       ///< M
+  core::VideoParams video{};                 ///< D and b
+
+  [[nodiscard]] core::ServerConfig server() const {
+    return core::ServerConfig{server_bandwidth, num_videos, video};
+  }
+};
+
+/// Resolved design parameters. Fields irrelevant to a scheme stay at their
+/// defaults (alpha = 0 for SB, width = 0 for the pyramid family).
+struct Design {
+  int segments = 0;         ///< K
+  int replicas = 1;         ///< P (PPB only)
+  double alpha = 0.0;       ///< geometric factor (pyramid family)
+  std::uint64_t width = 0;  ///< W, the skyscraper width (SB only)
+};
+
+/// The paper's three performance metrics (Table 1 columns).
+struct Metrics {
+  core::MbitPerSec client_disk_bandwidth{0.0};
+  core::Minutes access_latency{0.0};
+  core::Mbits client_buffer{0.0};
+};
+
+/// Design + metrics bundled; what a sweep row carries.
+struct Evaluation {
+  Design design{};
+  Metrics metrics{};
+};
+
+/// Interface implemented by SB, PB:a/b, PPB:a/b and the staggered baseline.
+class BroadcastScheme {
+ public:
+  virtual ~BroadcastScheme() = default;
+
+  /// Scheme label as used in the paper's figures ("SB:W=52", "PB:a", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Determines design parameters with this scheme's own methodology.
+  /// Returns nullopt when the scheme is infeasible at this bandwidth
+  /// (e.g. the pyramid family below ~90 Mb/s where alpha would be <= 1).
+  [[nodiscard]] virtual std::optional<Design> design(
+      const DesignInput& input) const = 0;
+
+  /// Closed-form metrics for a feasible design.
+  [[nodiscard]] virtual Metrics metrics(const DesignInput& input,
+                                        const Design& design) const = 0;
+
+  /// Concrete broadcast plan for all M videos under this design.
+  [[nodiscard]] virtual channel::ChannelPlan plan(const DesignInput& input,
+                                                  const Design& design) const = 0;
+
+  /// design() + metrics() in one call; nullopt when infeasible.
+  [[nodiscard]] std::optional<Evaluation> evaluate(
+      const DesignInput& input) const;
+};
+
+/// Which of the two parameter-determination methods a pyramid-family scheme
+/// uses (the paper's ":a" and ":b" suffixes).
+enum class Variant { kA, kB };
+
+[[nodiscard]] std::string variant_suffix(Variant v);
+
+}  // namespace vodbcast::schemes

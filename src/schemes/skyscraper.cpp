@@ -1,0 +1,126 @@
+#include "schemes/skyscraper.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+#include "util/math.hpp"
+
+namespace vodbcast::schemes {
+
+SkyscraperScheme::SkyscraperScheme(std::uint64_t width, std::string series_law)
+    : width_(width), series_(series::make_series(series_law)) {
+  VB_EXPECTS(width_ >= 1);
+}
+
+std::string SkyscraperScheme::name() const {
+  std::string label = "SB";
+  if (series_->name() != "skyscraper") {
+    label += "(" + series_->name() + ")";
+  }
+  label += ":W=";
+  label += width_ == series::kUncapped ? "inf" : std::to_string(width_);
+  return label;
+}
+
+std::optional<Design> SkyscraperScheme::design(const DesignInput& input) const {
+  VB_EXPECTS(input.num_videos >= 1);
+  VB_EXPECTS(input.video.display_rate.v > 0.0);
+  // K = floor(B / (b*M)) channels of b Mb/s per video.
+  const double channels_per_video =
+      input.server_bandwidth.v /
+      (input.video.display_rate.v * input.num_videos);
+  const auto k = util::robust_floor(channels_per_video);
+  if (k < 1) {
+    return std::nullopt;
+  }
+  return Design{
+      .segments = static_cast<int>(k),
+      .replicas = 1,
+      .alpha = 0.0,
+      .width = width_,
+  };
+}
+
+series::SegmentLayout SkyscraperScheme::layout(const DesignInput& input,
+                                               const Design& d) const {
+  return series::SegmentLayout(*series_, d.segments, d.width, input.video);
+}
+
+Metrics SkyscraperScheme::metrics(const DesignInput& input,
+                                  const Design& d) const {
+  VB_EXPECTS(d.segments >= 1);
+  const series::SegmentLayout lay = layout(input, d);
+  const double b = input.video.display_rate.v;
+
+  // Disk bandwidth rule from paper Section 5: the player always reads at b;
+  // the number of concurrent download streams is 0 (W=1 or K=1: play
+  // straight off the channel), 1 (W=2 or K<=3) or 2.
+  double disk_bw = 3.0 * b;
+  const std::uint64_t w_eff = lay.effective_width();
+  if (w_eff == 1 || d.segments == 1) {
+    disk_bw = b;
+  } else if (w_eff == 2 || d.segments <= 3) {
+    disk_bw = 2.0 * b;
+  }
+
+  const core::Minutes d1 = lay.unit_duration();
+  const core::Mbits buffer =
+      input.video.display_rate * d1 * static_cast<double>(w_eff - 1);
+
+  return Metrics{
+      .client_disk_bandwidth = core::MbitPerSec{disk_bw},
+      .access_latency = d1,
+      .client_buffer = buffer,
+  };
+}
+
+channel::ChannelPlan SkyscraperScheme::plan(const DesignInput& input,
+                                            const Design& d) const {
+  std::vector<channel::PeriodicBroadcast> streams;
+  streams.reserve(static_cast<std::size_t>(input.num_videos) *
+                  static_cast<std::size_t>(d.segments));
+  const series::SegmentLayout lay = layout(input, d);
+  for (int v = 0; v < input.num_videos; ++v) {
+    for (int i = 1; i <= d.segments; ++i) {
+      const core::Minutes duration = lay.duration(i);
+      streams.push_back(channel::PeriodicBroadcast{
+          .logical_channel = v * d.segments + (i - 1),
+          .subchannel = 0,
+          .video = static_cast<core::VideoId>(v),
+          .segment = i,
+          .rate = input.video.display_rate,
+          .period = duration,
+          .phase = core::Minutes{0.0},
+          .transmission = duration,
+      });
+    }
+  }
+  return channel::ChannelPlan(std::move(streams));
+}
+
+SkyscraperScheme::WidthChoice SkyscraperScheme::width_for_latency(
+    const DesignInput& input, core::Minutes target) const {
+  VB_EXPECTS(target.v > 0.0);
+  const auto d = design(input);
+  VB_EXPECTS_MSG(d.has_value(), "no channels available at this bandwidth");
+  const int k = d->segments;
+
+  // Walk the distinct series values; latency decreases monotonically in W.
+  std::uint64_t best_width = 1;
+  core::Minutes best_latency{input.video.duration.v /
+                             static_cast<double>(series_->prefix_sum(k, 1))};
+  for (int n = 1; n <= k; ++n) {
+    const std::uint64_t w = series_->element(n);
+    const auto total = series_->prefix_sum(k, w);
+    const core::Minutes latency{input.video.duration.v /
+                                static_cast<double>(total)};
+    best_width = w;
+    best_latency = latency;
+    if (latency.v <= target.v) {
+      break;
+    }
+  }
+  return WidthChoice{best_width, best_latency};
+}
+
+}  // namespace vodbcast::schemes

@@ -1,0 +1,66 @@
+// Skyscraper Broadcasting (paper Section 3) — the primary contribution.
+//
+// Channel design: B is divided into floor(B/b) channels of b Mb/s each,
+// allocated evenly so each of the M videos owns K = floor(B/(b*M)) channels.
+// Each channel loops one segment at the display rate. Segment sizes follow
+// the skyscraper series capped at width W, so
+//
+//   access latency      = D1 = D / sum_{i=1..K} min(f(i), W)
+//   client disk b/w     = b (W=1 or K=1), 2b (W=2 or K in {2,3}), else 3b
+//   client buffer       = 60 * b * D1 * (W_eff - 1) Mbits
+//
+// where W_eff = min(W, f(K)) is the width the layout actually reaches.
+#pragma once
+
+#include <memory>
+
+#include "schemes/scheme.hpp"
+#include "series/broadcast_series.hpp"
+#include "series/segmentation.hpp"
+
+namespace vodbcast::schemes {
+
+class SkyscraperScheme final : public BroadcastScheme {
+ public:
+  /// `width` is the skyscraper width W; series::kUncapped gives the
+  /// "W = infinite" curves of the paper. By default the paper's skyscraper
+  /// series is used; pass another law ("fast", "flat") to explore the
+  /// generalized-family extension from the paper's conclusion.
+  explicit SkyscraperScheme(std::uint64_t width = 52,
+                            std::string series_law = "skyscraper");
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::optional<Design> design(
+      const DesignInput& input) const override;
+  [[nodiscard]] Metrics metrics(const DesignInput& input,
+                                const Design& design) const override;
+  [[nodiscard]] channel::ChannelPlan plan(const DesignInput& input,
+                                          const Design& design) const override;
+
+  /// The segment layout a design induces for one video; shared with the
+  /// client reception planner so analysis and simulation agree by
+  /// construction.
+  [[nodiscard]] series::SegmentLayout layout(const DesignInput& input,
+                                             const Design& design) const;
+
+  /// Picks the smallest width from the series that achieves `target`
+  /// access latency (paper Section 3.2: W from the desired latency),
+  /// given K channels per video. Returns the width and resulting latency.
+  struct WidthChoice {
+    std::uint64_t width = 0;
+    core::Minutes latency{0.0};
+  };
+  [[nodiscard]] WidthChoice width_for_latency(const DesignInput& input,
+                                              core::Minutes target) const;
+
+  [[nodiscard]] std::uint64_t width() const noexcept { return width_; }
+  [[nodiscard]] const series::BroadcastSeries& series() const noexcept {
+    return *series_;
+  }
+
+ private:
+  std::uint64_t width_;
+  std::shared_ptr<const series::BroadcastSeries> series_;
+};
+
+}  // namespace vodbcast::schemes

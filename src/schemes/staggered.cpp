@@ -1,0 +1,57 @@
+#include "schemes/staggered.hpp"
+
+#include "util/contracts.hpp"
+#include "util/math.hpp"
+
+namespace vodbcast::schemes {
+
+std::optional<Design> StaggeredScheme::design(const DesignInput& input) const {
+  VB_EXPECTS(input.num_videos >= 1);
+  const auto k = util::robust_floor(
+      input.server_bandwidth.v /
+      (input.video.display_rate.v * input.num_videos));
+  if (k < 1) {
+    return std::nullopt;
+  }
+  return Design{.segments = static_cast<int>(k),
+                .replicas = 1,
+                .alpha = 1.0,
+                .width = 1};
+}
+
+Metrics StaggeredScheme::metrics(const DesignInput& input,
+                                 const Design& d) const {
+  VB_EXPECTS(d.segments >= 1);
+  return Metrics{
+      .client_disk_bandwidth = input.video.display_rate,
+      .access_latency =
+          core::Minutes{input.video.duration.v / d.segments},
+      .client_buffer = core::Mbits{0.0},
+  };
+}
+
+channel::ChannelPlan StaggeredScheme::plan(const DesignInput& input,
+                                           const Design& d) const {
+  const core::Minutes period = input.video.duration;
+  const core::Minutes shift{period.v / d.segments};
+  std::vector<channel::PeriodicBroadcast> streams;
+  streams.reserve(static_cast<std::size_t>(input.num_videos) *
+                  static_cast<std::size_t>(d.segments));
+  for (int v = 0; v < input.num_videos; ++v) {
+    for (int i = 0; i < d.segments; ++i) {
+      streams.push_back(channel::PeriodicBroadcast{
+          .logical_channel = v * d.segments + i,
+          .subchannel = 0,
+          .video = static_cast<core::VideoId>(v),
+          .segment = 1,
+          .rate = input.video.display_rate,
+          .period = period,
+          .phase = core::Minutes{shift.v * i},
+          .transmission = period,
+      });
+    }
+  }
+  return channel::ChannelPlan(std::move(streams));
+}
+
+}  // namespace vodbcast::schemes

@@ -1,0 +1,27 @@
+// Staggered periodic broadcast (Dan, Sitaram & Shahabuddin), the paper's
+// Section 1 baseline: each of a video's K channels carries the *whole* video
+// at the display rate, with starts staggered by D/K. The client tunes to the
+// next start, so latency improves only linearly in bandwidth — exactly the
+// limitation that motivated the pyramid family.
+//
+//   access latency  = D / K, K = floor(B/(b*M))
+//   client disk b/w = b (play straight off the channel; no prefetch)
+//   client buffer   = 0
+#pragma once
+
+#include "schemes/scheme.hpp"
+
+namespace vodbcast::schemes {
+
+class StaggeredScheme final : public BroadcastScheme {
+ public:
+  [[nodiscard]] std::string name() const override { return "staggered"; }
+  [[nodiscard]] std::optional<Design> design(
+      const DesignInput& input) const override;
+  [[nodiscard]] Metrics metrics(const DesignInput& input,
+                                const Design& design) const override;
+  [[nodiscard]] channel::ChannelPlan plan(const DesignInput& input,
+                                          const Design& design) const override;
+};
+
+}  // namespace vodbcast::schemes

@@ -1,0 +1,123 @@
+#include "series/broadcast_series.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+#include "util/math.hpp"
+
+namespace vodbcast::series {
+
+std::vector<std::uint64_t> BroadcastSeries::prefix(int k,
+                                                   std::uint64_t width) const {
+  VB_EXPECTS(k >= 0);
+  VB_EXPECTS(width >= 1);
+  std::vector<std::uint64_t> values;
+  values.reserve(static_cast<std::size_t>(k));
+  // Once the cap binds, every later element is >= width (the series is
+  // non-decreasing), so stop evaluating the recurrence — for narrow widths
+  // with many channels the raw elements would overflow 64 bits long before
+  // the prefix ends.
+  bool capped = false;
+  for (int n = 1; n <= k; ++n) {
+    if (capped) {
+      values.push_back(width);
+      continue;
+    }
+    const std::uint64_t value = element(n);
+    if (value >= width) {
+      capped = true;
+      values.push_back(width);
+    } else {
+      values.push_back(value);
+    }
+  }
+  return values;
+}
+
+std::uint64_t BroadcastSeries::prefix_sum(int k, std::uint64_t width) const {
+  std::uint64_t sum = 0;
+  for (const std::uint64_t value : prefix(k, width)) {
+    sum = util::add_or_die(sum, value);
+  }
+  return sum;
+}
+
+std::uint64_t SkyscraperSeries::element(int n) const {
+  VB_EXPECTS(n >= 1);
+  const auto idx = static_cast<std::size_t>(n);
+  while (memo_.size() <= idx) {
+    const int m = static_cast<int>(memo_.size());
+    std::uint64_t value = 0;
+    if (m == 1) {
+      value = 1;
+    } else if (m == 2 || m == 3) {
+      value = 2;
+    } else {
+      const std::uint64_t prev = memo_[static_cast<std::size_t>(m - 1)];
+      switch (m % 4) {
+        case 0:
+          value = util::add_or_die(util::mul_or_die(2, prev), 1);
+          break;
+        case 1:
+          value = prev;
+          break;
+        case 2:
+          value = util::add_or_die(util::mul_or_die(2, prev), 2);
+          break;
+        case 3:
+          value = prev;
+          break;
+        default:
+          VB_ASSERT(false);
+      }
+    }
+    memo_.push_back(value);
+  }
+  return memo_[idx];
+}
+
+std::uint64_t FastSeries::element(int n) const {
+  VB_EXPECTS(n >= 1);
+  VB_EXPECTS_MSG(n <= 63, "fast series overflows past n = 63");
+  return std::uint64_t{1} << (n - 1);
+}
+
+std::uint64_t FlatSeries::element(int n) const {
+  VB_EXPECTS(n >= 1);
+  return 1;
+}
+
+std::unique_ptr<BroadcastSeries> make_series(const std::string& name) {
+  if (name == "skyscraper") {
+    return std::make_unique<SkyscraperSeries>();
+  }
+  if (name == "fast") {
+    return std::make_unique<FastSeries>();
+  }
+  if (name == "flat") {
+    return std::make_unique<FlatSeries>();
+  }
+  VB_EXPECTS_MSG(false, "unknown broadcast series: " + name);
+  return nullptr;  // unreachable
+}
+
+namespace skyscraper {
+
+bool is_odd_group_element(std::uint64_t value) noexcept {
+  return value % 2 == 1;
+}
+
+int first_index_reaching(std::uint64_t value) {
+  if (value == 0) {
+    return 0;
+  }
+  const SkyscraperSeries series;
+  for (int n = 1;; ++n) {
+    if (series.element(n) >= value) {
+      return n;
+    }
+  }
+}
+
+}  // namespace skyscraper
+}  // namespace vodbcast::series

@@ -1,0 +1,75 @@
+#include "series/groups.hpp"
+
+#include "util/contracts.hpp"
+
+namespace vodbcast::series {
+
+std::vector<TransmissionGroup> group_decomposition(
+    const std::vector<std::uint64_t>& sizes) {
+  VB_EXPECTS(!sizes.empty());
+  std::vector<TransmissionGroup> groups;
+  int start = 1;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    VB_EXPECTS_MSG(sizes[i] >= 1, "segment sizes must be positive");
+    const bool run_continues = i + 1 < sizes.size() && sizes[i + 1] == sizes[i];
+    if (!run_continues) {
+      const int end = static_cast<int>(i) + 1;  // inclusive, 1-based
+      groups.push_back(TransmissionGroup{
+          .first_segment = start,
+          .length = end - start + 1,
+          .size = sizes[i],
+          .parity = sizes[i] % 2 == 1 ? GroupParity::kOdd : GroupParity::kEven,
+      });
+      start = end + 1;
+    }
+  }
+  return groups;
+}
+
+bool parities_interleave(
+    const std::vector<TransmissionGroup>& groups) noexcept {
+  for (std::size_t i = 1; i < groups.size(); ++i) {
+    if (groups[i].parity == groups[i - 1].parity) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TransitionType classify_transition(const TransmissionGroup& from,
+                                   const TransmissionGroup& to) {
+  VB_EXPECTS(to.first_segment == from.first_segment + from.length);
+  if (from.size == 1 && to.size == 2) {
+    return TransitionType::kInitial;
+  }
+  if (to.size == 2 * from.size + 1 && from.size % 2 == 0) {
+    return TransitionType::kEvenToOdd;
+  }
+  if (to.size == 2 * from.size + 2 && from.size % 2 == 1) {
+    return TransitionType::kOddToEven;
+  }
+  // Anything else only arises when the width cap W truncated the natural
+  // growth (to.size == W < 2*from.size + 1) or within the capped tail.
+  VB_EXPECTS_MSG(to.size >= from.size, "series must be non-decreasing");
+  return TransitionType::kCapped;
+}
+
+std::uint64_t worst_case_buffer_units(const TransmissionGroup& from,
+                                      const TransmissionGroup& to) {
+  // Validate the pair, then apply the uniform bound. The incoming group's
+  // broadcasts repeat with period to.size and the just-in-time join lands
+  // within one period of each deadline, so at most to.size - 1 units of it
+  // are prefetched when its playback begins:
+  //   (1) -> (2,2)                 : 1 unit         (Figure 1)
+  //   (A,A) -> (2A+1,2A+1), A even : 2A units       (Figure 2)
+  //   (A,A) -> (2A+2,2A+2), A odd  : 2A+1 units     (Figures 3-4; the
+  //                                  even-playback-start phases of Figure 3
+  //                                  reach only 2A, the odd ones of
+  //                                  Figure 4 the full 2A+1)
+  //   (X,X) -> (W,...,W) capped    : W - 1 units    (Section 4's closing
+  //                                  storage claim, 60*b*D1*(W-1))
+  (void)classify_transition(from, to);
+  return to.size - 1;
+}
+
+}  // namespace vodbcast::series

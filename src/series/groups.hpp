@@ -1,0 +1,67 @@
+// Transmission groups (paper Section 3.3).
+//
+// A transmission group is a maximal run of consecutive segments with the same
+// size. In the skyscraper series the runs are [1], [2,2], [5,5], [12,12], ...
+// A group is *odd* when its common size is odd, *even* otherwise, and the
+// paper's client design assigns odd groups to the Odd Loader and even groups
+// to the Even Loader. Correctness rests on groups of the two parities
+// strictly interleaving, which group_decomposition() verifies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace vodbcast::series {
+
+/// Parity of a transmission group, keyed by its common segment size.
+enum class GroupParity { kOdd, kEven };
+
+/// One transmission group within a capped series.
+struct TransmissionGroup {
+  int first_segment = 0;   ///< 1-based index of the group's first segment
+  int length = 0;          ///< number of segments in the group
+  std::uint64_t size = 0;  ///< common relative segment size (units of D1)
+  GroupParity parity = GroupParity::kOdd;
+
+  /// Total units of video carried by the group.
+  [[nodiscard]] std::uint64_t total_units() const noexcept {
+    return size * static_cast<std::uint64_t>(length);
+  }
+};
+
+/// Splits capped segment sizes into transmission groups.
+/// Precondition: sizes non-empty, first element 1 is *not* required (callers
+/// may decompose an arbitrary suffix), all sizes >= 1.
+[[nodiscard]] std::vector<TransmissionGroup> group_decomposition(
+    const std::vector<std::uint64_t>& sizes);
+
+/// True when consecutive groups alternate parity (after the width cap starts
+/// binding, successive W-groups merge into a single run, so alternation is
+/// only required among distinct-size groups; the merged tail counts as one).
+[[nodiscard]] bool parities_interleave(
+    const std::vector<TransmissionGroup>& groups) noexcept;
+
+/// The paper's transition taxonomy (Section 4): each group-to-group handoff
+/// is one of three types with a proven worst-case buffer demand.
+enum class TransitionType {
+  kInitial,       ///< (1) -> (2,2)
+  kEvenToOdd,     ///< (A,A) -> (2A+1, 2A+1), A even
+  kOddToEven,     ///< (A,A) -> (2A+2, 2A+2), A odd
+  kCapped,        ///< transition into or within the width-capped tail
+};
+
+/// Classifies the transition from `from` into `to`.
+[[nodiscard]] TransitionType classify_transition(const TransmissionGroup& from,
+                                                 const TransmissionGroup& to);
+
+/// The worst-case client buffer demand of a transition, in units of D1
+/// (multiply by 60*b*D1 for Mbits). Uniformly `to.size - 1`: a just-in-time
+/// join prefetches at most one broadcast period minus one unit of the
+/// incoming group before its playback begins. Specializes to the paper's
+/// Figure 1 (1 unit), Figure 2 (2A for (A,A) -> (2A+1,2A+1)), Figures 3-4
+/// (2A / 2A+1 for (A,A) -> (2A+2,2A+2) at even/odd playback starts) and the
+/// Section 4 closing claim 60*b*D1*(W-1) for the capped tail.
+[[nodiscard]] std::uint64_t worst_case_buffer_units(
+    const TransmissionGroup& from, const TransmissionGroup& to);
+
+}  // namespace vodbcast::series

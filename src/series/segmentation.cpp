@@ -1,0 +1,47 @@
+#include "series/segmentation.hpp"
+
+#include <numeric>
+
+#include "util/contracts.hpp"
+#include "util/math.hpp"
+
+namespace vodbcast::series {
+
+SegmentLayout::SegmentLayout(const BroadcastSeries& series, int k,
+                             std::uint64_t width, core::VideoParams video)
+    : video_(video) {
+  VB_EXPECTS(k >= 1);
+  VB_EXPECTS(width >= 1);
+  VB_EXPECTS(video.duration.v > 0.0);
+  VB_EXPECTS(video.display_rate.v > 0.0);
+
+  units_ = series.prefix(k, width);
+  offsets_.resize(units_.size() + 1, 0);
+  for (std::size_t i = 0; i < units_.size(); ++i) {
+    offsets_[i + 1] = util::add_or_die(offsets_[i], units_[i]);
+  }
+  total_units_ = offsets_.back();
+  unit_duration_ =
+      core::Minutes{video.duration.v / static_cast<double>(total_units_)};
+  groups_ = group_decomposition(units_);
+}
+
+std::uint64_t SegmentLayout::units(int i) const {
+  VB_EXPECTS(i >= 1 && i <= segment_count());
+  return units_[static_cast<std::size_t>(i - 1)];
+}
+
+core::Minutes SegmentLayout::duration(int i) const {
+  return static_cast<double>(units(i)) * unit_duration_;
+}
+
+core::Mbits SegmentLayout::size(int i) const {
+  return video_.display_rate * duration(i);
+}
+
+std::uint64_t SegmentLayout::playback_offset_units(int i) const {
+  VB_EXPECTS(i >= 1 && i <= segment_count());
+  return offsets_[static_cast<std::size_t>(i - 1)];
+}
+
+}  // namespace vodbcast::series

@@ -1,0 +1,82 @@
+// Segment layout: a concrete fragmentation of one video.
+//
+// Binds a broadcast series (relative sizes) to a physical video (length D,
+// display rate b), yielding per-segment durations and byte sizes plus the
+// derived D1 = D / sum_i min(f(i), W) that every latency/storage formula in
+// the paper is expressed in.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/units.hpp"
+#include "core/video.hpp"
+#include "series/broadcast_series.hpp"
+#include "series/groups.hpp"
+
+namespace vodbcast::series {
+
+/// A video partitioned into K segments of integral relative sizes.
+class SegmentLayout {
+ public:
+  /// Fragments `video` into k segments of `series` law capped at `width`.
+  /// Preconditions: k >= 1; width >= 1 (kUncapped allowed).
+  SegmentLayout(const BroadcastSeries& series, int k, std::uint64_t width,
+                core::VideoParams video);
+
+  [[nodiscard]] int segment_count() const noexcept {
+    return static_cast<int>(units_.size());
+  }
+
+  /// Relative size (units of D1) of 1-based segment i.
+  [[nodiscard]] std::uint64_t units(int i) const;
+
+  /// All relative sizes in order.
+  [[nodiscard]] const std::vector<std::uint64_t>& all_units() const noexcept {
+    return units_;
+  }
+
+  /// Total video length in units of D1 (= D / D1).
+  [[nodiscard]] std::uint64_t total_units() const noexcept {
+    return total_units_;
+  }
+
+  /// Duration of the first segment; equals the scheme's worst access latency.
+  [[nodiscard]] core::Minutes unit_duration() const noexcept {
+    return unit_duration_;
+  }
+
+  /// Duration of 1-based segment i.
+  [[nodiscard]] core::Minutes duration(int i) const;
+
+  /// Data size of 1-based segment i.
+  [[nodiscard]] core::Mbits size(int i) const;
+
+  /// Playback start offset of 1-based segment i, in units of D1 from the
+  /// start of the video.
+  [[nodiscard]] std::uint64_t playback_offset_units(int i) const;
+
+  /// The transmission-group decomposition of this layout.
+  [[nodiscard]] const std::vector<TransmissionGroup>& groups() const noexcept {
+    return groups_;
+  }
+
+  /// Largest relative segment size (the effective skyscraper width).
+  [[nodiscard]] std::uint64_t effective_width() const noexcept {
+    return units_.empty() ? 0 : units_.back();
+  }
+
+  [[nodiscard]] const core::VideoParams& video() const noexcept {
+    return video_;
+  }
+
+ private:
+  std::vector<std::uint64_t> units_;
+  std::vector<std::uint64_t> offsets_;  ///< prefix sums; offsets_[i] for seg i+1
+  std::uint64_t total_units_ = 0;
+  core::Minutes unit_duration_{0.0};
+  core::VideoParams video_{};
+  std::vector<TransmissionGroup> groups_;
+};
+
+}  // namespace vodbcast::series

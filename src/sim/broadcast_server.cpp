@@ -1,0 +1,72 @@
+#include "sim/broadcast_server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace vodbcast::sim {
+
+BroadcastServer::BroadcastServer(channel::ChannelPlan plan)
+    : plan_(std::move(plan)) {}
+
+std::optional<core::Minutes> BroadcastServer::next_segment_start(
+    core::VideoId video, int segment, core::Minutes t) const {
+  std::optional<core::Minutes> best;
+  for (const auto& s : plan_.streams()) {
+    if (s.video != video || s.segment != segment) {
+      continue;
+    }
+    const core::Minutes start = s.next_start_at_or_after(t);
+    if (!best.has_value() || start.v < best->v) {
+      best = start;
+    }
+  }
+  return best;
+}
+
+std::optional<core::Minutes> BroadcastServer::worst_wait(core::VideoId video,
+                                                         int segment) const {
+  // Collect the replica streams; the steady-state start sequence is the
+  // union of arithmetic progressions phase_p + n*period (all replicas share
+  // one period by construction). The worst wait is the largest gap between
+  // consecutive starts within one period.
+  std::vector<const channel::PeriodicBroadcast*> replicas;
+  for (const auto& s : plan_.streams()) {
+    if (s.video == video && s.segment == segment) {
+      replicas.push_back(&s);
+    }
+  }
+  if (replicas.empty()) {
+    return std::nullopt;
+  }
+  const double period = replicas.front()->period.v;
+  for (const auto* r : replicas) {
+    VB_EXPECTS_MSG(std::abs(r->period.v - period) < 1e-9 * period,
+                   "replicas of one segment must share a period");
+  }
+  std::vector<double> phases;
+  phases.reserve(replicas.size());
+  for (const auto* r : replicas) {
+    phases.push_back(std::fmod(r->phase.v, period));
+  }
+  std::sort(phases.begin(), phases.end());
+  double worst = phases.front() + period - phases.back();
+  for (std::size_t i = 1; i < phases.size(); ++i) {
+    worst = std::max(worst, phases[i] - phases[i - 1]);
+  }
+  return core::Minutes{worst};
+}
+
+core::MbitPerSec BroadcastServer::aggregate_rate_at(core::Minutes t) const {
+  double total = 0.0;
+  for (const auto& s : plan_.streams()) {
+    if (s.transmitting_at(t)) {
+      total += s.rate.v;
+    }
+  }
+  return core::MbitPerSec{total};
+}
+
+}  // namespace vodbcast::sim

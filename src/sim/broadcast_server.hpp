@@ -1,0 +1,43 @@
+// Broadcast server: executes a ChannelPlan.
+//
+// The server side of periodic broadcast is stateless — every stream loops
+// forever — so the server's job in the simulator is to answer tune-in
+// queries ("when does the next broadcast of segment 1 of video v start after
+// time t?") and to account for aggregate bandwidth.
+#pragma once
+
+#include <optional>
+
+#include "channel/schedule.hpp"
+#include "core/units.hpp"
+#include "core/video.hpp"
+
+namespace vodbcast::sim {
+
+class BroadcastServer {
+ public:
+  explicit BroadcastServer(channel::ChannelPlan plan);
+
+  [[nodiscard]] const channel::ChannelPlan& plan() const noexcept {
+    return plan_;
+  }
+
+  /// Earliest start of any replica of (video, segment) at or after `t`.
+  /// Returns nullopt if the plan does not carry that segment.
+  [[nodiscard]] std::optional<core::Minutes> next_segment_start(
+      core::VideoId video, int segment, core::Minutes t) const;
+
+  /// Worst tune-in wait for (video, segment): the largest gap between
+  /// consecutive replica starts (the scheme's access latency when segment
+  /// is 1). Returns nullopt if the plan does not carry that segment.
+  [[nodiscard]] std::optional<core::Minutes> worst_wait(core::VideoId video,
+                                                        int segment) const;
+
+  /// Aggregate transmission rate at time t.
+  [[nodiscard]] core::MbitPerSec aggregate_rate_at(core::Minutes t) const;
+
+ private:
+  channel::ChannelPlan plan_;
+};
+
+}  // namespace vodbcast::sim

@@ -1,0 +1,36 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace vodbcast::sim {
+
+void EventQueue::schedule(SimTime at, Callback fn) {
+  VB_EXPECTS_MSG(at >= now_, "cannot schedule into the past");
+  VB_EXPECTS(fn != nullptr);
+  heap_.push(Entry{at, next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) {
+    return false;
+  }
+  // priority_queue::top is const; move via const_cast is UB-adjacent, so
+  // copy the callback out before popping.
+  Entry entry = heap_.top();
+  heap_.pop();
+  now_ = entry.at;
+  entry.fn();
+  return true;
+}
+
+void EventQueue::run_until(SimTime until) {
+  while (!heap_.empty() && heap_.top().at <= until) {
+    step();
+  }
+  now_ = std::max(now_, until);
+}
+
+}  // namespace vodbcast::sim

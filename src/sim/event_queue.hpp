@@ -1,0 +1,56 @@
+// Discrete-event core: a time-ordered queue of callbacks.
+//
+// Used by the scheduled-multicast (batching) server and the end-to-end
+// simulator. Events at equal times fire in insertion order, which keeps
+// runs deterministic for a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace vodbcast::sim {
+
+/// Simulation time in minutes (matching the paper's reporting unit).
+using SimTime = double;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` at absolute time `at`; `at` must not precede now().
+  void schedule(SimTime at, Callback fn);
+
+  /// Fires the earliest event; returns false when the queue is empty.
+  bool step();
+
+  /// Runs events until the queue is empty or the next event is after
+  /// `until`; time advances to min(until, last fired event).
+  void run_until(SimTime until);
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) {
+        return a.at > b.at;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace vodbcast::sim

@@ -1,0 +1,67 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "client/reception_plan.hpp"
+#include "schemes/skyscraper.hpp"
+#include "util/contracts.hpp"
+#include "workload/zipf.hpp"
+
+namespace vodbcast::sim {
+
+SimulationReport simulate(const schemes::BroadcastScheme& scheme,
+                          const schemes::DesignInput& input,
+                          const SimulationConfig& config) {
+  const auto design = scheme.design(input);
+  VB_EXPECTS_MSG(design.has_value(), "scheme infeasible at this bandwidth");
+
+  BroadcastServer server(scheme.plan(input, *design));
+
+  SimulationReport report;
+  report.scheme = scheme.name();
+  report.peak_server_rate = server.plan().peak_aggregate_rate();
+
+  // The simulated population requests only the M broadcast videos; within
+  // them the paper's Zipf skew still applies (rank 1 is hottest).
+  const auto popularity = workload::zipf_probabilities(
+      static_cast<std::size_t>(input.num_videos));
+  workload::RequestGenerator generator(popularity,
+                                       config.arrivals_per_minute,
+                                       util::Rng(config.seed));
+
+  // For SB clients we run the exact reception plan; resolve the layout once.
+  const auto* sb = dynamic_cast<const schemes::SkyscraperScheme*>(&scheme);
+  std::optional<series::SegmentLayout> layout;
+  if (sb != nullptr && config.plan_clients) {
+    layout.emplace(sb->layout(input, *design));
+  }
+
+  for (const auto& request : generator.generate_until(config.horizon)) {
+    const auto start =
+        server.next_segment_start(request.video, 1, request.arrival);
+    VB_ASSERT(start.has_value());
+    report.latency_minutes.add(start->v - request.arrival.v);
+    ++report.clients_served;
+
+    if (layout.has_value()) {
+      // Playback starts at the joined broadcast, i.e. slot
+      // round(start / D1); the quotient is integral up to rounding noise.
+      const double d1 = layout->unit_duration().v;
+      const auto t0 = static_cast<std::uint64_t>(
+          std::llround(start->v / d1));
+      const client::ReceptionPlan plan =
+          client::plan_reception(*layout, t0);
+      if (!plan.jitter_free) {
+        ++report.jitter_events;
+      }
+      report.max_concurrent_downloads =
+          std::max(report.max_concurrent_downloads,
+                   plan.max_concurrent_downloads);
+      report.buffer_peak_mbits.add(plan.max_buffer(*layout).v);
+    }
+  }
+  return report;
+}
+
+}  // namespace vodbcast::sim

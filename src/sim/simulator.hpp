@@ -1,0 +1,44 @@
+// End-to-end simulation of a metropolitan VoD service under a scheme.
+//
+// Clients arrive by a Poisson process, pick videos by popularity, tune to
+// the next Segment-1 broadcast and (for SB) run the exact reception plan.
+// The report carries the empirical latency distribution — which must match
+// the closed-form worst case — plus client buffer peaks and tuner counts.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "schemes/scheme.hpp"
+#include "sim/broadcast_server.hpp"
+#include "sim/stats.hpp"
+#include "util/rng.hpp"
+#include "workload/request.hpp"
+
+namespace vodbcast::sim {
+
+struct SimulationConfig {
+  core::Minutes horizon{600.0};       ///< observation window
+  double arrivals_per_minute = 10.0;  ///< aggregate Poisson rate
+  std::uint64_t seed = 42;
+  /// Run the exact SB reception plan per client (slower; SB schemes only).
+  bool plan_clients = false;
+};
+
+struct SimulationReport {
+  std::string scheme;
+  Distribution latency_minutes;       ///< empirical tune-in waits
+  Distribution buffer_peak_mbits;     ///< per-client buffer peaks (SB only)
+  int max_concurrent_downloads = 0;   ///< across all clients (SB only)
+  std::uint64_t clients_served = 0;
+  std::uint64_t jitter_events = 0;    ///< must stay 0 for a correct scheme
+  core::MbitPerSec peak_server_rate{0.0};
+};
+
+/// Simulates `scheme` on `input` under the given workload.
+/// Precondition: the scheme is feasible at input.server_bandwidth.
+[[nodiscard]] SimulationReport simulate(const schemes::BroadcastScheme& scheme,
+                                        const schemes::DesignInput& input,
+                                        const SimulationConfig& config);
+
+}  // namespace vodbcast::sim

@@ -1,0 +1,74 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/contracts.hpp"
+
+namespace vodbcast::sim {
+
+void Distribution::add(double sample) {
+  samples_.push_back(sample);
+  sum_ += sample;
+  sum_sq_ += sample * sample;
+  sorted_valid_ = false;
+}
+
+double Distribution::mean() const {
+  VB_EXPECTS(!samples_.empty());
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+void Distribution::ensure_sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double Distribution::min() const {
+  VB_EXPECTS(!samples_.empty());
+  ensure_sorted();
+  return sorted_.front();
+}
+
+double Distribution::max() const {
+  VB_EXPECTS(!samples_.empty());
+  ensure_sorted();
+  return sorted_.back();
+}
+
+double Distribution::quantile(double q) const {
+  VB_EXPECTS(!samples_.empty());
+  VB_EXPECTS(q >= 0.0 && q <= 1.0);
+  ensure_sorted();
+  const auto n = sorted_.size();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(n)));
+  const auto index = rank == 0 ? 0 : rank - 1;
+  return sorted_[std::min(index, n - 1)];
+}
+
+double Distribution::stddev() const {
+  VB_EXPECTS(!samples_.empty());
+  const double n = static_cast<double>(samples_.size());
+  const double m = sum_ / n;
+  const double var = std::max(0.0, sum_sq_ / n - m * m);
+  return std::sqrt(var);
+}
+
+std::string Distribution::summary() const {
+  if (samples_.empty()) {
+    return "n=0";
+  }
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "n=%zu mean=%.4g p50=%.4g p95=%.4g p99=%.4g max=%.4g",
+                samples_.size(), mean(), quantile(0.5), quantile(0.95),
+                quantile(0.99), max());
+  return buf;
+}
+
+}  // namespace vodbcast::sim

@@ -1,0 +1,38 @@
+// Sample statistics for simulation outputs (latency distributions, buffer
+// peaks, queue lengths).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vodbcast::sim {
+
+/// Accumulates scalar samples; quantiles are computed on demand.
+class Distribution {
+ public:
+  void add(double sample);
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// Nearest-rank quantile; q in [0, 1]. Precondition: non-empty.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double stddev() const;
+
+  /// "n=100 mean=1.23 p50=1.10 p99=4.56 max=5.00"
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+}  // namespace vodbcast::sim

@@ -1,0 +1,105 @@
+#include "util/args.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdlib>
+
+#include "util/contracts.hpp"
+
+namespace vodbcast::util {
+
+ArgParser::ArgParser(const std::vector<std::string>& args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& token = args[i];
+    if (token.rfind("--", 0) != 0) {
+      positionals_.push_back(token);
+      continue;
+    }
+    const std::string body = token.substr(2);
+    VB_EXPECTS_MSG(!body.empty(), "bare '--' is not a flag");
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
+      flags_[body] = args[i + 1];
+      ++i;
+    } else {
+      flags_[body] = "true";
+    }
+  }
+}
+
+ArgParser::ArgParser(int argc, const char* const* argv)
+    : ArgParser(std::vector<std::string>(argv + std::min(argc, 1),
+                                         argv + argc)) {
+}
+
+const std::string& ArgParser::positional(std::size_t i) const {
+  VB_EXPECTS(i < positionals_.size());
+  return positionals_[i];
+}
+
+bool ArgParser::has(const std::string& flag) const {
+  return flags_.count(flag) > 0;
+}
+
+std::optional<std::string> ArgParser::get(const std::string& flag) const {
+  const auto it = flags_.find(flag);
+  if (it == flags_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::string ArgParser::get_string(const std::string& flag,
+                                  const std::string& fallback) const {
+  return get(flag).value_or(fallback);
+}
+
+double ArgParser::get_double(const std::string& flag, double fallback) const {
+  const auto value = get(flag);
+  if (!value.has_value()) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const double parsed = std::strtod(value->c_str(), &end);
+  VB_EXPECTS_MSG(end != nullptr && *end == '\0' && end != value->c_str(),
+                 "--" + flag + " expects a number, got '" + *value + "'");
+  return parsed;
+}
+
+std::int64_t ArgParser::get_int(const std::string& flag,
+                                std::int64_t fallback) const {
+  const auto value = get(flag);
+  if (!value.has_value()) {
+    return fallback;
+  }
+  std::int64_t parsed = 0;
+  const auto [ptr, ec] = std::from_chars(
+      value->data(), value->data() + value->size(), parsed);
+  VB_EXPECTS_MSG(ec == std::errc() && ptr == value->data() + value->size(),
+                 "--" + flag + " expects an integer, got '" + *value + "'");
+  return parsed;
+}
+
+std::uint64_t ArgParser::get_uint(const std::string& flag,
+                                  std::uint64_t fallback) const {
+  const auto value = get(flag);
+  if (!value.has_value()) {
+    return fallback;
+  }
+  if (*value == "inf" || *value == "infinite") {
+    return static_cast<std::uint64_t>(-1);
+  }
+  std::uint64_t parsed = 0;
+  const auto [ptr, ec] = std::from_chars(
+      value->data(), value->data() + value->size(), parsed);
+  VB_EXPECTS_MSG(ec == std::errc() && ptr == value->data() + value->size(),
+                 "--" + flag + " expects an unsigned integer, got '" +
+                     *value + "'");
+  return parsed;
+}
+
+}  // namespace vodbcast::util

@@ -1,0 +1,54 @@
+// Minimal command-line parsing for the vodbcast tool: positional words plus
+// `--flag value` / `--flag=value` options, with typed accessors that
+// contract-check malformed numbers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vodbcast::util {
+
+class ArgParser {
+ public:
+  /// Parses argv-style input (excluding the program name). A token starting
+  /// with "--" introduces a flag; its value is the text after '=' or, when
+  /// absent, the following token ("true" if none follows or the next token
+  /// is itself a flag). All other tokens are positionals, in order.
+  explicit ArgParser(const std::vector<std::string>& args);
+  /// argv-style entry point: argv[0] (the program name) is skipped.
+  ArgParser(int argc, const char* const* argv);
+
+  [[nodiscard]] std::size_t positional_count() const noexcept {
+    return positionals_.size();
+  }
+  /// i-th positional; contract-checked.
+  [[nodiscard]] const std::string& positional(std::size_t i) const;
+
+  [[nodiscard]] bool has(const std::string& flag) const;
+  [[nodiscard]] std::optional<std::string> get(const std::string& flag) const;
+
+  /// Typed accessors with defaults; throw ContractViolation on junk.
+  [[nodiscard]] std::string get_string(const std::string& flag,
+                                       const std::string& fallback) const;
+  [[nodiscard]] double get_double(const std::string& flag,
+                                  double fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& flag,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] std::uint64_t get_uint(const std::string& flag,
+                                       std::uint64_t fallback) const;
+
+  /// Flags that were parsed; lets a command reject unknown options.
+  [[nodiscard]] const std::map<std::string, std::string>& flags()
+      const noexcept {
+    return flags_;
+  }
+
+ private:
+  std::vector<std::string> positionals_;
+  std::map<std::string, std::string> flags_;
+};
+
+}  // namespace vodbcast::util

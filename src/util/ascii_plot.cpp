@@ -1,0 +1,146 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace vodbcast::util {
+
+namespace {
+
+constexpr const char* kGlyphs = "abcdefghijklmnopqrstuvwxyz";
+
+struct Range {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+
+  void include(double v) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  [[nodiscard]] bool valid() const { return lo <= hi; }
+};
+
+double transform_y(double y, bool log_y) {
+  return log_y ? std::log10(y) : y;
+}
+
+bool usable(double x, double y, bool log_y) {
+  if (!std::isfinite(x) || !std::isfinite(y)) {
+    return false;
+  }
+  return !log_y || y > 0.0;
+}
+
+std::string format_tick(double v) {
+  char buf[32];
+  if (v != 0.0 && (std::fabs(v) >= 1e5 || std::fabs(v) < 1e-3)) {
+    std::snprintf(buf, sizeof buf, "%9.2e", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%9.3f", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string render_plot(const std::vector<Series>& series,
+                        const PlotOptions& options) {
+  VB_EXPECTS(options.width >= 16 && options.height >= 4);
+  VB_EXPECTS(series.size() <= 26);
+
+  Range xr;
+  Range yr;
+  for (const auto& s : series) {
+    VB_EXPECTS_MSG(s.x.size() == s.y.size(), "series arity mismatch");
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      if (usable(s.x[i], s.y[i], options.log_y)) {
+        xr.include(s.x[i]);
+        yr.include(transform_y(s.y[i], options.log_y));
+      }
+    }
+  }
+  if (options.y_min) {
+    yr.include(transform_y(*options.y_min, options.log_y));
+  }
+  if (options.y_max) {
+    yr.include(transform_y(*options.y_max, options.log_y));
+  }
+
+  std::ostringstream out;
+  if (!options.title.empty()) {
+    out << options.title << '\n';
+  }
+  if (!xr.valid() || !yr.valid()) {
+    out << "(no plottable data)\n";
+    return out.str();
+  }
+  if (xr.hi == xr.lo) {
+    xr.hi = xr.lo + 1.0;
+  }
+  if (yr.hi == yr.lo) {
+    yr.hi = yr.lo + 1.0;
+  }
+
+  const int w = options.width;
+  const int h = options.height;
+  std::vector<std::string> grid(static_cast<std::size_t>(h),
+                                std::string(static_cast<std::size_t>(w), ' '));
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si];
+    const auto& s = series[si];
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      if (!usable(s.x[i], s.y[i], options.log_y)) {
+        continue;
+      }
+      const double ty = transform_y(s.y[i], options.log_y);
+      const double fx = (s.x[i] - xr.lo) / (xr.hi - xr.lo);
+      const double fy = (ty - yr.lo) / (yr.hi - yr.lo);
+      const int col = std::clamp(static_cast<int>(std::lround(fx * (w - 1))),
+                                 0, w - 1);
+      const int row = std::clamp(
+          h - 1 - static_cast<int>(std::lround(fy * (h - 1))), 0, h - 1);
+      grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] =
+          glyph;
+    }
+  }
+
+  // y-axis labels on the left; ticks at top, middle, bottom.
+  for (int row = 0; row < h; ++row) {
+    std::string label(10, ' ');
+    if (row == 0 || row == h - 1 || row == h / 2) {
+      const double fy = static_cast<double>(h - 1 - row) / (h - 1);
+      double v = yr.lo + fy * (yr.hi - yr.lo);
+      if (options.log_y) {
+        v = std::pow(10.0, v);
+      }
+      label = format_tick(v) + " ";
+    }
+    out << label << '|' << grid[static_cast<std::size_t>(row)] << '\n';
+  }
+  out << std::string(10, ' ') << '+' << std::string(static_cast<std::size_t>(w), '-')
+      << '\n';
+  out << std::string(11, ' ') << format_tick(xr.lo)
+      << std::string(static_cast<std::size_t>(std::max(1, w - 24)), ' ')
+      << format_tick(xr.hi) << '\n';
+  if (!options.x_label.empty() || !options.y_label.empty()) {
+    out << "  x: " << options.x_label;
+    if (options.log_y) {
+      out << "   y (log10): " << options.y_label;
+    } else {
+      out << "   y: " << options.y_label;
+    }
+    out << '\n';
+  }
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    out << "  " << kGlyphs[si] << " = " << series[si].label << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace vodbcast::util

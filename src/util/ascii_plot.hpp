@@ -1,0 +1,40 @@
+// Terminal line charts for the benchmark harness.
+//
+// The paper's Figures 5-8 are multi-series line plots over a bandwidth sweep;
+// the bench binaries render the same series as ASCII so the shape comparison
+// (who wins, where crossovers fall) can be eyeballed straight from stdout.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vodbcast::util {
+
+/// One plotted curve: (x, y) points plus a legend label.
+struct Series {
+  std::string label;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Plot configuration.
+struct PlotOptions {
+  int width = 72;             ///< interior columns
+  int height = 20;            ///< interior rows
+  bool log_y = false;         ///< log10 y-axis (Figures 6-8 span decades)
+  std::string x_label;
+  std::string y_label;
+  std::string title;
+  /// Fixed y-range; when unset the range is fitted to the data.
+  std::optional<double> y_min;
+  std::optional<double> y_max;
+};
+
+/// Renders the series into a multi-line string. Each series is drawn with its
+/// own glyph (a, b, c, ...); overlapping points show the later series.
+/// Non-finite points and, in log mode, non-positive points are skipped.
+[[nodiscard]] std::string render_plot(const std::vector<Series>& series,
+                                      const PlotOptions& options);
+
+}  // namespace vodbcast::util

@@ -1,0 +1,37 @@
+#include "util/contracts.hpp"
+
+#include <sstream>
+
+namespace vodbcast::util {
+
+namespace {
+std::string format_message(const char* kind, const char* expr,
+                           const char* file, int line,
+                           const std::string& message) {
+  std::ostringstream os;
+  os << file << ':' << line << ": " << kind << " failed: " << expr;
+  if (!message.empty()) {
+    os << " (" << message << ')';
+  }
+  return os.str();
+}
+}  // namespace
+
+ContractViolation::ContractViolation(const char* kind, const char* expr,
+                                     const char* file, int line,
+                                     const std::string& message)
+    : std::logic_error(format_message(kind, expr, file, line, message)),
+      kind_(kind),
+      expr_(expr),
+      file_(file),
+      line_(line) {}
+
+namespace detail {
+
+void contract_failed(const char* kind, const char* expr, const char* file,
+                     int line, const std::string& message) {
+  throw ContractViolation(kind, expr, file, line, message);
+}
+
+}  // namespace detail
+}  // namespace vodbcast::util

@@ -1,0 +1,74 @@
+// Contract checking for vodbcast.
+//
+// Per C++ Core Guidelines I.6/I.8 we state preconditions and postconditions
+// explicitly. Violations indicate a programming error, not a runtime
+// condition a caller could meaningfully handle, so they throw
+// ContractViolation (which tests catch) carrying the failed expression and
+// source location.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace vodbcast::util {
+
+/// Thrown when a VB_EXPECTS / VB_ENSURES / VB_ASSERT check fails.
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(const char* kind, const char* expr, const char* file,
+                    int line, const std::string& message);
+
+  [[nodiscard]] const char* kind() const noexcept { return kind_; }
+  [[nodiscard]] const char* expression() const noexcept { return expr_; }
+  [[nodiscard]] const char* file() const noexcept { return file_; }
+  [[nodiscard]] int line() const noexcept { return line_; }
+
+ private:
+  const char* kind_;
+  const char* expr_;
+  const char* file_;
+  int line_;
+};
+
+namespace detail {
+[[noreturn]] void contract_failed(const char* kind, const char* expr,
+                                  const char* file, int line,
+                                  const std::string& message);
+}  // namespace detail
+
+}  // namespace vodbcast::util
+
+/// Precondition check. `msg` may be any expression convertible to string.
+#define VB_EXPECTS(cond)                                                    \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::vodbcast::util::detail::contract_failed("precondition", #cond,     \
+                                                __FILE__, __LINE__, "");   \
+    }                                                                       \
+  } while (false)
+
+#define VB_EXPECTS_MSG(cond, msg)                                           \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::vodbcast::util::detail::contract_failed("precondition", #cond,     \
+                                                __FILE__, __LINE__, (msg)); \
+    }                                                                       \
+  } while (false)
+
+/// Postcondition check.
+#define VB_ENSURES(cond)                                                    \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::vodbcast::util::detail::contract_failed("postcondition", #cond,    \
+                                                __FILE__, __LINE__, "");   \
+    }                                                                       \
+  } while (false)
+
+/// Internal invariant check.
+#define VB_ASSERT(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::vodbcast::util::detail::contract_failed("invariant", #cond,        \
+                                                __FILE__, __LINE__, "");   \
+    }                                                                       \
+  } while (false)

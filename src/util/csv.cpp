@@ -1,0 +1,63 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+#include "util/contracts.hpp"
+
+namespace vodbcast::util {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) {
+    return field;
+  }
+  std::string quoted;
+  quoted.reserve(field.size() + 2);
+  quoted.push_back('"');
+  for (const char c : field) {
+    if (c == '"') {
+      quoted.push_back('"');
+    }
+    quoted.push_back(c);
+  }
+  quoted.push_back('"');
+  return quoted;
+}
+
+CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> header)
+    : out_(out), columns_(header.size()) {
+  VB_EXPECTS(!header.empty());
+  emit(header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  VB_EXPECTS_MSG(cells.size() == columns_, "CSV row arity mismatch");
+  emit(cells);
+  ++rows_;
+}
+
+void CsvWriter::emit(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) {
+      out_ << ',';
+    }
+    out_ << csv_escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::cell(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", value);
+  return buf;
+}
+
+std::string CsvWriter::cell(long long value) { return std::to_string(value); }
+
+std::string CsvWriter::cell(unsigned long long value) {
+  return std::to_string(value);
+}
+
+}  // namespace vodbcast::util

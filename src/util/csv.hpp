@@ -1,0 +1,41 @@
+// Minimal CSV emission used by the benchmark harness to dump figure data in
+// a form that external plotting tools can consume directly.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vodbcast::util {
+
+/// Streams rows of a CSV table with RFC-4180 quoting.
+///
+/// Usage:
+///   CsvWriter csv(out, {"bandwidth_mbps", "latency_min"});
+///   csv.row({"100", "1.85"});
+class CsvWriter {
+ public:
+  CsvWriter(std::ostream& out, std::vector<std::string> header);
+
+  /// Emits one data row; must have exactly as many cells as the header.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: format a double with enough digits to round-trip.
+  [[nodiscard]] static std::string cell(double value);
+  [[nodiscard]] static std::string cell(long long value);
+  [[nodiscard]] static std::string cell(unsigned long long value);
+
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  void emit(const std::vector<std::string>& cells);
+
+  std::ostream& out_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+/// Quotes a single CSV field if it contains separators, quotes or newlines.
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+}  // namespace vodbcast::util

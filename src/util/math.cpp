@@ -1,0 +1,95 @@
+#include "util/math.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/contracts.hpp"
+
+namespace vodbcast::util {
+
+std::uint64_t gcd_u64(std::uint64_t a, std::uint64_t b) noexcept {
+  while (b != 0) {
+    const std::uint64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+std::uint64_t lcm_u64(std::uint64_t a, std::uint64_t b) {
+  VB_EXPECTS(a > 0 && b > 0);
+  return mul_or_die(a / gcd_u64(a, b), b);
+}
+
+std::optional<std::uint64_t> checked_mul(std::uint64_t a,
+                                         std::uint64_t b) noexcept {
+  std::uint64_t result = 0;
+  if (__builtin_mul_overflow(a, b, &result)) {
+    return std::nullopt;
+  }
+  return result;
+}
+
+std::optional<std::uint64_t> checked_add(std::uint64_t a,
+                                         std::uint64_t b) noexcept {
+  std::uint64_t result = 0;
+  if (__builtin_add_overflow(a, b, &result)) {
+    return std::nullopt;
+  }
+  return result;
+}
+
+std::uint64_t mul_or_die(std::uint64_t a, std::uint64_t b) {
+  const auto r = checked_mul(a, b);
+  VB_EXPECTS_MSG(r.has_value(), "64-bit multiply overflow");
+  return *r;
+}
+
+std::uint64_t add_or_die(std::uint64_t a, std::uint64_t b) {
+  const auto r = checked_add(a, b);
+  VB_EXPECTS_MSG(r.has_value(), "64-bit add overflow");
+  return *r;
+}
+
+std::uint64_t ipow(std::uint64_t base, unsigned exp) {
+  std::uint64_t result = 1;
+  while (exp > 0) {
+    if (exp & 1U) {
+      result = mul_or_die(result, base);
+    }
+    exp >>= 1U;
+    if (exp > 0) {
+      base = mul_or_die(base, base);
+    }
+  }
+  return result;
+}
+
+bool almost_equal(double a, double b, double rel_tol, double abs_tol) noexcept {
+  const double diff = std::fabs(a - b);
+  const double scale = std::fmax(std::fabs(a), std::fabs(b));
+  return diff <= abs_tol + rel_tol * scale;
+}
+
+double geometric_sum(double r, int n) {
+  VB_EXPECTS(n >= 0);
+  VB_EXPECTS(r > 0.0);
+  if (n == 0) {
+    return 0.0;
+  }
+  if (almost_equal(r, 1.0, 1e-12)) {
+    return static_cast<double>(n);
+  }
+  return (std::pow(r, n) - 1.0) / (r - 1.0);
+}
+
+std::int64_t robust_floor(double x, double eps) {
+  VB_EXPECTS(std::isfinite(x));
+  const double up = std::ceil(x);
+  if (up - x <= eps) {
+    return static_cast<std::int64_t>(up);
+  }
+  return static_cast<std::int64_t>(std::floor(x));
+}
+
+}  // namespace vodbcast::util

@@ -1,0 +1,71 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace vodbcast::util {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) {
+    word = splitmix64(sm);
+  }
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::next_double() noexcept {
+  // 53 random bits scaled into [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
+  // Unbiased rejection sampling: discard the low 2^64 mod bound words.
+  if (bound == 0) {
+    return 0;  // degenerate; callers contract-check upstream
+  }
+  const std::uint64_t threshold = (0ULL - bound) % bound;
+  while (true) {
+    const std::uint64_t x = next_u64();
+    if (x >= threshold) {
+      return x % bound;
+    }
+  }
+}
+
+double Rng::next_exponential(double rate) noexcept {
+  double u = next_double();
+  if (u <= 0.0) {
+    u = 0x1.0p-53;  // avoid log(0)
+  }
+  return -std::log(1.0 - u) / rate;
+}
+
+Rng Rng::fork() noexcept { return Rng(next_u64()); }
+
+}  // namespace vodbcast::util

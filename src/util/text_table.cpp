@@ -1,0 +1,74 @@
+#include "util/text_table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace vodbcast::util {
+
+TextTable::TextTable(std::vector<std::string> header, std::vector<Align> align)
+    : header_(std::move(header)), align_(std::move(align)) {
+  VB_EXPECTS(!header_.empty());
+  if (align_.empty()) {
+    align_.assign(header_.size(), Align::kRight);
+    align_.front() = Align::kLeft;
+  }
+  VB_EXPECTS(align_.size() == header_.size());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  VB_EXPECTS_MSG(cells.size() == header_.size(), "table row arity mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string TextTable::num(long long value) { return std::to_string(value); }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  const auto emit_row = [&](std::ostringstream& out,
+                            const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) {
+        out << "  ";
+      }
+      const auto pad = width[c] - row[c].size();
+      if (align_[c] == Align::kRight) {
+        out << std::string(pad, ' ') << row[c];
+      } else {
+        out << row[c] << std::string(pad, ' ');
+      }
+    }
+    out << '\n';
+  };
+
+  std::ostringstream out;
+  emit_row(out, header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c > 0 ? 2 : 0);
+  }
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    emit_row(out, row);
+  }
+  return out.str();
+}
+
+}  // namespace vodbcast::util

@@ -1,0 +1,36 @@
+// Aligned plain-text tables; used by the bench harness to print the paper's
+// Tables 1-2 and the per-figure numeric rows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vodbcast::util {
+
+/// Column alignment within a TextTable.
+enum class Align { kLeft, kRight };
+
+/// Accumulates rows and renders them with per-column width fitting.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header,
+                     std::vector<Align> align = {});
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience cell formatters.
+  [[nodiscard]] static std::string num(double value, int precision = 3);
+  [[nodiscard]] static std::string num(long long value);
+
+  /// Renders with a header underline and two-space column gutters.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<Align> align_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vodbcast::util

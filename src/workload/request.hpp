@@ -1,0 +1,39 @@
+// Subscriber request stream: Poisson arrivals + popularity-weighted video
+// selection.
+#pragma once
+
+#include <vector>
+
+#include "core/units.hpp"
+#include "core/video.hpp"
+#include "util/rng.hpp"
+#include "workload/arrivals.hpp"
+
+namespace vodbcast::workload {
+
+/// One subscriber pressing "play".
+struct Request {
+  core::Minutes arrival{0.0};
+  core::VideoId video = 0;
+};
+
+/// Generates the request stream for a catalog.
+class RequestGenerator {
+ public:
+  /// `popularity` must be normalized probabilities per catalog rank.
+  RequestGenerator(std::vector<double> popularity, double arrivals_per_minute,
+                   util::Rng rng);
+
+  /// The next request in arrival order.
+  Request next();
+
+  /// All requests within [0, horizon).
+  [[nodiscard]] std::vector<Request> generate_until(core::Minutes horizon);
+
+ private:
+  std::vector<double> cdf_;
+  PoissonProcess arrivals_;
+  util::Rng rng_;
+};
+
+}  // namespace vodbcast::workload

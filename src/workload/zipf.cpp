@@ -1,0 +1,37 @@
+#include "workload/zipf.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace vodbcast::workload {
+
+std::vector<double> zipf_probabilities(std::size_t n, double theta) {
+  VB_EXPECTS(n >= 1);
+  VB_EXPECTS(theta >= 0.0 && theta <= 1.0);
+  std::vector<double> probs(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    probs[i] = 1.0 / std::pow(static_cast<double>(i + 1), 1.0 + theta);
+    total += probs[i];
+  }
+  for (auto& p : probs) {
+    p /= total;
+  }
+  return probs;
+}
+
+std::size_t titles_for_mass(const std::vector<double>& probs, double mass) {
+  VB_EXPECTS(!probs.empty());
+  VB_EXPECTS(mass >= 0.0 && mass <= 1.0);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    cumulative += probs[i];
+    if (cumulative >= mass) {
+      return i + 1;
+    }
+  }
+  return probs.size();
+}
+
+}  // namespace vodbcast::workload

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "analysis/experiments.hpp"
+#include "analysis/report.hpp"
+#include "analysis/sweep.hpp"
+#include "schemes/registry.hpp"
+#include "schemes/skyscraper.hpp"
+#include "util/contracts.hpp"
+
+namespace vodbcast::analysis {
+namespace {
+
+TEST(SweepTest, BandwidthRange) {
+  const auto axis = bandwidth_range(100.0, 600.0, 100.0);
+  ASSERT_EQ(axis.size(), 6U);
+  EXPECT_DOUBLE_EQ(axis.front(), 100.0);
+  EXPECT_DOUBLE_EQ(axis.back(), 600.0);
+  EXPECT_THROW((void)bandwidth_range(0.0, 10.0, 1.0),
+               util::ContractViolation);
+}
+
+TEST(SweepTest, SweepsEverySchemeAtEveryPoint) {
+  const auto set = schemes::paper_figure_set();
+  const auto sweeps = sweep_bandwidth(set, paper_design_input(),
+                                      bandwidth_range(100.0, 600.0, 250.0));
+  ASSERT_EQ(sweeps.size(), set.size());
+  for (const auto& s : sweeps) {
+    EXPECT_EQ(s.points.size(), 3U);
+  }
+}
+
+TEST(SweepTest, MetricProjections) {
+  const schemes::SkyscraperScheme sb(52);
+  const auto eval = sb.evaluate(paper_design_input(600.0));
+  ASSERT_TRUE(eval.has_value());
+  EXPECT_DOUBLE_EQ(disk_bandwidth_mbyte_per_sec()(*eval), 4.5 / 8.0);
+  EXPECT_GT(access_latency_minutes()(*eval), 0.0);
+  EXPECT_NEAR(storage_mbytes()(*eval), 40.5, 0.5);
+}
+
+TEST(ExperimentsTest, PaperDesignInput) {
+  const auto input = paper_design_input(320.0);
+  EXPECT_DOUBLE_EQ(input.server_bandwidth.v, 320.0);
+  EXPECT_EQ(input.num_videos, 10);
+  EXPECT_DOUBLE_EQ(input.video.duration.v, 120.0);
+  EXPECT_DOUBLE_EQ(input.video.display_rate.v, 1.5);
+}
+
+TEST(ExperimentsTest, Table1MentionsEveryScheme) {
+  const auto table = table1_performance(600.0);
+  for (const char* name : {"PB:a", "PB:b", "PPB:a", "PPB:b", "SB:W=2",
+                           "SB:W=52", "SB:W=1705", "SB:W=54612",
+                           "SB:W=inf"}) {
+    EXPECT_NE(table.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(ExperimentsTest, Table2ShowsParameters) {
+  const auto table = table2_parameters(600.0);
+  EXPECT_NE(table.find("alpha"), std::string::npos);
+  EXPECT_NE(table.find("inf"), std::string::npos);
+}
+
+TEST(ExperimentsTest, FiguresRenderNonEmpty) {
+  for (const auto& figure :
+       {figure5_parameters(), figure6_disk_bandwidth(),
+        figure7_access_latency(), figure8_storage()}) {
+    EXPECT_FALSE(figure.plot.empty());
+    EXPECT_FALSE(figure.table.empty());
+    EXPECT_NE(figure.csv.find("bandwidth_mbps"), std::string::npos);
+    EXPECT_GT(figure.csv.size(), 200U);
+  }
+}
+
+TEST(ExperimentsTest, TransitionExperimentMatchesPaperBound) {
+  // K = 5 ends at the (2,2) -> (5,5) transition: bound 2A = 4 units, and the
+  // exhaustive phase sweep attains it exactly.
+  const auto exp = transition_experiment(5);
+  EXPECT_EQ(exp.paper_bound_units, 4U);
+  EXPECT_EQ(exp.worst.max_buffer_units, 4);
+  EXPECT_TRUE(exp.worst.always_jitter_free);
+}
+
+TEST(ExperimentsTest, TransitionBoundIsMonotoneInPrefix) {
+  std::uint64_t previous = 0;
+  for (int k = 3; k <= 13; k += 2) {
+    const auto exp = transition_experiment(k);
+    EXPECT_GE(exp.paper_bound_units, previous) << "k = " << k;
+    previous = exp.paper_bound_units;
+  }
+}
+
+TEST(ExperimentsTest, DescribePlanListsDownloads) {
+  const auto exp = transition_experiment(5);
+  const auto text = describe_plan(exp.layout, exp.worst_plan);
+  EXPECT_NE(text.find("segment"), std::string::npos);
+  EXPECT_NE(text.find("jitter-free: yes"), std::string::npos);
+  EXPECT_NE(text.find("peak buffer"), std::string::npos);
+}
+
+TEST(ReportTest, MetricFigureContainsSchemeLabels) {
+  const auto sweeps =
+      sweep_bandwidth(schemes::paper_figure_set(), paper_design_input(),
+                      bandwidth_range(100.0, 600.0, 100.0));
+  const auto figure = render_metric_figure(
+      sweeps, access_latency_minutes(), "latency", "minutes", true);
+  EXPECT_NE(figure.plot.find("PB:a"), std::string::npos);
+  EXPECT_NE(figure.table.find("SB:W=52"), std::string::npos);
+}
+
+TEST(ReportTest, InfeasiblePointsRenderAsDash) {
+  // Below 90 Mb/s the pyramid family is infeasible; the table shows "-".
+  const auto sweeps =
+      sweep_bandwidth(schemes::paper_figure_set(), paper_design_input(),
+                      {50.0});
+  const auto figure = render_metric_figure(
+      sweeps, access_latency_minutes(), "latency", "minutes", false);
+  EXPECT_NE(figure.table.find('-'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vodbcast::analysis

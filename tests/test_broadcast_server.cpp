@@ -1,0 +1,77 @@
+#include "sim/broadcast_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "schemes/permutation_pyramid.hpp"
+#include "schemes/skyscraper.hpp"
+
+namespace vodbcast::sim {
+namespace {
+
+schemes::DesignInput paper_input(double bandwidth) {
+  return schemes::DesignInput{
+      .server_bandwidth = core::MbitPerSec{bandwidth},
+      .num_videos = 10,
+      .video = core::VideoParams{core::Minutes{120.0}, core::MbitPerSec{1.5}},
+  };
+}
+
+TEST(BroadcastServerTest, NextSegmentStartForSkyscraper) {
+  const schemes::SkyscraperScheme sb(series::kUncapped);
+  const auto input = paper_input(75.0);  // K = 5, D1 = 8 min
+  const auto design = sb.design(input);
+  const BroadcastServer server(sb.plan(input, *design));
+
+  const auto start = server.next_segment_start(0, 1, core::Minutes{3.0});
+  ASSERT_TRUE(start.has_value());
+  EXPECT_DOUBLE_EQ(start->v, 8.0);
+  // A request exactly at a broadcast start waits zero.
+  EXPECT_DOUBLE_EQ(server.next_segment_start(0, 1, core::Minutes{16.0})->v,
+                   16.0);
+}
+
+TEST(BroadcastServerTest, MissingSegmentReturnsNullopt) {
+  const schemes::SkyscraperScheme sb(series::kUncapped);
+  const auto input = paper_input(75.0);
+  const auto design = sb.design(input);
+  const BroadcastServer server(sb.plan(input, *design));
+  EXPECT_FALSE(server.next_segment_start(0, 99, core::Minutes{0.0})
+                   .has_value());
+  EXPECT_FALSE(server.worst_wait(42, 1).has_value());
+}
+
+TEST(BroadcastServerTest, WorstWaitEqualsSegmentOnePeriodForSB) {
+  const schemes::SkyscraperScheme sb(series::kUncapped);
+  const auto input = paper_input(75.0);
+  const auto design = sb.design(input);
+  const BroadcastServer server(sb.plan(input, *design));
+  const auto wait = server.worst_wait(0, 1);
+  ASSERT_TRUE(wait.has_value());
+  EXPECT_DOUBLE_EQ(wait->v, 8.0);  // D1
+}
+
+TEST(BroadcastServerTest, WorstWaitShrinksWithPpbReplicas) {
+  const schemes::PermutationPyramidScheme ppb(schemes::Variant::kB);
+  const auto input = paper_input(320.0);
+  const auto design = ppb.design(input);
+  ASSERT_TRUE(design.has_value());
+  const BroadcastServer server(ppb.plan(input, *design));
+  const auto wait = server.worst_wait(0, 1);
+  ASSERT_TRUE(wait.has_value());
+  // The closed form: latency = worst replica gap = period / P.
+  const auto metrics = ppb.metrics(input, *design);
+  EXPECT_NEAR(wait->v, metrics.access_latency.v, 1e-9);
+}
+
+TEST(BroadcastServerTest, AggregateRateMatchesPlanBudget) {
+  const schemes::SkyscraperScheme sb(52);
+  const auto input = paper_input(150.0);
+  const auto design = sb.design(input);
+  const BroadcastServer server(sb.plan(input, *design));
+  // SB channels loop continuously: aggregate equals K*M*b at all times.
+  EXPECT_NEAR(server.aggregate_rate_at(core::Minutes{0.5}).v, 150.0, 1e-9);
+  EXPECT_NEAR(server.aggregate_rate_at(core::Minutes{77.3}).v, 150.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace vodbcast::sim

@@ -1,0 +1,154 @@
+#include "client/buffer_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "client/loader.hpp"
+#include "client/player.hpp"
+#include "util/contracts.hpp"
+
+namespace vodbcast::client {
+namespace {
+
+TEST(BufferTraceTest, MaxLevel) {
+  const BufferTrace trace({{0, 0}, {2, 3}, {5, 1}, {7, 0}});
+  EXPECT_EQ(trace.max_level(), 3);
+  EXPECT_EQ(BufferTrace().max_level(), 0);
+}
+
+TEST(BufferTraceTest, LinearInterpolation) {
+  const BufferTrace trace({{0, 0}, {4, 8}});
+  EXPECT_DOUBLE_EQ(trace.level_at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(trace.level_at(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(trace.level_at(3.5), 7.0);
+  EXPECT_DOUBLE_EQ(trace.level_at(4.0), 8.0);
+}
+
+TEST(BufferTraceTest, ClampsOutsideRange) {
+  const BufferTrace trace({{2, 5}, {4, 1}});
+  EXPECT_DOUBLE_EQ(trace.level_at(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(trace.level_at(9.0), 1.0);
+}
+
+TEST(BufferTraceTest, RejectsNonMonotonicTimes) {
+  EXPECT_THROW(BufferTrace({{3, 0}, {3, 1}}), util::ContractViolation);
+  EXPECT_THROW(BufferTrace({{5, 0}, {2, 1}}), util::ContractViolation);
+}
+
+TEST(BufferTraceTest, RenderProducesChart) {
+  const BufferTrace trace({{0, 0}, {4, 4}, {8, 0}});
+  const auto chart = trace.render();
+  EXPECT_NE(chart.find("buffer"), std::string::npos);
+  EXPECT_EQ(BufferTrace().render(), "(empty trace)\n");
+}
+
+TEST(LoaderTest, JoinsOnlyAlignedStarts) {
+  Loader loader({{.segment = 2, .size = 4, .deadline = 5}}, 0);
+  EXPECT_FALSE(loader.step(1).has_value());  // 1 is not a multiple of 4
+  EXPECT_FALSE(loader.step(2).has_value());
+  EXPECT_FALSE(loader.step(3).has_value());
+  EXPECT_EQ(loader.step(4), 2);  // joins at the broadcast start
+  EXPECT_EQ(loader.download_start(0), 4U);
+}
+
+TEST(LoaderTest, SkipsEarlyStartsUntilJustInTime) {
+  // Deadline 11, size 4: starts at 0, 4, 8; only the one whose broadcast
+  // extends past the deadline (8) is joined.
+  Loader loader({{.segment = 3, .size = 4, .deadline = 11}}, 0);
+  EXPECT_FALSE(loader.step(0).has_value());
+  EXPECT_FALSE(loader.step(4).has_value());
+  EXPECT_EQ(loader.step(8), 3);
+  EXPECT_EQ(loader.download_start(0), 8U);
+}
+
+TEST(LoaderTest, RespectsEarliestTune) {
+  Loader loader({{.segment = 1, .size = 2, .deadline = 4}}, 3);
+  EXPECT_FALSE(loader.step(0).has_value());
+  EXPECT_FALSE(loader.step(2).has_value());  // aligned but before tune time
+  EXPECT_FALSE(loader.step(3).has_value());  // past tune but not aligned
+  EXPECT_EQ(loader.step(4), 1);
+}
+
+TEST(LoaderTest, LateJoinWhenDeadlineUnreachable) {
+  // If the loader frees past the JIT start, it takes the next aligned start
+  // even though that misses the deadline (the stall shows up in the player).
+  Loader loader({{.segment = 1, .size = 4, .deadline = 3}}, 5);
+  EXPECT_FALSE(loader.step(4).has_value());  // aligned but before free
+  EXPECT_FALSE(loader.step(6).has_value());  // free but not aligned
+  EXPECT_EQ(loader.step(8), 1);
+}
+
+TEST(LoaderTest, DownloadsTasksBackToBack) {
+  Loader loader({{.segment = 4, .size = 2, .deadline = 0},
+                 {.segment = 5, .size = 2, .deadline = 2}},
+                0);
+  EXPECT_EQ(loader.step(0), 4);
+  EXPECT_EQ(loader.step(1), 4);
+  EXPECT_EQ(loader.step(2), 5);  // next broadcast starts right away
+  EXPECT_EQ(loader.step(3), 5);
+  EXPECT_TRUE(loader.done());
+  EXPECT_FALSE(loader.step(4).has_value());
+}
+
+TEST(LoaderTest, BusyWhileMidDownload) {
+  Loader loader({{.segment = 1, .size = 3, .deadline = 0}}, 0);
+  EXPECT_FALSE(loader.busy());
+  (void)loader.step(0);
+  EXPECT_TRUE(loader.busy());
+  (void)loader.step(1);
+  (void)loader.step(2);
+  EXPECT_FALSE(loader.busy());
+  EXPECT_TRUE(loader.done());
+}
+
+TEST(LoaderTest, DownloadStartBoundsChecked) {
+  Loader loader({{.segment = 1, .size = 1, .deadline = 0}}, 0);
+  EXPECT_FALSE(loader.download_start(0).has_value());
+  EXPECT_THROW((void)loader.download_start(1), util::ContractViolation);
+}
+
+TEST(PlayerTest, ConsumesAvailableUnits) {
+  Player player(2, 3);
+  const std::vector<std::uint64_t> arrivals{0, 1, 2};
+  player.step(0, arrivals);  // before t0: no-op
+  EXPECT_EQ(player.position(), 0U);
+  player.step(2, arrivals);
+  player.step(3, arrivals);
+  player.step(4, arrivals);
+  EXPECT_TRUE(player.finished());
+  EXPECT_FALSE(player.stalled());
+}
+
+TEST(PlayerTest, StallsOnMissingUnit) {
+  Player player(0, 2);
+  std::vector<std::uint64_t> arrivals{0, static_cast<std::uint64_t>(-1)};
+  player.step(0, arrivals);
+  player.step(1, arrivals);  // unit 1 never arrived: stall
+  EXPECT_EQ(player.stall_count(), 1U);
+  arrivals[1] = 2;
+  player.step(2, arrivals);  // recovers
+  EXPECT_TRUE(player.finished());
+  EXPECT_TRUE(player.stalled());
+}
+
+TEST(PlayerTest, StallsOnLateUnit) {
+  Player player(0, 1);
+  const std::vector<std::uint64_t> arrivals{5};
+  player.step(0, arrivals);
+  EXPECT_EQ(player.stall_count(), 1U);
+  player.step(5, arrivals);  // arrives during slot 5: consumable
+  EXPECT_TRUE(player.finished());
+}
+
+TEST(PlayerTest, PlayAsItArrives) {
+  // A unit received during the same slot it is due is consumable
+  // (Figure 1(a): no buffering needed).
+  Player player(3, 2);
+  const std::vector<std::uint64_t> arrivals{3, 4};
+  player.step(3, arrivals);
+  player.step(4, arrivals);
+  EXPECT_TRUE(player.finished());
+  EXPECT_FALSE(player.stalled());
+}
+
+}  // namespace
+}  // namespace vodbcast::client

@@ -1,0 +1,139 @@
+#include "channel/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "channel/subchannel.hpp"
+#include "util/contracts.hpp"
+
+namespace vodbcast::channel {
+namespace {
+
+PeriodicBroadcast looping_stream(double period, double phase = 0.0) {
+  return PeriodicBroadcast{
+      .logical_channel = 0,
+      .subchannel = 0,
+      .video = 0,
+      .segment = 1,
+      .rate = core::MbitPerSec{1.5},
+      .period = core::Minutes{period},
+      .phase = core::Minutes{phase},
+      .transmission = core::Minutes{period},
+  };
+}
+
+TEST(PeriodicBroadcastTest, NextStartAligned) {
+  const auto s = looping_stream(8.0);
+  EXPECT_DOUBLE_EQ(s.next_start_at_or_after(core::Minutes{0.0}).v, 0.0);
+  EXPECT_DOUBLE_EQ(s.next_start_at_or_after(core::Minutes{0.1}).v, 8.0);
+  EXPECT_DOUBLE_EQ(s.next_start_at_or_after(core::Minutes{8.0}).v, 8.0);
+  EXPECT_DOUBLE_EQ(s.next_start_at_or_after(core::Minutes{23.9}).v, 24.0);
+}
+
+TEST(PeriodicBroadcastTest, NextStartWithPhase) {
+  const auto s = looping_stream(10.0, 3.0);
+  EXPECT_DOUBLE_EQ(s.next_start_at_or_after(core::Minutes{0.0}).v, 3.0);
+  EXPECT_DOUBLE_EQ(s.next_start_at_or_after(core::Minutes{3.0}).v, 3.0);
+  EXPECT_DOUBLE_EQ(s.next_start_at_or_after(core::Minutes{3.1}).v, 13.0);
+}
+
+TEST(PeriodicBroadcastTest, StartsBefore) {
+  const auto s = looping_stream(8.0);
+  EXPECT_EQ(s.starts_before(core::Minutes{0.0}), 0U);
+  EXPECT_EQ(s.starts_before(core::Minutes{8.0}), 1U);
+  EXPECT_EQ(s.starts_before(core::Minutes{8.1}), 2U);
+  EXPECT_EQ(s.starts_before(core::Minutes{24.0}), 3U);
+}
+
+TEST(PeriodicBroadcastTest, TransmittingAtForDutyCycledStream) {
+  auto s = looping_stream(10.0);
+  s.transmission = core::Minutes{4.0};
+  EXPECT_TRUE(s.transmitting_at(core::Minutes{1.0}));
+  EXPECT_FALSE(s.transmitting_at(core::Minutes{5.0}));
+  EXPECT_TRUE(s.transmitting_at(core::Minutes{11.0}));
+  EXPECT_FALSE(s.transmitting_at(core::Minutes{19.0}));
+}
+
+TEST(ChannelPlanTest, ValidatesStreams) {
+  auto s = looping_stream(8.0);
+  s.period = core::Minutes{0.0};
+  EXPECT_THROW(ChannelPlan({s}), util::ContractViolation);
+
+  s = looping_stream(8.0);
+  s.phase = core::Minutes{9.0};
+  EXPECT_THROW(ChannelPlan({s}), util::ContractViolation);
+
+  s = looping_stream(8.0);
+  s.transmission = core::Minutes{9.0};
+  EXPECT_THROW(ChannelPlan({s}), util::ContractViolation);
+}
+
+TEST(ChannelPlanTest, FindAndStreamsFor) {
+  auto a = looping_stream(8.0);
+  auto b = looping_stream(16.0);
+  b.segment = 2;
+  auto c = looping_stream(8.0);
+  c.video = 1;
+  const ChannelPlan plan({a, b, c});
+  EXPECT_EQ(plan.stream_count(), 3U);
+  EXPECT_TRUE(plan.find(0, 1).has_value());
+  EXPECT_TRUE(plan.find(0, 2).has_value());
+  EXPECT_FALSE(plan.find(0, 3).has_value());
+  EXPECT_EQ(plan.streams_for(0).size(), 2U);
+  EXPECT_EQ(plan.streams_for(0)[0].segment, 1);
+  EXPECT_EQ(plan.streams_for(0)[1].segment, 2);
+}
+
+TEST(ChannelPlanTest, PeakAggregateRateForAlwaysOnStreams) {
+  const ChannelPlan plan({looping_stream(8.0), looping_stream(16.0)});
+  EXPECT_NEAR(plan.peak_aggregate_rate().v, 3.0, 1e-9);
+}
+
+TEST(ChannelPlanTest, LogicalChannelCount) {
+  auto a = looping_stream(8.0);
+  auto b = looping_stream(8.0);
+  b.logical_channel = 4;
+  const ChannelPlan plan({a, b});
+  EXPECT_EQ(plan.logical_channel_count(), 5);
+}
+
+TEST(SubchannelTest, RateSplitsEvenly) {
+  const SubchannelSpec spec{.logical_channels = 4,
+                            .replicas = 2,
+                            .videos = 10,
+                            .server_bandwidth = core::MbitPerSec{240.0}};
+  // 240 / (4 * 10 * 2) = 3 Mb/s.
+  EXPECT_DOUBLE_EQ(subchannel_rate(spec).v, 3.0);
+}
+
+TEST(SubchannelTest, ReplicasPhaseShifted) {
+  const SubchannelSpec spec{.logical_channels = 4,
+                            .replicas = 3,
+                            .videos = 10,
+                            .server_bandwidth = core::MbitPerSec{360.0}};
+  const auto streams = replica_streams(spec, 7, 2, core::Minutes{30.0},
+                                       core::MbitPerSec{1.5});
+  ASSERT_EQ(streams.size(), 3U);
+  // Segment: 30 min * 1.5 Mb/s = 2700 Mbit at 3 Mb/s -> 15 min period.
+  EXPECT_DOUBLE_EQ(streams[0].period.v, 15.0);
+  EXPECT_DOUBLE_EQ(streams[0].phase.v, 0.0);
+  EXPECT_DOUBLE_EQ(streams[1].phase.v, 5.0);
+  EXPECT_DOUBLE_EQ(streams[2].phase.v, 10.0);
+  for (const auto& s : streams) {
+    EXPECT_EQ(s.video, 7U);
+    EXPECT_EQ(s.segment, 2);
+    EXPECT_DOUBLE_EQ(s.transmission.v, s.period.v);
+  }
+}
+
+TEST(SubchannelTest, RejectsBadSegmentIndex) {
+  const SubchannelSpec spec{.logical_channels = 2,
+                            .replicas = 1,
+                            .videos = 1,
+                            .server_bandwidth = core::MbitPerSec{10.0}};
+  EXPECT_THROW((void)replica_streams(spec, 0, 3, core::Minutes{5.0},
+                                     core::MbitPerSec{1.5}),
+               util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace vodbcast::channel

@@ -1,0 +1,123 @@
+// Cross-validation: the slot-stepped loader/player machines must reproduce
+// the analytic reception plan exactly -- schedules, stalls, tuner counts and
+// per-slot buffer levels.
+#include "client/client_session.hpp"
+
+#include <gtest/gtest.h>
+
+#include "client/reception_plan.hpp"
+#include "series/broadcast_series.hpp"
+
+namespace vodbcast::client {
+namespace {
+
+series::SegmentLayout make_layout(int k,
+                                  std::uint64_t width = series::kUncapped) {
+  static const series::SkyscraperSeries law;
+  return series::SegmentLayout(
+      law, k, width,
+      core::VideoParams{core::Minutes{120.0}, core::MbitPerSec{1.5}});
+}
+
+TEST(ClientSessionTest, JitterFreeRunFinishes) {
+  const auto layout = make_layout(7);
+  ClientSession session(layout, 4);
+  const auto result = session.run();
+  EXPECT_TRUE(result.jitter_free);
+  EXPECT_EQ(result.stall_count, 0U);
+}
+
+TEST(ClientSessionTest, EveryUnitArrivesExactlyOnce) {
+  const auto layout = make_layout(9);
+  ClientSession session(layout, 5);
+  const auto result = session.run();
+  ASSERT_EQ(result.unit_arrival.size(), layout.total_units());
+  for (std::size_t u = 0; u < result.unit_arrival.size(); ++u) {
+    EXPECT_NE(result.unit_arrival[u], static_cast<std::uint64_t>(-1))
+        << "unit " << u << " never arrived";
+  }
+}
+
+class SessionVsPlannerTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SessionVsPlannerTest, BufferPeakAndTunersAgree) {
+  const auto layout = make_layout(7);
+  const std::uint64_t t0 = GetParam();
+  const auto plan = plan_reception(layout, t0);
+  ClientSession session(layout, t0);
+  const auto result = session.run();
+
+  ASSERT_TRUE(plan.jitter_free);
+  EXPECT_TRUE(result.jitter_free);
+  EXPECT_EQ(result.max_buffer_units, plan.max_buffer_units);
+  EXPECT_EQ(result.max_concurrent_downloads, plan.max_concurrent_downloads);
+}
+
+TEST_P(SessionVsPlannerTest, DownloadStartsAgree) {
+  const auto layout = make_layout(7);
+  const std::uint64_t t0 = GetParam();
+  const auto plan = plan_reception(layout, t0);
+  ClientSession session(layout, t0);
+  const auto result = session.run();
+
+  // The planner records per-segment download starts; the session records
+  // per-unit arrival slots. The first unit of each segment must arrive in
+  // the slot the planner says the download starts.
+  for (const auto& d : plan.downloads) {
+    const std::uint64_t first_unit =
+        layout.playback_offset_units(d.segment);
+    EXPECT_EQ(result.unit_arrival[first_unit], d.start)
+        << "segment " << d.segment << " t0=" << t0;
+    // And the last unit one slot before the download ends.
+    const std::uint64_t last_unit = first_unit + d.length - 1;
+    EXPECT_EQ(result.unit_arrival[last_unit], d.end() - 1)
+        << "segment " << d.segment << " t0=" << t0;
+  }
+}
+
+TEST_P(SessionVsPlannerTest, PerSlotBufferMatchesTrace) {
+  const auto layout = make_layout(7);
+  const std::uint64_t t0 = GetParam();
+  const auto plan = plan_reception(layout, t0);
+  ClientSession session(layout, t0);
+  const auto result = session.run();
+  ASSERT_TRUE(result.jitter_free);
+
+  for (std::size_t boundary = 0; boundary < result.buffer_levels.size();
+       ++boundary) {
+    const double expected =
+        plan.trace.level_at(static_cast<double>(boundary));
+    EXPECT_DOUBLE_EQ(static_cast<double>(result.buffer_levels[boundary]),
+                     expected)
+        << "slot boundary " << boundary << " t0=" << t0;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PhaseSweep, SessionVsPlannerTest,
+                         ::testing::Range(std::uint64_t{0}, std::uint64_t{24}));
+
+TEST(ClientSessionTest, CappedLayoutAgreesAcrossPhases) {
+  const auto layout = make_layout(14, 12);
+  for (std::uint64_t t0 = 0; t0 < 60; ++t0) {
+    const auto plan = plan_reception(layout, t0);
+    const auto result = ClientSession(layout, t0).run();
+    ASSERT_TRUE(plan.jitter_free) << t0;
+    EXPECT_TRUE(result.jitter_free) << t0;
+    EXPECT_EQ(result.max_buffer_units, plan.max_buffer_units) << t0;
+  }
+}
+
+TEST(ClientSessionTest, BrokenSeriesStallsAreDetected) {
+  // The doubling series is not two-loader schedulable; the slot machine must
+  // detect the stall rather than hang or crash.
+  static const series::FastSeries law;
+  const series::SegmentLayout layout(
+      law, 6, series::kUncapped,
+      core::VideoParams{core::Minutes{120.0}, core::MbitPerSec{1.5}});
+  const auto result = ClientSession(layout, 0).run();
+  EXPECT_FALSE(result.jitter_free);
+  EXPECT_GT(result.stall_count, 0U);
+}
+
+}  // namespace
+}  // namespace vodbcast::client

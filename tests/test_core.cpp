@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "core/units.hpp"
+#include "core/video.hpp"
+#include "util/contracts.hpp"
+
+namespace vodbcast::core {
+namespace {
+
+using namespace core::literals;
+
+TEST(UnitsTest, RateTimesDurationIsSize) {
+  // 1.5 Mb/s for 120 minutes = 10800 Mbits = 1350 MB: the paper's video.
+  const Mbits size = 1.5_mbps * 120.0_min;
+  EXPECT_DOUBLE_EQ(size.v, 10800.0);
+  EXPECT_DOUBLE_EQ(size.mbytes(), 1350.0);
+}
+
+TEST(UnitsTest, SizeOverRateIsDuration) {
+  const Minutes t = Mbits{10800.0} / 1.5_mbps;
+  EXPECT_DOUBLE_EQ(t.v, 120.0);
+}
+
+TEST(UnitsTest, ArithmeticAndComparison) {
+  EXPECT_EQ(2.0_min + 3.0_min, 5.0_min);
+  EXPECT_EQ(5.0_min - 3.0_min, 2.0_min);
+  EXPECT_EQ(2.0 * 3.0_min, 6.0_min);
+  EXPECT_EQ(6.0_min / 2.0, 3.0_min);
+  EXPECT_DOUBLE_EQ(6.0_min / 3.0_min, 2.0);
+  EXPECT_LT(1.0_min, 2.0_min);
+  Minutes acc{1.0};
+  acc += Minutes{2.0};
+  acc -= Minutes{0.5};
+  EXPECT_DOUBLE_EQ(acc.v, 2.5);
+}
+
+TEST(UnitsTest, Conversions) {
+  EXPECT_DOUBLE_EQ(Minutes{2.0}.seconds(), 120.0);
+  EXPECT_DOUBLE_EQ(MbitPerSec{8.0}.mbyte_per_sec(), 1.0);
+  EXPECT_DOUBLE_EQ(Mbits{8192.0}.gbytes(), 1.0);
+}
+
+TEST(UnitsTest, Formatting) {
+  EXPECT_EQ(to_string(Minutes{12.0}), "12 min");
+  EXPECT_EQ(to_string(MbitPerSec{1.5}), "1.5 Mb/s");
+  EXPECT_EQ(to_string(Mbits{80.0}), "10 MB");
+}
+
+TEST(VideoParamsTest, PaperVideoSize) {
+  const VideoParams v{120.0_min, 1.5_mbps};
+  EXPECT_DOUBLE_EQ(v.size().v, 10800.0);
+}
+
+TEST(ServerConfigTest, PerVideoBandwidth) {
+  const ServerConfig s{MbitPerSec{600.0}, 10, VideoParams{}};
+  EXPECT_DOUBLE_EQ(s.per_video_bandwidth().v, 60.0);
+}
+
+TEST(VideoCatalogTest, SyntheticCatalogOrderedByPopularity) {
+  const auto catalog =
+      VideoCatalog::synthetic(3, {0.5, 0.3, 0.2}, VideoParams{});
+  EXPECT_EQ(catalog.size(), 3U);
+  EXPECT_EQ(catalog.at(0).id, 0U);
+  EXPECT_DOUBLE_EQ(catalog.at(0).popularity, 0.5);
+  EXPECT_DOUBLE_EQ(catalog.popularity_mass(2), 0.8);
+}
+
+TEST(VideoCatalogTest, RejectsUnsortedPopularity) {
+  std::vector<CatalogEntry> entries{
+      {.id = 0, .title = "a", .params = {}, .popularity = 0.2},
+      {.id = 1, .title = "b", .params = {}, .popularity = 0.8},
+  };
+  EXPECT_THROW(VideoCatalog{entries}, util::ContractViolation);
+}
+
+TEST(VideoCatalogTest, AtBoundsChecked) {
+  const auto catalog = VideoCatalog::synthetic(2, {0.6, 0.4}, VideoParams{});
+  EXPECT_THROW((void)catalog.at(2), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace vodbcast::core

@@ -1,0 +1,127 @@
+#include "disk/disk_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "schemes/pyramid.hpp"
+#include "schemes/skyscraper.hpp"
+#include "util/contracts.hpp"
+
+namespace vodbcast::disk {
+namespace {
+
+TEST(DiskSpecTest, OverheadCombinesSeekAndRotation) {
+  const DiskSpec spec{"x", 9.0, 5.6, core::MbitPerSec{64.0}};
+  EXPECT_NEAR(spec.overhead_seconds(), 0.0146, 1e-12);
+}
+
+TEST(RoundFeasibleTest, SingleStreamEasyCase) {
+  const auto spec = DiskSpec::consumer_1997();
+  const std::vector<DiskStream> set{DiskStream{core::MbitPerSec{1.5}}};
+  EXPECT_TRUE(round_feasible(spec, set, 1.0));
+}
+
+TEST(RoundFeasibleTest, InfeasibleWhenRoundTooShort) {
+  const auto spec = DiskSpec::consumer_1997();
+  // One stream: overhead alone is 14.6 ms, so a 10 ms round cannot work.
+  const std::vector<DiskStream> set{DiskStream{core::MbitPerSec{1.5}}};
+  EXPECT_FALSE(round_feasible(spec, set, 0.010));
+}
+
+TEST(RoundFeasibleTest, SaturatedMediaNeverFeasible) {
+  const auto spec = DiskSpec::consumer_1997();  // 64 Mb/s media
+  const std::vector<DiskStream> set{DiskStream{core::MbitPerSec{40.0}},
+                                    DiskStream{core::MbitPerSec{30.0}}};
+  EXPECT_FALSE(round_feasible(spec, set, 1.0));
+  EXPECT_FALSE(round_feasible(spec, set, 100.0));
+  EXPECT_FALSE(min_round_seconds(spec, set).has_value());
+}
+
+TEST(MinRoundTest, MatchesClosedForm) {
+  const auto spec = DiskSpec::consumer_1997();
+  const std::vector<DiskStream> set{DiskStream{core::MbitPerSec{1.5}},
+                                    DiskStream{core::MbitPerSec{1.5}},
+                                    DiskStream{core::MbitPerSec{1.5}}};
+  const auto t = min_round_seconds(spec, set);
+  ASSERT_TRUE(t.has_value());
+  // 3 * 0.0146 / (1 - 4.5/64)
+  EXPECT_NEAR(*t, 3.0 * 0.0146 / (1.0 - 4.5 / 64.0), 1e-9);
+  // The minimum is tight: feasible there, infeasible a hair below.
+  EXPECT_TRUE(round_feasible(spec, set, *t + 1e-12));
+  EXPECT_FALSE(round_feasible(spec, set, *t * 0.99));
+}
+
+TEST(MinRoundTest, EmptySetTrivial) {
+  EXPECT_EQ(min_round_seconds(DiskSpec::modern(), {}), 0.0);
+}
+
+TEST(DoubleBufferTest, TwoRoundsOfEveryStream) {
+  const std::vector<DiskStream> set{DiskStream{core::MbitPerSec{2.0}},
+                                    DiskStream{core::MbitPerSec{3.0}}};
+  EXPECT_DOUBLE_EQ(double_buffer_memory(set, 2.0).v, 20.0);
+}
+
+TEST(ClientStreamSetTest, ComposesReadAndWrites) {
+  const auto set = client_stream_set(core::MbitPerSec{1.5}, 2,
+                                     core::MbitPerSec{1.5});
+  ASSERT_EQ(set.size(), 3U);
+  EXPECT_DOUBLE_EQ(total_rate(set).v, 4.5);
+}
+
+TEST(ClientStreamSetTest, RejectsBadArguments) {
+  EXPECT_THROW((void)client_stream_set(core::MbitPerSec{0.0}, 1,
+                                       core::MbitPerSec{1.0}),
+               util::ContractViolation);
+  EXPECT_THROW((void)client_stream_set(core::MbitPerSec{1.0}, -1,
+                                       core::MbitPerSec{1.0}),
+               util::ContractViolation);
+}
+
+TEST(EraFeasibilityTest, SbClientFitsAConsumer1997Disk) {
+  // SB's client: playback read + two display-rate writes = 4.5 Mb/s on a
+  // 64 Mb/s drive. Comfortably schedulable with a sub-100 ms round.
+  const auto spec = DiskSpec::consumer_1997();
+  const auto set = client_stream_set(core::MbitPerSec{1.5}, 2,
+                                     core::MbitPerSec{1.5});
+  const auto t = min_round_seconds(spec, set);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_LT(*t, 0.1);
+  // And the double-buffer memory at that round is trivial (< 1 MB).
+  EXPECT_LT(double_buffer_memory(set, *t).mbytes(), 1.0);
+}
+
+TEST(EraFeasibilityTest, PbClientOverwhelmsAConsumer1997Disk) {
+  // PB at B = 600 Mb/s writes two 40 Mb/s channel streams next to the
+  // playback read: 81.5 Mb/s > the 64 Mb/s media rate. No round length
+  // makes that work; the premium drive barely admits it.
+  const schemes::PyramidScheme pb(schemes::Variant::kA);
+  const schemes::DesignInput input{
+      .server_bandwidth = core::MbitPerSec{600.0},
+      .num_videos = 10,
+      .video = core::VideoParams{core::Minutes{120.0}, core::MbitPerSec{1.5}},
+  };
+  const auto design = pb.design(input);
+  ASSERT_TRUE(design.has_value());
+  const core::MbitPerSec channel_rate{600.0 / design->segments};
+  const auto set = client_stream_set(core::MbitPerSec{1.5}, 2, channel_rate);
+
+  EXPECT_FALSE(min_round_seconds(DiskSpec::consumer_1997(), set).has_value());
+  const auto premium = min_round_seconds(DiskSpec::premium_1997(), set);
+  ASSERT_TRUE(premium.has_value());
+  EXPECT_GT(media_utilization(DiskSpec::premium_1997(), set), 0.6);
+}
+
+TEST(EraFeasibilityTest, UtilizationOrdersTheSchemes) {
+  const auto spec = DiskSpec::consumer_1997();
+  const auto sb = client_stream_set(core::MbitPerSec{1.5}, 2,
+                                    core::MbitPerSec{1.5});
+  // PPB:b at 600 Mb/s: subchannel rate B/(K*M*P) = 600/210 = 2.857 Mb/s.
+  const auto ppb = client_stream_set(core::MbitPerSec{1.5}, 1,
+                                     core::MbitPerSec{600.0 / 210.0});
+  const auto pb = client_stream_set(core::MbitPerSec{1.5}, 2,
+                                    core::MbitPerSec{40.0});
+  EXPECT_LT(media_utilization(spec, ppb), media_utilization(spec, sb));
+  EXPECT_LT(media_utilization(spec, sb), media_utilization(spec, pb));
+}
+
+}  // namespace
+}  // namespace vodbcast::disk

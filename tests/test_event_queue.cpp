@@ -1,0 +1,80 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace vodbcast::sim {
+namespace {
+
+TEST(EventQueueTest, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(3.0, [&] { fired.push_back(3); });
+  q.schedule(1.0, [&] { fired.push_back(1); });
+  q.schedule(2.0, [&] { fired.push_back(2); });
+  while (q.step()) {
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueueTest, EqualTimesFireInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(1.0, [&fired, i] { fired.push_back(i); });
+  }
+  while (q.step()) {
+  }
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, RunUntilStopsAtHorizon) {
+  EventQueue q;
+  std::vector<double> fired;
+  q.schedule(1.0, [&] { fired.push_back(1.0); });
+  q.schedule(5.0, [&] { fired.push_back(5.0); });
+  q.run_until(3.0);
+  EXPECT_EQ(fired, (std::vector<double>{1.0}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+  EXPECT_EQ(q.pending(), 1U);
+}
+
+TEST(EventQueueTest, EventsCanScheduleEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    ++count;
+    if (count < 4) {
+      q.schedule(q.now() + 1.0, chain);
+    }
+  };
+  q.schedule(0.0, chain);
+  q.run_until(100.0);
+  EXPECT_EQ(count, 4);
+  EXPECT_DOUBLE_EQ(q.now(), 100.0);
+}
+
+TEST(EventQueueTest, RejectsSchedulingIntoThePast) {
+  EventQueue q;
+  q.schedule(2.0, [] {});
+  q.step();
+  EXPECT_THROW(q.schedule(1.0, [] {}), util::ContractViolation);
+}
+
+TEST(EventQueueTest, RejectsNullCallback) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule(1.0, nullptr), util::ContractViolation);
+}
+
+TEST(EventQueueTest, EmptyQueueStepReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.step());
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace vodbcast::sim

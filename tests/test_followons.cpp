@@ -1,0 +1,185 @@
+// Tests for the follow-on protocols implemented as extensions: Fast
+// Broadcasting (FB) and Cautious Harmonic Broadcasting (HB), including the
+// K-tuner reception planner FB relies on.
+#include <gtest/gtest.h>
+
+#include "client/reception_plan.hpp"
+#include "schemes/fast_broadcast.hpp"
+#include "schemes/harmonic.hpp"
+#include "schemes/registry.hpp"
+#include "schemes/skyscraper.hpp"
+#include "series/broadcast_series.hpp"
+#include "util/contracts.hpp"
+#include "util/math.hpp"
+
+namespace vodbcast::schemes {
+namespace {
+
+DesignInput paper_input(double bandwidth) {
+  return DesignInput{
+      .server_bandwidth = core::MbitPerSec{bandwidth},
+      .num_videos = 10,
+      .video = core::VideoParams{core::Minutes{120.0}, core::MbitPerSec{1.5}},
+  };
+}
+
+TEST(FastBroadcastTest, RegistryResolvesLabels) {
+  EXPECT_EQ(make_scheme("FB")->name(), "FB");
+  EXPECT_EQ(make_scheme("HB")->name(), "HB");
+}
+
+TEST(FastBroadcastTest, LatencyDecaysGeometrically) {
+  const FastBroadcastScheme fb;
+  const auto input = paper_input(150.0);  // K = 10
+  const auto eval = fb.evaluate(input);
+  ASSERT_TRUE(eval.has_value());
+  EXPECT_EQ(eval->design.segments, 10);
+  EXPECT_NEAR(eval->metrics.access_latency.v, 120.0 / 1023.0, 1e-12);
+}
+
+TEST(FastBroadcastTest, BufferIsAboutHalfTheVideo) {
+  const FastBroadcastScheme fb;
+  const auto eval = fb.evaluate(paper_input(150.0));
+  ASSERT_TRUE(eval.has_value());
+  const double fraction = eval->metrics.client_buffer.v / 10800.0;
+  EXPECT_NEAR(fraction, 0.5, 0.01);
+}
+
+TEST(FastBroadcastTest, DiskBandwidthScalesWithChannels) {
+  const FastBroadcastScheme fb;
+  const auto eval = fb.evaluate(paper_input(150.0));
+  ASSERT_TRUE(eval.has_value());
+  EXPECT_DOUBLE_EQ(eval->metrics.client_disk_bandwidth.v, 11.0 * 1.5);
+}
+
+TEST(FastBroadcastTest, SegmentCapRespected) {
+  const FastBroadcastScheme fb(8);
+  const auto eval = fb.evaluate(paper_input(600.0));  // raw K would be 40
+  ASSERT_TRUE(eval.has_value());
+  EXPECT_EQ(eval->design.segments, 8);
+}
+
+TEST(FastBroadcastTest, InfeasibleBelowOneChannelPerVideo) {
+  EXPECT_FALSE(FastBroadcastScheme().design(paper_input(10.0)).has_value());
+}
+
+TEST(FastBroadcastTest, ParallelClientJitterFreeEverywhere) {
+  const FastBroadcastScheme fb;
+  const auto input = paper_input(120.0);  // K = 8
+  const auto design = fb.design(input);
+  ASSERT_TRUE(design.has_value());
+  const auto layout = fb.layout(input, *design);
+  const auto worst = client::parallel_worst_case_over_phases(layout);
+  EXPECT_TRUE(worst.always_jitter_free);
+  // All K channels can be live at once right after an aligned start.
+  EXPECT_EQ(worst.max_concurrent_downloads, design->segments);
+}
+
+TEST(FastBroadcastTest, ClosedFormBufferMatchesExhaustiveSweep) {
+  const FastBroadcastScheme fb;
+  for (const double bandwidth : {60.0, 90.0, 120.0, 150.0}) {  // K = 4..10
+    const auto input = paper_input(bandwidth);
+    const auto design = fb.design(input);
+    ASSERT_TRUE(design.has_value());
+    const auto layout = fb.layout(input, *design);
+    const auto worst = client::parallel_worst_case_over_phases(layout);
+    const std::uint64_t expected =
+        (std::uint64_t{1} << (design->segments - 1)) - 1;
+    EXPECT_EQ(worst.max_buffer_units, static_cast<std::int64_t>(expected))
+        << "B = " << bandwidth;
+    // The worst phase is the fully aligned start.
+    EXPECT_EQ(worst.worst_phase, 0U) << "B = " << bandwidth;
+  }
+}
+
+TEST(FastBroadcastTest, TwoLoaderClientCannotServeIt) {
+  // The contrast that motivates SB's series design: the same layout is NOT
+  // schedulable by the two-loader client.
+  const FastBroadcastScheme fb;
+  const auto input = paper_input(90.0);
+  const auto design = fb.design(input);
+  const auto layout = fb.layout(input, *design);
+  const auto two_loader = client::worst_case_over_phases(layout, 128);
+  EXPECT_FALSE(two_loader.always_jitter_free);
+}
+
+TEST(HarmonicTest, HarmonicNumbers) {
+  EXPECT_DOUBLE_EQ(HarmonicScheme::harmonic_number(0), 0.0);
+  EXPECT_DOUBLE_EQ(HarmonicScheme::harmonic_number(1), 1.0);
+  EXPECT_NEAR(HarmonicScheme::harmonic_number(4), 1.0 + 0.5 + 1.0 / 3 + 0.25,
+              1e-12);
+}
+
+TEST(HarmonicTest, DesignPicksLargestAffordableK) {
+  const HarmonicScheme hb(1 << 20);
+  // budget = B/(b*M) = 4 channels-worth: H(30) = 3.9950 <= 4 < H(31).
+  const auto design = hb.design(paper_input(60.0));
+  ASSERT_TRUE(design.has_value());
+  EXPECT_GE(design->segments, 30);
+  EXPECT_LE(design->segments, 31);
+  EXPECT_LE(HarmonicScheme::harmonic_number(design->segments), 4.0 + 1e-9);
+}
+
+TEST(HarmonicTest, InfeasibleBelowOneChannelPerVideo) {
+  EXPECT_FALSE(HarmonicScheme().design(paper_input(14.0)).has_value());
+}
+
+TEST(HarmonicTest, BufferIsAboutThirtySevenPercent) {
+  const HarmonicScheme hb;
+  const auto eval = hb.evaluate(paper_input(300.0));
+  ASSERT_TRUE(eval.has_value());
+  const double fraction = eval->metrics.client_buffer.v / 10800.0;
+  EXPECT_NEAR(fraction, 1.0 / util::kEuler, 0.02);
+}
+
+TEST(HarmonicTest, CautiousClientFeasibleAcrossK) {
+  for (const int k : {1, 2, 5, 17, 64, 200}) {
+    EXPECT_TRUE(HarmonicScheme::cautious_client_feasible(k)) << k;
+  }
+}
+
+TEST(HarmonicTest, PlanUsesHarmonicRates) {
+  const HarmonicScheme hb(16);
+  const auto input = paper_input(60.0);
+  const auto design = hb.design(input);
+  ASSERT_TRUE(design.has_value());
+  const auto plan = hb.plan(input, *design);
+  const auto s1 = plan.find(0, 1);
+  const auto s4 = plan.find(0, 4);
+  ASSERT_TRUE(s1.has_value() && s4.has_value());
+  EXPECT_DOUBLE_EQ(s1->rate.v, 1.5);
+  EXPECT_DOUBLE_EQ(s4->rate.v, 1.5 / 4.0);
+  // Segment 4 takes 4 slots to transmit.
+  EXPECT_NEAR(s4->period.v, 4.0 * s1->period.v, 1e-9);
+}
+
+TEST(HarmonicTest, ServerCostStaysWithinBudget) {
+  const HarmonicScheme hb;
+  for (const double bandwidth : {100.0, 300.0, 600.0}) {
+    const auto input = paper_input(bandwidth);
+    const auto design = hb.design(input);
+    ASSERT_TRUE(design.has_value()) << bandwidth;
+    const auto plan = hb.plan(input, *design);
+    EXPECT_LE(plan.peak_aggregate_rate().v, bandwidth + 1e-6) << bandwidth;
+  }
+}
+
+TEST(FollowOnComparisonTest, TradeoffTriangle) {
+  // At equal bandwidth: FB has the lowest latency, HB the lowest client
+  // bandwidth after staggered, SB the smallest buffer of the three -- the
+  // design space the follow-on literature explored.
+  const auto input = paper_input(150.0);
+  const auto sb = SkyscraperScheme(52).evaluate(input);
+  const auto fb = FastBroadcastScheme().evaluate(input);
+  const auto hb = HarmonicScheme().evaluate(input);
+  ASSERT_TRUE(sb.has_value() && fb.has_value() && hb.has_value());
+
+  EXPECT_LT(fb->metrics.access_latency.v, sb->metrics.access_latency.v);
+  EXPECT_LT(sb->metrics.client_buffer.v, fb->metrics.client_buffer.v);
+  EXPECT_LT(sb->metrics.client_buffer.v, hb->metrics.client_buffer.v);
+  EXPECT_LT(sb->metrics.client_disk_bandwidth.v,
+            fb->metrics.client_disk_bandwidth.v);
+}
+
+}  // namespace
+}  // namespace vodbcast::schemes

@@ -1,0 +1,135 @@
+// Randomized cross-checks: for randomly drawn configurations, independent
+// implementations must agree and invariants must hold. Seeds are fixed so
+// failures reproduce.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "client/client_session.hpp"
+#include "client/reception_plan.hpp"
+#include "net/packetizer.hpp"
+#include "net/reassembly.hpp"
+#include "series/broadcast_series.hpp"
+#include "util/args.hpp"
+#include "util/rng.hpp"
+
+namespace vodbcast {
+namespace {
+
+TEST(FuzzTest, PlannerAndSessionAgreeOnRandomLayouts) {
+  util::Rng rng(0xF00D);
+  const series::SkyscraperSeries law;
+  const core::VideoParams video{core::Minutes{120.0}, core::MbitPerSec{1.5}};
+
+  for (int trial = 0; trial < 60; ++trial) {
+    const int k = 1 + static_cast<int>(rng.next_below(14));
+    // Width drawn from the series (the paper's valid widths) or uncapped.
+    const std::uint64_t pick = rng.next_below(8);
+    const std::uint64_t width =
+        pick == 7 ? series::kUncapped
+                  : law.element(1 + static_cast<int>(rng.next_below(12)));
+    const series::SegmentLayout layout(law, k, width, video);
+    const std::uint64_t t0 = rng.next_below(200);
+
+    const auto plan = client::plan_reception(layout, t0);
+    const auto session = client::ClientSession(layout, t0).run();
+
+    ASSERT_TRUE(plan.jitter_free)
+        << "k=" << k << " w=" << width << " t0=" << t0;
+    EXPECT_TRUE(session.jitter_free)
+        << "k=" << k << " w=" << width << " t0=" << t0;
+    EXPECT_EQ(session.max_buffer_units, plan.max_buffer_units)
+        << "k=" << k << " w=" << width << " t0=" << t0;
+    EXPECT_EQ(session.max_concurrent_downloads,
+              plan.max_concurrent_downloads)
+        << "k=" << k << " w=" << width << " t0=" << t0;
+    EXPECT_LE(plan.max_concurrent_downloads, 2);
+    EXPECT_LE(plan.max_buffer_units,
+              static_cast<std::int64_t>(layout.effective_width()) - 1);
+  }
+}
+
+TEST(FuzzTest, ReassemblerOrderInvariant) {
+  util::Rng rng(0xBEEF);
+  const channel::PeriodicBroadcast stream{
+      .logical_channel = 0,
+      .subchannel = 0,
+      .video = 0,
+      .segment = 1,
+      .rate = core::MbitPerSec{1.5},
+      .period = core::Minutes{8.0},
+      .phase = core::Minutes{0.0},
+      .transmission = core::Minutes{8.0},
+  };
+  for (int trial = 0; trial < 40; ++trial) {
+    auto packets = net::packetize_transmission(
+        stream, trial % 5, core::Mbits{5.0 + static_cast<double>(
+                                                 rng.next_below(120))});
+    // Shuffle delivery order.
+    for (std::size_t i = packets.size(); i > 1; --i) {
+      std::swap(packets[i - 1], packets[rng.next_below(i)]);
+    }
+    net::SegmentReassembler reassembler(core::Mbits{720.0});
+    double received = 0.0;
+    for (const auto& p : packets) {
+      reassembler.accept(p);
+      received += p.payload.v;
+      EXPECT_LE(reassembler.contiguous_prefix().v,
+                reassembler.received().v + 1e-9);
+    }
+    EXPECT_TRUE(reassembler.complete()) << "trial " << trial;
+    EXPECT_NEAR(reassembler.received().v, received, 1e-6);
+    EXPECT_TRUE(reassembler.gaps().empty());
+  }
+}
+
+TEST(FuzzTest, ReassemblerGapAccountingConsistent) {
+  util::Rng rng(0xCAFE);
+  const channel::PeriodicBroadcast stream{
+      .logical_channel = 0,
+      .subchannel = 0,
+      .video = 0,
+      .segment = 1,
+      .rate = core::MbitPerSec{1.5},
+      .period = core::Minutes{8.0},
+      .phase = core::Minutes{0.0},
+      .transmission = core::Minutes{8.0},
+  };
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto packets =
+        net::packetize_transmission(stream, 0, core::Mbits{24.0});
+    net::SegmentReassembler reassembler(core::Mbits{720.0});
+    double kept = 0.0;
+    for (const auto& p : packets) {
+      if (rng.next_double() < 0.7) {
+        reassembler.accept(p);
+        kept += p.payload.v;
+      }
+    }
+    EXPECT_NEAR(reassembler.received().v, kept, 1e-6);
+    // received + total gap length == segment size.
+    double gap_total = 0.0;
+    for (const auto& g : reassembler.gaps()) {
+      EXPECT_LT(g.begin.v, g.end.v);
+      gap_total += g.end.v - g.begin.v;
+    }
+    EXPECT_NEAR(kept + gap_total, 720.0, 1e-6);
+    EXPECT_EQ(reassembler.complete(), reassembler.gaps().empty());
+  }
+}
+
+TEST(FuzzTest, ArgParserNeverMangelsValues) {
+  util::Rng rng(0xD1CE);
+  for (int trial = 0; trial < 50; ++trial) {
+    const double value =
+        static_cast<double>(rng.next_below(1000000)) / 128.0;
+    const std::uint64_t uvalue = rng.next_u64() >> 16;
+    const util::ArgParser args({"cmd", "--x=" + std::to_string(value),
+                                "--y", std::to_string(uvalue)});
+    EXPECT_NEAR(args.get_double("x", -1.0), value, 1e-6 * (value + 1.0));
+    EXPECT_EQ(args.get_uint("y", 0), uvalue);
+  }
+}
+
+}  // namespace
+}  // namespace vodbcast

@@ -1,0 +1,117 @@
+#include "series/groups.hpp"
+
+#include <gtest/gtest.h>
+
+#include "series/broadcast_series.hpp"
+#include "util/contracts.hpp"
+
+namespace vodbcast::series {
+namespace {
+
+TEST(GroupDecompositionTest, PaperSeriesGroups) {
+  // [1, 2,2, 5,5, 12,12] -> groups (1), (2,2), (5,5), (12,12).
+  const auto groups = group_decomposition({1, 2, 2, 5, 5, 12, 12});
+  ASSERT_EQ(groups.size(), 4U);
+  EXPECT_EQ(groups[0].first_segment, 1);
+  EXPECT_EQ(groups[0].length, 1);
+  EXPECT_EQ(groups[0].size, 1U);
+  EXPECT_EQ(groups[0].parity, GroupParity::kOdd);
+  EXPECT_EQ(groups[1].first_segment, 2);
+  EXPECT_EQ(groups[1].length, 2);
+  EXPECT_EQ(groups[1].size, 2U);
+  EXPECT_EQ(groups[1].parity, GroupParity::kEven);
+  EXPECT_EQ(groups[2].size, 5U);
+  EXPECT_EQ(groups[2].parity, GroupParity::kOdd);
+  EXPECT_EQ(groups[3].size, 12U);
+  EXPECT_EQ(groups[3].parity, GroupParity::kEven);
+}
+
+TEST(GroupDecompositionTest, CappedTailMergesIntoOneGroup) {
+  const auto groups = group_decomposition({1, 2, 2, 5, 5, 5, 5});
+  ASSERT_EQ(groups.size(), 3U);
+  EXPECT_EQ(groups[2].first_segment, 4);
+  EXPECT_EQ(groups[2].length, 4);
+  EXPECT_EQ(groups[2].total_units(), 20U);
+}
+
+TEST(GroupDecompositionTest, RejectsEmptyAndZeroSizes) {
+  EXPECT_THROW((void)group_decomposition({}), util::ContractViolation);
+  EXPECT_THROW((void)group_decomposition({1, 0}), util::ContractViolation);
+}
+
+TEST(ParityInterleaveTest, PaperSeriesInterleaves) {
+  const SkyscraperSeries s;
+  for (int k = 1; k <= 40; ++k) {
+    const auto groups = group_decomposition(s.prefix(k));
+    EXPECT_TRUE(parities_interleave(groups)) << "k = " << k;
+  }
+}
+
+TEST(ParityInterleaveTest, CappedPaperSeriesInterleaves) {
+  const SkyscraperSeries s;
+  for (const std::uint64_t w : {2ULL, 5ULL, 12ULL, 52ULL}) {
+    const auto groups = group_decomposition(s.prefix(30, w));
+    EXPECT_TRUE(parities_interleave(groups)) << "w = " << w;
+  }
+}
+
+TEST(ParityInterleaveTest, DetectsViolation) {
+  // A width not in the series can break parity alternation: 12 -> 14.
+  const auto groups = group_decomposition({1, 2, 2, 5, 5, 12, 12, 14, 14});
+  EXPECT_FALSE(parities_interleave(groups));
+}
+
+TEST(TransitionClassifyTest, TheThreePaperTypes) {
+  const auto groups = group_decomposition({1, 2, 2, 5, 5, 12, 12});
+  EXPECT_EQ(classify_transition(groups[0], groups[1]),
+            TransitionType::kInitial);
+  EXPECT_EQ(classify_transition(groups[1], groups[2]),
+            TransitionType::kEvenToOdd);  // (2,2) -> (5,5)
+  EXPECT_EQ(classify_transition(groups[2], groups[3]),
+            TransitionType::kOddToEven);  // (5,5) -> (12,12)
+}
+
+TEST(TransitionClassifyTest, CappedTransition) {
+  const auto groups = group_decomposition({1, 2, 2, 5, 5, 5});
+  // (5,5,5) follows (2,2) but is within/into the cap when W = 5 binds the
+  // natural 5,5 -> the merged run is still 2A+1 of 2, so it classifies as
+  // the even-to-odd type; a genuinely truncated growth classifies kCapped.
+  EXPECT_EQ(classify_transition(groups[1], groups[2]),
+            TransitionType::kEvenToOdd);
+  const auto capped = group_decomposition({1, 2, 2, 5, 5, 12, 12, 12});
+  EXPECT_EQ(classify_transition(capped[2], capped[3]),
+            TransitionType::kOddToEven);
+  const auto truncated = group_decomposition({5, 7, 7});
+  EXPECT_EQ(classify_transition(truncated[0], truncated[1]),
+            TransitionType::kCapped);
+}
+
+TEST(TransitionClassifyTest, RejectsNonAdjacentGroups) {
+  const auto groups = group_decomposition({1, 2, 2, 5, 5});
+  EXPECT_THROW((void)classify_transition(groups[0], groups[2]),
+               util::ContractViolation);
+}
+
+TEST(WorstCaseBufferTest, PaperBounds) {
+  const auto groups = group_decomposition({1, 2, 2, 5, 5, 12, 12, 25, 25});
+  // Uniformly to.size - 1 (see worst_case_buffer_units):
+  // (1) -> (2,2): 1 unit (Figure 1).
+  EXPECT_EQ(worst_case_buffer_units(groups[0], groups[1]), 1U);
+  // (2,2) -> (5,5): 2A = 4 units (Figure 2 with A = 2).
+  EXPECT_EQ(worst_case_buffer_units(groups[1], groups[2]), 4U);
+  // (5,5) -> (12,12): 2A + 1 = 11 units (Figure 4's odd playback starts).
+  EXPECT_EQ(worst_case_buffer_units(groups[2], groups[3]), 11U);
+  // (12,12) -> (25,25): 2A = 24 units.
+  EXPECT_EQ(worst_case_buffer_units(groups[3], groups[4]), 24U);
+}
+
+TEST(WorstCaseBufferTest, CappedTailBound) {
+  // Entering the capped tail (X,X) -> (W,...): W - 1 units (paper Section 4
+  // closing argument). 25 -> 30 is not a natural 2A+1/2A+2 step, so it can
+  // only arise from a width cap.
+  const auto groups = group_decomposition({25, 25, 30, 30});
+  EXPECT_EQ(worst_case_buffer_units(groups[0], groups[1]), 29U);
+}
+
+}  // namespace
+}  // namespace vodbcast::series

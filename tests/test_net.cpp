@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include "net/delivery.hpp"
+#include "net/loss.hpp"
+#include "net/packetizer.hpp"
+#include "net/reassembly.hpp"
+#include "util/contracts.hpp"
+
+namespace vodbcast::net {
+namespace {
+
+channel::PeriodicBroadcast sb_stream(double period_min = 8.0) {
+  return channel::PeriodicBroadcast{
+      .logical_channel = 0,
+      .subchannel = 0,
+      .video = 0,
+      .segment = 1,
+      .rate = core::MbitPerSec{1.5},
+      .period = core::Minutes{period_min},
+      .phase = core::Minutes{0.0},
+      .transmission = core::Minutes{period_min},
+  };
+}
+
+TEST(PacketizerTest, CoversSegmentExactly) {
+  const auto stream = sb_stream();  // 8 min * 1.5 Mb/s = 720 Mbits
+  const auto packets = packetize_transmission(stream, 0, core::Mbits{100.0});
+  ASSERT_EQ(packets.size(), 8U);  // 7 full + 1 short
+  double total = 0.0;
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    EXPECT_EQ(packets[i].sequence, i);
+    total += packets[i].payload.v;
+  }
+  EXPECT_NEAR(total, 720.0, 1e-9);
+  EXPECT_NEAR(packets.back().payload.v, 20.0, 1e-9);
+}
+
+TEST(PacketizerTest, SendTimesTrackTheRate) {
+  const auto stream = sb_stream();
+  const auto packets = packetize_transmission(stream, 0, core::Mbits{90.0});
+  // 90 Mbits at 1.5 Mb/s = 60 s = 1 minute per packet.
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    EXPECT_NEAR(packets[i].send_time.v, static_cast<double>(i + 1), 1e-9);
+  }
+}
+
+TEST(PacketizerTest, LaterRepetitionsShiftByPeriod) {
+  const auto stream = sb_stream();
+  const auto first = packetize_transmission(stream, 0, core::Mbits{100.0});
+  const auto third = packetize_transmission(stream, 2, core::Mbits{100.0});
+  ASSERT_EQ(first.size(), third.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_NEAR(third[i].send_time.v - first[i].send_time.v, 16.0, 1e-9);
+    EXPECT_EQ(third[i].broadcast_index, 2U);
+  }
+}
+
+TEST(PacketizerTest, WindowSelectsBySendTime) {
+  const auto stream = sb_stream();
+  const auto packets = packets_in_window(stream, core::Minutes{8.0},
+                                         core::Minutes{16.0},
+                                         core::Mbits{100.0});
+  ASSERT_FALSE(packets.empty());
+  for (const auto& p : packets) {
+    EXPECT_GE(p.send_time.v, 8.0);
+    EXPECT_LT(p.send_time.v, 16.0);
+  }
+}
+
+TEST(PacketizerTest, RejectsBadMtu) {
+  EXPECT_THROW(
+      (void)packetize_transmission(sb_stream(), 0, core::Mbits{0.0}),
+      util::ContractViolation);
+}
+
+TEST(ReassemblerTest, InOrderDelivery) {
+  const auto packets =
+      packetize_transmission(sb_stream(), 0, core::Mbits{100.0});
+  SegmentReassembler reassembler(core::Mbits{720.0});
+  for (const auto& p : packets) {
+    reassembler.accept(p);
+  }
+  EXPECT_TRUE(reassembler.complete());
+  EXPECT_TRUE(reassembler.gaps().empty());
+  EXPECT_NEAR(reassembler.contiguous_prefix().v, 720.0, 1e-9);
+}
+
+TEST(ReassemblerTest, OutOfOrderStillCompletes) {
+  auto packets = packetize_transmission(sb_stream(), 0, core::Mbits{100.0});
+  std::swap(packets[1], packets[5]);
+  std::swap(packets[0], packets[3]);
+  SegmentReassembler reassembler(core::Mbits{720.0});
+  for (const auto& p : packets) {
+    reassembler.accept(p);
+  }
+  EXPECT_TRUE(reassembler.complete());
+}
+
+TEST(ReassemblerTest, DetectsGapFromLoss) {
+  const auto packets =
+      packetize_transmission(sb_stream(), 0, core::Mbits{100.0});
+  SegmentReassembler reassembler(core::Mbits{720.0});
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    if (i == 3) {
+      continue;  // drop one packet
+    }
+    reassembler.accept(packets[i]);
+  }
+  EXPECT_FALSE(reassembler.complete());
+  const auto gaps = reassembler.gaps();
+  ASSERT_EQ(gaps.size(), 1U);
+  EXPECT_NEAR(gaps[0].begin.v, 300.0, 1e-9);
+  EXPECT_NEAR(gaps[0].end.v, 400.0, 1e-9);
+  // The contiguous prefix stops at the hole.
+  EXPECT_NEAR(reassembler.contiguous_prefix().v, 300.0, 1e-9);
+  EXPECT_NEAR(reassembler.received().v, 620.0, 1e-9);
+}
+
+TEST(ReassemblerTest, PrefixAvailabilityIsPerPoint) {
+  const auto packets =
+      packetize_transmission(sb_stream(), 0, core::Mbits{90.0});
+  SegmentReassembler reassembler(core::Mbits{720.0});
+  for (const auto& p : packets) {
+    reassembler.accept(p);
+  }
+  // Byte 90 (end of packet 0) was readable after 1 minute, not at the end
+  // of the whole transmission.
+  const auto at90 = reassembler.prefix_available_at(core::Mbits{90.0});
+  ASSERT_TRUE(at90.has_value());
+  EXPECT_NEAR(at90->v, 1.0, 1e-9);
+  const auto at720 = reassembler.prefix_available_at(core::Mbits{720.0});
+  ASSERT_TRUE(at720.has_value());
+  EXPECT_NEAR(at720->v, 8.0, 1e-9);
+}
+
+TEST(ReassemblerTest, PrefixUnavailableBeyondHole) {
+  const auto packets =
+      packetize_transmission(sb_stream(), 0, core::Mbits{100.0});
+  SegmentReassembler reassembler(core::Mbits{720.0});
+  reassembler.accept(packets[0]);
+  reassembler.accept(packets[2]);  // hole at packet 1
+  EXPECT_TRUE(reassembler.prefix_available_at(core::Mbits{50.0}).has_value());
+  EXPECT_FALSE(
+      reassembler.prefix_available_at(core::Mbits{250.0}).has_value());
+}
+
+TEST(ReassemblerTest, RejectsForeignBytes) {
+  SegmentReassembler reassembler(core::Mbits{100.0});
+  Packet bad{};
+  bad.offset = core::Mbits{90.0};
+  bad.payload = core::Mbits{20.0};  // extends past the segment
+  EXPECT_THROW(reassembler.accept(bad), util::ContractViolation);
+}
+
+TEST(LossModelTest, NoLossKeepsEverything) {
+  const auto packets =
+      packetize_transmission(sb_stream(), 0, core::Mbits{50.0});
+  NoLoss none;
+  EXPECT_EQ(apply_loss(packets, none).size(), packets.size());
+}
+
+TEST(LossModelTest, BernoulliMatchesProbability) {
+  const auto stream = sb_stream();
+  std::size_t sent = 0;
+  std::size_t kept = 0;
+  BernoulliLoss loss(0.3, util::Rng(5));
+  for (std::uint64_t rep = 0; rep < 200; ++rep) {
+    const auto packets = packetize_transmission(stream, rep,
+                                                core::Mbits{10.0});
+    sent += packets.size();
+    kept += apply_loss(packets, loss).size();
+  }
+  const double survival = static_cast<double>(kept) /
+                          static_cast<double>(sent);
+  EXPECT_NEAR(survival, 0.7, 0.02);
+}
+
+TEST(LossModelTest, GilbertElliottBursts) {
+  // Bad-state dwell makes losses cluster: the number of loss runs is far
+  // below what independent loss at the same average rate would produce.
+  GilbertElliottLoss::Params params;
+  params.p_good_to_bad = 0.02;
+  params.p_bad_to_good = 0.1;
+  params.loss_good = 0.0;
+  params.loss_bad = 0.9;
+  GilbertElliottLoss ge(params, util::Rng(9));
+  Packet p{};
+  p.payload = core::Mbits{1.0};
+  int losses = 0;
+  int runs = 0;
+  bool in_run = false;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const bool dropped = ge.drop(p);
+    losses += dropped ? 1 : 0;
+    if (dropped && !in_run) {
+      ++runs;
+    }
+    in_run = dropped;
+  }
+  ASSERT_GT(losses, 100);
+  const double mean_run = static_cast<double>(losses) / runs;
+  EXPECT_GT(mean_run, 2.0);  // independent loss would give ~1/(1-p) ~ 1.2
+}
+
+TEST(DeliveryTest, CleanChannelIsJitterFreeAtPlayAsItArrives) {
+  // SB plays a segment straight off the channel: rate == display rate, so
+  // a playback starting exactly at the broadcast start must grade as
+  // jitter-free per packet boundary.
+  NoLoss none;
+  const auto report =
+      deliver_segment(sb_stream(), 0, core::Mbits{64.0}, none,
+                      core::Minutes{0.0}, core::MbitPerSec{1.5});
+  EXPECT_TRUE(report.complete);
+  EXPECT_TRUE(report.jitter_free);
+  EXPECT_EQ(report.packets_lost, 0U);
+  EXPECT_EQ(report.gap_count, 0U);
+}
+
+TEST(DeliveryTest, PrefetchedPlaybackTolerates) {
+  NoLoss none;
+  // Playback starts one period later (fully prefetched): trivially safe.
+  const auto report =
+      deliver_segment(sb_stream(), 0, core::Mbits{64.0}, none,
+                      core::Minutes{8.0}, core::MbitPerSec{1.5});
+  EXPECT_TRUE(report.jitter_free);
+}
+
+TEST(DeliveryTest, PlaybackAheadOfBroadcastStalls) {
+  NoLoss none;
+  // Playback begins 2 minutes before the broadcast: the early bytes miss
+  // their deadlines.
+  auto stream = sb_stream();
+  stream.phase = core::Minutes{0.0};
+  const auto report = deliver_segment(
+      stream, 1 /* starts at minute 8 */, core::Mbits{64.0}, none,
+      core::Minutes{6.0}, core::MbitPerSec{1.5});
+  EXPECT_TRUE(report.complete);
+  EXPECT_FALSE(report.jitter_free);
+}
+
+TEST(DeliveryTest, LossVoidsJitterFreedom) {
+  BernoulliLoss loss(0.5, util::Rng(13));
+  const auto report =
+      deliver_segment(sb_stream(), 0, core::Mbits{16.0}, loss,
+                      core::Minutes{0.0}, core::MbitPerSec{1.5});
+  EXPECT_GT(report.packets_lost, 0U);
+  EXPECT_FALSE(report.complete);
+  EXPECT_FALSE(report.jitter_free);
+  EXPECT_GT(report.gap_count, 0U);
+}
+
+}  // namespace
+}  // namespace vodbcast::net

@@ -1,0 +1,109 @@
+#include "net/packet_client.hpp"
+
+#include <gtest/gtest.h>
+
+#include "schemes/skyscraper.hpp"
+#include "util/contracts.hpp"
+
+namespace vodbcast::net {
+namespace {
+
+struct SbSetup {
+  schemes::SkyscraperScheme scheme{series::kUncapped};
+  schemes::DesignInput input{
+      .server_bandwidth = core::MbitPerSec{75.0},  // K = 5
+      .num_videos = 10,
+      .video = core::VideoParams{core::Minutes{120.0}, core::MbitPerSec{1.5}},
+  };
+
+  [[nodiscard]] series::SegmentLayout layout() const {
+    return scheme.layout(input, *scheme.design(input));
+  }
+  [[nodiscard]] channel::ChannelPlan plan() const {
+    return scheme.plan(input, *scheme.design(input));
+  }
+};
+
+TEST(PacketClientTest, CleanChannelMatchesFluidModel) {
+  const SbSetup setup;
+  const auto layout = setup.layout();
+  const auto plan = setup.plan();
+  NoLoss none;
+  for (std::uint64_t t0 = 0; t0 < 10; ++t0) {
+    const auto report = run_packet_session(plan, 3, layout, t0, none,
+                                           core::Mbits{50.0});
+    EXPECT_TRUE(report.jitter_free) << "t0 = " << t0;
+    EXPECT_EQ(report.packets_lost, 0U);
+    EXPECT_EQ(report.segments_with_gaps, 0U);
+    EXPECT_EQ(report.segments_total, 5U);
+  }
+}
+
+TEST(PacketClientTest, PacketCountsMatchSegmentSizes) {
+  const SbSetup setup;
+  const auto layout = setup.layout();
+  NoLoss none;
+  const auto report = run_packet_session(setup.plan(), 0, layout, 1, none,
+                                         core::Mbits{100.0});
+  // Total video = 10800 Mbits across segments; packets of <= 100 Mbits with
+  // one short tail per segment: sizes 720,1440,1440,3600,3600 ->
+  // 8+15+15+36+36 = 110 packets.
+  EXPECT_EQ(report.packets_sent, 110U);
+}
+
+TEST(PacketClientTest, LossCreatesStalledSegments) {
+  const SbSetup setup;
+  const auto layout = setup.layout();
+  BernoulliLoss loss(0.3, util::Rng(3));
+  const auto report = run_packet_session(setup.plan(), 0, layout, 2, loss,
+                                         core::Mbits{50.0});
+  EXPECT_GT(report.packets_lost, 0U);
+  EXPECT_FALSE(report.jitter_free);
+  EXPECT_GT(report.segments_stalled, 0U);
+  EXPECT_EQ(report.segments_stalled, report.stalled_segments.size());
+  for (const int s : report.stalled_segments) {
+    EXPECT_GE(s, 1);
+    EXPECT_LE(s, 5);
+  }
+}
+
+TEST(PacketClientTest, BurstLossHurtsFewerSegmentsThanIndependent) {
+  // At the same average loss rate, bursty loss concentrates the damage:
+  // fewer distinct segments develop holes. Averaged over many sessions to
+  // smooth sampling noise.
+  const SbSetup setup;
+  const auto layout = setup.layout();
+  const auto plan = setup.plan();
+
+  std::size_t bursty_segments = 0;
+  std::size_t independent_segments = 0;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    GilbertElliottLoss::Params params;
+    params.p_good_to_bad = 0.005;
+    params.p_bad_to_good = 0.25;
+    params.loss_good = 0.0;
+    params.loss_bad = 0.8;
+    // Stationary bad fraction 0.005/(0.005+0.25) ~ 0.0196 -> avg loss ~1.6%.
+    GilbertElliottLoss ge(params, util::Rng(seed * 2 + 1));
+    BernoulliLoss bern(0.016, util::Rng(seed * 2 + 2));
+    bursty_segments +=
+        run_packet_session(plan, 0, layout, 4, ge, core::Mbits{10.0})
+            .segments_with_gaps;
+    independent_segments +=
+        run_packet_session(plan, 0, layout, 4, bern, core::Mbits{10.0})
+            .segments_with_gaps;
+  }
+  EXPECT_LT(bursty_segments, independent_segments);
+}
+
+TEST(PacketClientTest, RejectsForeignVideo) {
+  const SbSetup setup;
+  const auto layout = setup.layout();
+  NoLoss none;
+  EXPECT_THROW((void)run_packet_session(setup.plan(), 99, layout, 0, none,
+                                        core::Mbits{50.0}),
+               util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace vodbcast::net

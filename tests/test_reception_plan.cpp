@@ -1,0 +1,149 @@
+#include "client/reception_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "series/broadcast_series.hpp"
+
+namespace vodbcast::client {
+namespace {
+
+series::SegmentLayout make_layout(int k,
+                                  std::uint64_t width = series::kUncapped) {
+  static const series::SkyscraperSeries law;
+  return series::SegmentLayout(
+      law, k, width,
+      core::VideoParams{core::Minutes{120.0}, core::MbitPerSec{1.5}});
+}
+
+TEST(ReceptionPlanTest, Figure1aOddStartNeedsNoBuffer) {
+  // Paper Figure 1(a): playback starting at an odd time plays both groups
+  // straight off the channels -- no disk needed.
+  const auto layout = make_layout(3);
+  const auto plan = plan_reception(layout, 1);
+  EXPECT_TRUE(plan.jitter_free);
+  EXPECT_EQ(plan.max_buffer_units, 0);
+  // Segment 2's broadcast starts exactly at its playback time.
+  EXPECT_EQ(plan.downloads[1].start, 2U);
+  EXPECT_EQ(plan.downloads[1].deadline, 2U);
+}
+
+TEST(ReceptionPlanTest, Figure1bEvenStartNeedsOneUnit) {
+  // Paper Figure 1(b): playback starting at an even time must prefetch one
+  // unit: buffer 60*b*D1.
+  const auto layout = make_layout(3);
+  const auto plan = plan_reception(layout, 2);
+  EXPECT_TRUE(plan.jitter_free);
+  EXPECT_EQ(plan.max_buffer_units, 1);
+  // Segment 2 is prefetched starting at t0 while segment 1 plays.
+  EXPECT_EQ(plan.downloads[1].start, 2U);
+  EXPECT_EQ(plan.downloads[1].deadline, 3U);
+}
+
+TEST(ReceptionPlanTest, DownloadsJoinOnlyBroadcastStarts) {
+  const auto layout = make_layout(9);
+  for (std::uint64_t t0 = 0; t0 < 64; ++t0) {
+    const auto plan = plan_reception(layout, t0);
+    for (const auto& d : plan.downloads) {
+      EXPECT_EQ(d.start % d.length, 0U)
+          << "segment " << d.segment << " at t0=" << t0;
+      EXPECT_GE(d.start, t0);
+    }
+  }
+}
+
+TEST(ReceptionPlanTest, LoaderAssignmentByGroupParity) {
+  const auto layout = make_layout(7);  // 1,2,2,5,5,12,12
+  const auto plan = plan_reception(layout, 0);
+  ASSERT_EQ(plan.downloads.size(), 7U);
+  EXPECT_EQ(plan.downloads[0].loader, LoaderId::kOdd);   // size 1
+  EXPECT_EQ(plan.downloads[1].loader, LoaderId::kEven);  // size 2
+  EXPECT_EQ(plan.downloads[2].loader, LoaderId::kEven);
+  EXPECT_EQ(plan.downloads[3].loader, LoaderId::kOdd);   // size 5
+  EXPECT_EQ(plan.downloads[4].loader, LoaderId::kOdd);
+  EXPECT_EQ(plan.downloads[5].loader, LoaderId::kEven);  // size 12
+  EXPECT_EQ(plan.downloads[6].loader, LoaderId::kEven);
+}
+
+TEST(ReceptionPlanTest, LoaderDownloadsAreSequential) {
+  const auto layout = make_layout(11);
+  for (const std::uint64_t t0 : {0U, 3U, 7U, 12U, 25U}) {
+    const auto plan = plan_reception(layout, t0);
+    std::uint64_t free_odd = 0;
+    std::uint64_t free_even = 0;
+    for (const auto& d : plan.downloads) {
+      auto& free = d.loader == LoaderId::kOdd ? free_odd : free_even;
+      EXPECT_GE(d.start, free) << "segment " << d.segment << " t0=" << t0;
+      free = d.end();
+    }
+  }
+}
+
+TEST(ReceptionPlanTest, WorstCaseBufferForK5IsFourUnits) {
+  // Layout 1,2,2,5,5: the binding transition is (2,2) -> (5,5) with A = 2,
+  // whose Figure-2 bound is 2A = 4 units.
+  const auto layout = make_layout(5);
+  const auto worst = worst_case_over_phases(layout);
+  EXPECT_TRUE(worst.always_jitter_free);
+  EXPECT_EQ(worst.max_buffer_units, 4);
+  EXPECT_LE(worst.max_concurrent_downloads, 2);
+}
+
+TEST(ReceptionPlanTest, CappedLayoutRespectsWidthBound) {
+  // Capped at W: the paper's storage requirement is 60*b*D1*(W-1), i.e.
+  // W - 1 units.
+  for (const std::uint64_t w : {std::uint64_t{2}, std::uint64_t{5},
+                                std::uint64_t{12}}) {
+    const auto layout = make_layout(12, w);
+    const auto worst = worst_case_over_phases(layout);
+    EXPECT_TRUE(worst.always_jitter_free) << "w = " << w;
+    EXPECT_LE(worst.max_buffer_units, static_cast<std::int64_t>(w) - 1)
+        << "w = " << w;
+  }
+}
+
+TEST(ReceptionPlanTest, WidthTwoAchievesExactlyOneUnit) {
+  const auto layout = make_layout(10, 2);
+  const auto worst = worst_case_over_phases(layout);
+  EXPECT_EQ(worst.max_buffer_units, 1);
+}
+
+TEST(ReceptionPlanTest, MaxBufferMbitsConversion) {
+  const auto layout = make_layout(3);  // D1 = 24 min
+  const auto plan = plan_reception(layout, 2);
+  // 1 unit * 60 s * 1.5 Mb/s * 24 min = 2160 Mbits.
+  EXPECT_NEAR(plan.max_buffer(layout).v, 2160.0, 1e-9);
+}
+
+TEST(ReceptionPlanTest, TraceStartsAndEndsEmpty) {
+  const auto layout = make_layout(7);
+  for (const std::uint64_t t0 : {0U, 1U, 5U, 9U}) {
+    const auto plan = plan_reception(layout, t0);
+    ASSERT_TRUE(plan.jitter_free);
+    ASSERT_FALSE(plan.trace.points().empty());
+    EXPECT_EQ(plan.trace.points().back().level, 0)
+        << "all data must be drained at playback end, t0=" << t0;
+  }
+}
+
+TEST(ReceptionPlanTest, DeadlinesArePlaybackOffsets) {
+  const auto layout = make_layout(5);
+  const auto plan = plan_reception(layout, 9);
+  for (const auto& d : plan.downloads) {
+    EXPECT_EQ(d.deadline, 9 + layout.playback_offset_units(d.segment));
+  }
+}
+
+TEST(ReceptionPlanTest, WorstCaseCoversWholeHyperPeriod) {
+  const auto layout = make_layout(5);  // lcm(1,2,5) = 10
+  const auto worst = worst_case_over_phases(layout);
+  EXPECT_EQ(worst.phases_examined, 10U);
+}
+
+TEST(ReceptionPlanTest, WorstCasePhaseCapRespected) {
+  const auto layout = make_layout(13);  // lcm includes 105 -> large
+  const auto worst = worst_case_over_phases(layout, 32);
+  EXPECT_EQ(worst.phases_examined, 32U);
+}
+
+}  // namespace
+}  // namespace vodbcast::client

@@ -1,0 +1,99 @@
+// Property tests for the paper's three Section-4 claims, swept over widths,
+// channel counts and every client phase:
+//   1. playback is jitter-free for every arrival,
+//   2. at most two download streams are ever needed,
+//   3. the buffer never exceeds 60*b*D1*(W-1), i.e. W-1 units.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <tuple>
+
+#include "client/reception_plan.hpp"
+#include "series/broadcast_series.hpp"
+
+namespace vodbcast::client {
+namespace {
+
+series::SegmentLayout make_layout(int k, std::uint64_t width) {
+  static const series::SkyscraperSeries law;
+  return series::SegmentLayout(
+      law, k, width,
+      core::VideoParams{core::Minutes{120.0}, core::MbitPerSec{1.5}});
+}
+
+class SkyscraperPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {
+ protected:
+  [[nodiscard]] series::SegmentLayout layout() const {
+    return make_layout(std::get<0>(GetParam()), std::get<1>(GetParam()));
+  }
+};
+
+TEST_P(SkyscraperPropertyTest, JitterFreeForEveryPhase) {
+  const auto lay = layout();
+  const auto worst = worst_case_over_phases(lay, 4096);
+  EXPECT_TRUE(worst.always_jitter_free);
+}
+
+TEST_P(SkyscraperPropertyTest, NeverMoreThanTwoTuners) {
+  const auto lay = layout();
+  const auto worst = worst_case_over_phases(lay, 4096);
+  EXPECT_LE(worst.max_concurrent_downloads, 2);
+}
+
+TEST_P(SkyscraperPropertyTest, BufferWithinPaperBound) {
+  const auto lay = layout();
+  const auto worst = worst_case_over_phases(lay, 4096);
+  const auto bound = static_cast<std::int64_t>(lay.effective_width()) - 1;
+  EXPECT_LE(worst.max_buffer_units, std::max<std::int64_t>(bound, 0));
+}
+
+TEST_P(SkyscraperPropertyTest, BufferDrainsCompletely) {
+  const auto lay = layout();
+  for (std::uint64_t t0 = 0; t0 < 32; ++t0) {
+    const auto plan = plan_reception(lay, t0);
+    ASSERT_TRUE(plan.jitter_free);
+    EXPECT_EQ(plan.trace.points().back().level, 0) << "t0 = " << t0;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WidthAndChannelSweep, SkyscraperPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                         12, 15, 20),
+                       ::testing::Values(std::uint64_t{1}, std::uint64_t{2},
+                                         std::uint64_t{5}, std::uint64_t{12},
+                                         std::uint64_t{25}, std::uint64_t{52},
+                                         series::kUncapped)));
+
+// The generalized-family extension: the fast-broadcast doubling series also
+// interleaves parities ([1], [2], [4], ... alternate odd/even only for the
+// first two; it does NOT in general), so the two-loader client need not be
+// correct for arbitrary series. These tests document which laws the client
+// supports.
+TEST(AlternativeSeriesTest, FlatSeriesIsAlwaysJitterFree) {
+  static const series::FlatSeries law;
+  const series::SegmentLayout lay(
+      law, 8, 1,
+      core::VideoParams{core::Minutes{120.0}, core::MbitPerSec{1.5}});
+  const auto worst = worst_case_over_phases(lay, 64);
+  EXPECT_TRUE(worst.always_jitter_free);
+  EXPECT_EQ(worst.max_buffer_units, 0);
+}
+
+TEST(AlternativeSeriesTest, SkyscraperBufferBeatFastSeriesNeeds) {
+  // Fast broadcasting [1,2,4,8,...] downloads everything greedily; with only
+  // two loaders it can miss deadlines -- quantifying why the paper designed
+  // a series whose parities interleave.
+  static const series::FastSeries law;
+  const series::SegmentLayout lay(
+      law, 6, series::kUncapped,
+      core::VideoParams{core::Minutes{120.0}, core::MbitPerSec{1.5}});
+  const auto worst = worst_case_over_phases(lay, 64);
+  // The doubling series has all-even sizes from segment 2 on: one loader
+  // must fetch them serially and cannot keep up for every phase.
+  EXPECT_FALSE(worst.always_jitter_free);
+}
+
+}  // namespace
+}  // namespace vodbcast::client

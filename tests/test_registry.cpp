@@ -1,0 +1,54 @@
+#include "schemes/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "series/broadcast_series.hpp"
+#include "util/contracts.hpp"
+
+namespace vodbcast::schemes {
+namespace {
+
+TEST(RegistryTest, ResolvesPaperLabels) {
+  EXPECT_EQ(make_scheme("PB:a")->name(), "PB:a");
+  EXPECT_EQ(make_scheme("PB:b")->name(), "PB:b");
+  EXPECT_EQ(make_scheme("PPB:a")->name(), "PPB:a");
+  EXPECT_EQ(make_scheme("PPB:b")->name(), "PPB:b");
+  EXPECT_EQ(make_scheme("staggered")->name(), "staggered");
+  EXPECT_EQ(make_scheme("SB:W=52")->name(), "SB:W=52");
+  EXPECT_EQ(make_scheme("SB:W=inf")->name(), "SB:W=inf");
+}
+
+TEST(RegistryTest, ResolvesAlternativeSeries) {
+  EXPECT_EQ(make_scheme("SB(fast):W=8")->name(), "SB(fast):W=8");
+  EXPECT_EQ(make_scheme("SB(flat):W=1")->name(), "SB(flat):W=1");
+}
+
+TEST(RegistryTest, RejectsMalformedLabels) {
+  EXPECT_THROW((void)make_scheme("SB"), util::ContractViolation);
+  EXPECT_THROW((void)make_scheme("SB:W=0"), util::ContractViolation);
+  EXPECT_THROW((void)make_scheme("SB:W=abc"), util::ContractViolation);
+  EXPECT_THROW((void)make_scheme("SB(fast:W=2"), util::ContractViolation);
+  EXPECT_THROW((void)make_scheme("XYZ"), util::ContractViolation);
+  EXPECT_THROW((void)make_scheme(""), util::ContractViolation);
+}
+
+TEST(RegistryTest, PaperWidthsAreTheStudiedElements) {
+  const auto widths = paper_widths();
+  ASSERT_EQ(widths.size(), 5U);
+  EXPECT_EQ(widths[0], 2U);
+  EXPECT_EQ(widths[1], 52U);
+  EXPECT_EQ(widths[2], 1705U);
+  EXPECT_EQ(widths[3], 54612U);
+  EXPECT_EQ(widths[4], series::kUncapped);
+}
+
+TEST(RegistryTest, PaperFigureSetHasNineSchemes) {
+  const auto set = paper_figure_set();
+  ASSERT_EQ(set.size(), 9U);
+  EXPECT_EQ(set[0]->name(), "PB:a");
+  EXPECT_EQ(set[4]->name(), "SB:W=2");
+  EXPECT_EQ(set[8]->name(), "SB:W=inf");
+}
+
+}  // namespace
+}  // namespace vodbcast::schemes

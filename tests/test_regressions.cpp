@@ -1,0 +1,110 @@
+// Regression tests for specific defects found during development, kept as
+// executable documentation of the fixes.
+#include <gtest/gtest.h>
+
+#include "client/client_session.hpp"
+#include "client/reception_plan.hpp"
+#include "schemes/permutation_pyramid.hpp"
+#include "schemes/skyscraper.hpp"
+#include "series/broadcast_series.hpp"
+
+namespace vodbcast {
+namespace {
+
+TEST(RegressionTest, NarrowWidthManyChannelsDoesNotOverflow) {
+  // SB:W=2 at 2 Gb/s gives K = 133; the raw skyscraper element f(133) is
+  // astronomically larger than 2^64. The capped prefix must never evaluate
+  // elements past the point where the cap binds.
+  const series::SkyscraperSeries law;
+  const auto values = law.prefix(200, 2);
+  ASSERT_EQ(values.size(), 200U);
+  EXPECT_EQ(values.front(), 1U);
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    EXPECT_EQ(values[i], 2U);
+  }
+  EXPECT_EQ(law.prefix_sum(200, 2), 399U);
+
+  const schemes::SkyscraperScheme sb(2);
+  const schemes::DesignInput input{
+      .server_bandwidth = core::MbitPerSec{2000.0},
+      .num_videos = 10,
+      .video = core::VideoParams{core::Minutes{120.0}, core::MbitPerSec{1.5}},
+  };
+  const auto eval = sb.evaluate(input);
+  ASSERT_TRUE(eval.has_value());
+  EXPECT_EQ(eval->design.segments, 133);
+}
+
+TEST(RegressionTest, EagerLoaderWouldExceedThePaperBound) {
+  // The paper's storage bound 60*b*D1*(W-1) only holds for a just-in-time
+  // loader. The layout [1,2,2,5,5,12,12,25,25,25] (K = 10, W = 25) is where
+  // an eager loader peaks at 28 > 24 units; the JIT planner must stay at or
+  // below W - 1 = 24.
+  const series::SkyscraperSeries law;
+  const series::SegmentLayout layout(
+      law, 10, 25,
+      core::VideoParams{core::Minutes{120.0}, core::MbitPerSec{1.5}});
+  const auto worst = client::worst_case_over_phases(layout);
+  EXPECT_TRUE(worst.always_jitter_free);
+  EXPECT_LE(worst.max_buffer_units, 24);
+}
+
+TEST(RegressionTest, PpbVariantBBacksOffSegmentsWhenInfeasible) {
+  // At B = 300 Mb/s the preferred K = 7 gives c = 2.857 and PPB:b's P >= 2
+  // floor pushes alpha below 1; the design must fall back to K = 6 rather
+  // than report the whole scheme infeasible (the paper's PPB curves are
+  // continuous across the axis).
+  const schemes::PermutationPyramidScheme ppb(schemes::Variant::kB);
+  const schemes::DesignInput input{
+      .server_bandwidth = core::MbitPerSec{300.0},
+      .num_videos = 10,
+      .video = core::VideoParams{core::Minutes{120.0}, core::MbitPerSec{1.5}},
+  };
+  const auto design = ppb.design(input);
+  ASSERT_TRUE(design.has_value());
+  EXPECT_EQ(design->segments, 6);
+  EXPECT_GT(design->alpha, 1.0);
+}
+
+TEST(RegressionTest, PpbFeasibleAcrossTheWholePaperAxis) {
+  for (const auto variant : {schemes::Variant::kA, schemes::Variant::kB}) {
+    const schemes::PermutationPyramidScheme ppb(variant);
+    for (double b = 100.0; b <= 600.0; b += 10.0) {
+      const schemes::DesignInput input{
+          .server_bandwidth = core::MbitPerSec{b},
+          .num_videos = 10,
+          .video =
+              core::VideoParams{core::Minutes{120.0}, core::MbitPerSec{1.5}},
+      };
+      EXPECT_TRUE(ppb.design(input).has_value())
+          << ppb.name() << " at B = " << b;
+    }
+  }
+}
+
+TEST(RegressionTest, UncappedPrefixStillEvaluatesEagerly) {
+  // The cap short-circuit must not change uncapped prefixes.
+  const series::SkyscraperSeries law;
+  const auto values = law.prefix(11);
+  const std::vector<std::uint64_t> expected{1, 2, 2, 5, 5, 12, 12, 25, 25,
+                                            52, 52};
+  EXPECT_EQ(values, expected);
+}
+
+TEST(RegressionTest, PlanReceptionMatchesSessionOnCapBoundary) {
+  // The width-cap tail merges into a single transmission group served by
+  // one loader; planner and slot machine must agree there too.
+  const series::SkyscraperSeries law;
+  const series::SegmentLayout layout(
+      law, 12, 5,
+      core::VideoParams{core::Minutes{120.0}, core::MbitPerSec{1.5}});
+  for (std::uint64_t t0 = 0; t0 < 20; ++t0) {
+    const auto plan = client::plan_reception(layout, t0);
+    const auto session = client::ClientSession(layout, t0).run();
+    EXPECT_EQ(plan.jitter_free, session.jitter_free) << t0;
+    EXPECT_EQ(plan.max_buffer_units, session.max_buffer_units) << t0;
+  }
+}
+
+}  // namespace
+}  // namespace vodbcast

@@ -1,0 +1,113 @@
+// Cross-scheme consistency properties: for EVERY scheme at EVERY bandwidth,
+// the concrete channel plan and the closed-form metrics must describe the
+// same system — the worst tune-in gap of segment 1 is the advertised access
+// latency, and the plan never exceeds the server bandwidth budget.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "schemes/registry.hpp"
+#include "sim/broadcast_server.hpp"
+
+namespace vodbcast::schemes {
+namespace {
+
+DesignInput paper_input(double bandwidth) {
+  return DesignInput{
+      .server_bandwidth = core::MbitPerSec{bandwidth},
+      .num_videos = 10,
+      .video = core::VideoParams{core::Minutes{120.0}, core::MbitPerSec{1.5}},
+  };
+}
+
+class SchemeConsistencyTest
+    : public ::testing::TestWithParam<std::tuple<std::string, double>> {
+ protected:
+  [[nodiscard]] const std::string& label() const {
+    return std::get<0>(GetParam());
+  }
+  [[nodiscard]] double bandwidth() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(SchemeConsistencyTest, PlanMatchesAdvertisedLatency) {
+  const auto scheme = make_scheme(label());
+  const auto input = paper_input(bandwidth());
+  const auto design = scheme->design(input);
+  if (!design.has_value()) {
+    GTEST_SKIP() << label() << " infeasible at " << bandwidth();
+  }
+  const auto metrics = scheme->metrics(input, *design);
+  const sim::BroadcastServer server(scheme->plan(input, *design));
+  const auto gap = server.worst_wait(/*video=*/3, /*segment=*/1);
+  ASSERT_TRUE(gap.has_value());
+
+  // The cautious harmonic client waits one extra slot beyond the tune-in
+  // gap; every other scheme's latency IS the gap.
+  const double factor = label() == "HB" ? 2.0 : 1.0;
+  EXPECT_NEAR(metrics.access_latency.v, factor * gap->v,
+              1e-6 * metrics.access_latency.v + 1e-9)
+      << label() << " at " << bandwidth();
+}
+
+TEST_P(SchemeConsistencyTest, PlanStaysWithinBandwidthBudget) {
+  const auto scheme = make_scheme(label());
+  const auto input = paper_input(bandwidth());
+  const auto design = scheme->design(input);
+  if (!design.has_value()) {
+    GTEST_SKIP();
+  }
+  const auto plan = scheme->plan(input, *design);
+  EXPECT_LE(plan.peak_aggregate_rate().v, bandwidth() + 1e-6)
+      << label() << " at " << bandwidth();
+}
+
+TEST_P(SchemeConsistencyTest, PlanCarriesEveryVideo) {
+  const auto scheme = make_scheme(label());
+  const auto input = paper_input(bandwidth());
+  const auto design = scheme->design(input);
+  if (!design.has_value()) {
+    GTEST_SKIP();
+  }
+  const auto plan = scheme->plan(input, *design);
+  for (core::VideoId v = 0; v < 10; ++v) {
+    EXPECT_FALSE(plan.streams_for(v).empty())
+        << label() << " video " << v << " at " << bandwidth();
+  }
+}
+
+TEST_P(SchemeConsistencyTest, MetricsArePositiveAndFinite) {
+  const auto scheme = make_scheme(label());
+  const auto input = paper_input(bandwidth());
+  const auto eval = scheme->evaluate(input);
+  if (!eval.has_value()) {
+    GTEST_SKIP();
+  }
+  EXPECT_GT(eval->metrics.access_latency.v, 0.0);
+  EXPECT_GE(eval->metrics.client_buffer.v, 0.0);
+  EXPECT_GE(eval->metrics.client_disk_bandwidth.v,
+            input.video.display_rate.v);
+  EXPECT_LT(eval->metrics.client_buffer.v, input.video.size().v);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemesAllBandwidths, SchemeConsistencyTest,
+    ::testing::Combine(::testing::Values("PB:a", "PB:b", "PPB:a", "PPB:b",
+                                         "SB:W=2", "SB:W=52", "SB:W=inf",
+                                         "staggered", "FB", "HB"),
+                       ::testing::Values(100.0, 180.0, 320.0, 470.0, 600.0)),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, double>>&
+           param) {
+      std::string name = std::get<0>(param.param) + "_" +
+                         std::to_string(static_cast<int>(
+                             std::get<1>(param.param)));
+      for (auto& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) {
+          c = '_';
+        }
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace vodbcast::schemes

@@ -1,0 +1,147 @@
+#include "schemes/permutation_pyramid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace vodbcast::schemes {
+namespace {
+
+DesignInput paper_input(double bandwidth) {
+  return DesignInput{
+      .server_bandwidth = core::MbitPerSec{bandwidth},
+      .num_videos = 10,
+      .video = core::VideoParams{core::Minutes{120.0}, core::MbitPerSec{1.5}},
+  };
+}
+
+TEST(PpbSchemeTest, Names) {
+  EXPECT_EQ(PermutationPyramidScheme(Variant::kA).name(), "PPB:a");
+  EXPECT_EQ(PermutationPyramidScheme(Variant::kB).name(), "PPB:b");
+}
+
+TEST(PpbSchemeTest, SegmentsClampedToSeven) {
+  // Paper: K = floor(B/(b*M*e)) limited to 2 <= K <= 7; beyond that latency
+  // improves only linearly.
+  const PermutationPyramidScheme ppb(Variant::kA);
+  EXPECT_EQ(ppb.design(paper_input(100.0))->segments, 2);
+  EXPECT_EQ(ppb.design(paper_input(300.0))->segments, 7);
+  EXPECT_EQ(ppb.design(paper_input(600.0))->segments, 7);
+}
+
+TEST(PpbSchemeTest, VariantBKeepsAtLeastTwoReplicas) {
+  const auto a = PermutationPyramidScheme(Variant::kA)
+                     .design(paper_input(320.0));
+  const auto b = PermutationPyramidScheme(Variant::kB)
+                     .design(paper_input(320.0));
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  // c = 320/(1.5*10*7) = 3.048: PPB:a takes P = 1, PPB:b forces P = 2.
+  EXPECT_EQ(a->replicas, 1);
+  EXPECT_EQ(b->replicas, 2);
+  EXPECT_NEAR(a->alpha, 3.0476 - 1.0, 1e-3);
+  EXPECT_NEAR(b->alpha, 3.0476 - 2.0, 1e-3);
+}
+
+TEST(PpbSchemeTest, AlphaMustExceedOne) {
+  // At 90 Mb/s, c = 3.0 exactly: PPB:b gets alpha = 1.0 -> infeasible.
+  EXPECT_FALSE(PermutationPyramidScheme(Variant::kB)
+                   .design(paper_input(90.0))
+                   .has_value());
+  EXPECT_TRUE(PermutationPyramidScheme(Variant::kB)
+                  .design(paper_input(100.0))
+                  .has_value());
+}
+
+TEST(PpbSchemeTest, PaperSpotCheckStorageAt320) {
+  // Paper Section 5.4: "when B is about 320 Mbits/sec, PPB:b requires only
+  // 150 MBytes or so of disk space. Unfortunately, its access latency in
+  // this case is as high as five minutes."
+  const auto eval = PermutationPyramidScheme(Variant::kB)
+                        .evaluate(paper_input(320.0));
+  ASSERT_TRUE(eval.has_value());
+  EXPECT_NEAR(eval->metrics.client_buffer.mbytes(), 150.0, 15.0);
+  EXPECT_NEAR(eval->metrics.access_latency.v, 5.0, 0.5);
+}
+
+TEST(PpbSchemeTest, StorageWellBelowPyramid) {
+  // Paper: PPB reduces PB's >1 GB to ~250 MB.
+  for (const double bandwidth : {200.0, 400.0, 600.0}) {
+    const auto eval = PermutationPyramidScheme(Variant::kA)
+                          .evaluate(paper_input(bandwidth));
+    ASSERT_TRUE(eval.has_value()) << bandwidth;
+    EXPECT_LT(eval->metrics.client_buffer.mbytes(), 400.0) << bandwidth;
+  }
+}
+
+TEST(PpbSchemeTest, DiskBandwidthNearDisplayRate) {
+  // b + B/(K*M*P) stays within a few b of the display rate, far below PB.
+  const auto eval = PermutationPyramidScheme(Variant::kB)
+                        .evaluate(paper_input(600.0));
+  ASSERT_TRUE(eval.has_value());
+  EXPECT_LT(eval->metrics.client_disk_bandwidth.v, 10.0);
+  EXPECT_GT(eval->metrics.client_disk_bandwidth.v, 1.5);
+}
+
+TEST(PpbSchemeTest, LatencyWorseThanPyramid) {
+  // The paper's Figure 7 story: PPB trades latency for buffer.
+  const auto input = paper_input(300.0);
+  const auto ppb = PermutationPyramidScheme(Variant::kB).evaluate(input);
+  ASSERT_TRUE(ppb.has_value());
+  EXPECT_GT(ppb->metrics.access_latency.v, 1.0);
+}
+
+TEST(PpbSchemeTest, NeedsAtLeast300MbpsForHalfMinuteLatency) {
+  // Paper Section 5.3: "if the access latency is required to be less than
+  // 0.5 minutes, then we must have a network-I/O bandwidth of at least 300
+  // Mbits/sec in order to use PPB."
+  const PermutationPyramidScheme ppb(Variant::kA);
+  const auto low = ppb.evaluate(paper_input(240.0));
+  const auto high = ppb.evaluate(paper_input(340.0));
+  ASSERT_TRUE(low.has_value() && high.has_value());
+  EXPECT_GT(low->metrics.access_latency.v, 0.5);
+  EXPECT_LT(high->metrics.access_latency.v, 1.0);
+}
+
+TEST(PpbSchemeTest, PlanBuildsReplicasPerSegment) {
+  const PermutationPyramidScheme ppb(Variant::kB);
+  const auto input = paper_input(320.0);
+  const auto design = ppb.design(input);
+  ASSERT_TRUE(design.has_value());
+  const auto plan = ppb.plan(input, *design);
+  EXPECT_EQ(plan.stream_count(),
+            static_cast<std::size_t>(10 * design->segments *
+                                     design->replicas));
+  // Replicas of one segment share a period and are evenly phase-shifted.
+  const auto r0 = plan.find(2, 3, 0);
+  const auto r1 = plan.find(2, 3, 1);
+  ASSERT_TRUE(r0.has_value() && r1.has_value());
+  EXPECT_NEAR(r1->phase.v - r0->phase.v, r0->period.v / design->replicas,
+              1e-9);
+}
+
+TEST(PpbSchemeTest, PlanAggregateRateStaysWithinBudget) {
+  const PermutationPyramidScheme ppb(Variant::kA);
+  const auto input = paper_input(400.0);
+  const auto design = ppb.design(input);
+  const auto plan = ppb.plan(input, *design);
+  EXPECT_LE(plan.peak_aggregate_rate().v, 400.0 + 1e-6);
+}
+
+TEST(PpbSchemeTest, LatencyMatchesWorstReplicaGap) {
+  // The closed form D1*M*K*b/B must equal the largest gap between replica
+  // starts in the actual plan.
+  const PermutationPyramidScheme ppb(Variant::kB);
+  const auto input = paper_input(320.0);
+  const auto design = ppb.design(input);
+  ASSERT_TRUE(design.has_value());
+  const auto metrics = ppb.metrics(input, *design);
+  const auto plan = ppb.plan(input, *design);
+  const auto s = plan.find(0, 1, 0);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_NEAR(metrics.access_latency.v, s->period.v / design->replicas, 1e-9);
+}
+
+}  // namespace
+}  // namespace vodbcast::schemes

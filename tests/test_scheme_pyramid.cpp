@@ -1,0 +1,163 @@
+#include "schemes/pyramid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+#include "util/math.hpp"
+
+namespace vodbcast::schemes {
+namespace {
+
+DesignInput paper_input(double bandwidth) {
+  return DesignInput{
+      .server_bandwidth = core::MbitPerSec{bandwidth},
+      .num_videos = 10,
+      .video = core::VideoParams{core::Minutes{120.0}, core::MbitPerSec{1.5}},
+  };
+}
+
+TEST(PyramidSchemeTest, Names) {
+  EXPECT_EQ(PyramidScheme(Variant::kA).name(), "PB:a");
+  EXPECT_EQ(PyramidScheme(Variant::kB).name(), "PB:b");
+}
+
+TEST(PyramidSchemeTest, DesignParameterMethods) {
+  // B/(b*M*e) = 600/(15e) = 14.71...; PB:a takes the ceiling, PB:b the floor.
+  const auto a = PyramidScheme(Variant::kA).design(paper_input(600.0));
+  const auto b = PyramidScheme(Variant::kB).design(paper_input(600.0));
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  EXPECT_EQ(a->segments, 15);
+  EXPECT_EQ(b->segments, 14);
+  EXPECT_NEAR(a->alpha, 600.0 / (15.0 * 15.0), 1e-12);
+  EXPECT_NEAR(b->alpha, 600.0 / (15.0 * 14.0), 1e-12);
+  // PB:a keeps alpha at or below e, PB:b at or above.
+  EXPECT_LE(a->alpha, util::kEuler + 1e-9);
+  EXPECT_GE(b->alpha, util::kEuler - 1e-9);
+}
+
+TEST(PyramidSchemeTest, InfeasibleBelowNinetyMbps) {
+  // The paper: "PB and PPB do not work if the server bandwidth is less than
+  // 90 Mbits/sec (alpha becomes less than one)."
+  EXPECT_FALSE(PyramidScheme(Variant::kB).design(paper_input(40.0))
+                   .has_value());
+  EXPECT_TRUE(PyramidScheme(Variant::kB).design(paper_input(100.0))
+                  .has_value());
+}
+
+TEST(PyramidSchemeTest, SegmentsGrowGeometrically) {
+  const PyramidScheme pb(Variant::kA);
+  const auto input = paper_input(300.0);
+  const auto design = pb.design(input);
+  ASSERT_TRUE(design.has_value());
+  for (int i = 1; i < design->segments; ++i) {
+    const double ratio =
+        PyramidScheme::segment_duration(input, *design, i + 1).v /
+        PyramidScheme::segment_duration(input, *design, i).v;
+    EXPECT_NEAR(ratio, design->alpha, 1e-9) << "i = " << i;
+  }
+}
+
+TEST(PyramidSchemeTest, SegmentDurationsSumToVideo) {
+  const PyramidScheme pb(Variant::kB);
+  const auto input = paper_input(450.0);
+  const auto design = pb.design(input);
+  ASSERT_TRUE(design.has_value());
+  double total = 0.0;
+  for (int i = 1; i <= design->segments; ++i) {
+    total += PyramidScheme::segment_duration(input, *design, i).v;
+  }
+  EXPECT_NEAR(total, 120.0, 1e-9);
+}
+
+TEST(PyramidSchemeTest, DiskBandwidthIsHuge) {
+  // Paper: PB needs roughly 50x the display rate (~10 MB/s) of client disk
+  // bandwidth at the high end.
+  const auto eval = PyramidScheme(Variant::kA).evaluate(paper_input(600.0));
+  ASSERT_TRUE(eval.has_value());
+  EXPECT_NEAR(eval->metrics.client_disk_bandwidth.v, 1.5 + 2.0 * 600.0 / 15.0,
+              1e-9);
+  EXPECT_GT(eval->metrics.client_disk_bandwidth.mbyte_per_sec(), 9.0);
+  EXPECT_LT(eval->metrics.client_disk_bandwidth.mbyte_per_sec(), 11.0);
+}
+
+TEST(PyramidSchemeTest, StorageIsMostOfTheVideo) {
+  // Paper Figure 8: PB requires more than 1.0 GB (>75% of a 1350 MB video)
+  // across the studied range.
+  for (const double bandwidth : {200.0, 320.0, 600.0}) {
+    const auto eval = PyramidScheme(Variant::kB).evaluate(
+        paper_input(bandwidth));
+    ASSERT_TRUE(eval.has_value()) << bandwidth;
+    EXPECT_GT(eval->metrics.client_buffer.gbytes(), 1.0) << bandwidth;
+    EXPECT_GT(eval->metrics.client_buffer.mbytes(), 0.75 * 1350.0)
+        << bandwidth;
+    EXPECT_LT(eval->metrics.client_buffer.mbytes(), 1350.0) << bandwidth;
+  }
+}
+
+TEST(PyramidSchemeTest, AsymptoticStorageFractionMatchesPaper) {
+  // With alpha ~ e and M = 10 the buffer approaches ~0.84 of the video
+  // (paper Section 2).
+  const auto eval = PyramidScheme(Variant::kA).evaluate(paper_input(4000.0));
+  ASSERT_TRUE(eval.has_value());
+  const double fraction = eval->metrics.client_buffer.v / 10800.0;
+  EXPECT_NEAR(fraction, 0.84, 0.02);
+}
+
+TEST(PyramidSchemeTest, LatencyIsExcellentAndImprovesExponentially) {
+  const PyramidScheme pb(Variant::kA);
+  const double l300 = pb.evaluate(paper_input(300.0))
+                          ->metrics.access_latency.v;
+  const double l600 = pb.evaluate(paper_input(600.0))
+                          ->metrics.access_latency.v;
+  EXPECT_LT(l600, l300 / 50.0);  // far better than the linear 2x
+  EXPECT_LT(l600, 0.001);        // paper: "0.0001 minutes and beyond"
+}
+
+TEST(PyramidSchemeTest, PlanMultiplexesVideosOnEachChannel) {
+  const PyramidScheme pb(Variant::kB);
+  const auto input = paper_input(150.0);
+  const auto design = pb.design(input);
+  ASSERT_TRUE(design.has_value());
+  const auto plan = pb.plan(input, *design);
+  EXPECT_EQ(plan.stream_count(),
+            static_cast<std::size_t>(10 * design->segments));
+  // Channel i carries the i-th segments of all videos back to back: the
+  // period of each stream is M times its transmission and phases tile it.
+  for (int seg = 1; seg <= design->segments; ++seg) {
+    const auto first = plan.find(0, seg);
+    ASSERT_TRUE(first.has_value());
+    EXPECT_NEAR(first->period.v, 10.0 * first->transmission.v, 1e-9);
+    for (core::VideoId v = 0; v < 10; ++v) {
+      const auto s = plan.find(v, seg);
+      ASSERT_TRUE(s.has_value());
+      EXPECT_NEAR(s->phase.v, v * first->transmission.v, 1e-9);
+      EXPECT_EQ(s->logical_channel, seg - 1);
+    }
+  }
+}
+
+TEST(PyramidSchemeTest, PlanSaturatesServerBandwidth) {
+  const PyramidScheme pb(Variant::kA);
+  const auto input = paper_input(300.0);
+  const auto design = pb.design(input);
+  const auto plan = pb.plan(input, *design);
+  // Every channel transmits continuously at B/K: aggregate = B.
+  EXPECT_NEAR(plan.peak_aggregate_rate().v, 300.0, 1e-6);
+}
+
+TEST(PyramidSchemeTest, WorstWaitMatchesChannelOneCycle) {
+  const PyramidScheme pb(Variant::kB);
+  const auto input = paper_input(240.0);
+  const auto design = pb.design(input);
+  ASSERT_TRUE(design.has_value());
+  const auto metrics = pb.metrics(input, *design);
+  const auto plan = pb.plan(input, *design);
+  const auto s1 = plan.find(3, 1);
+  ASSERT_TRUE(s1.has_value());
+  EXPECT_NEAR(metrics.access_latency.v, s1->period.v, 1e-9);
+}
+
+}  // namespace
+}  // namespace vodbcast::schemes

@@ -1,0 +1,164 @@
+#include "schemes/skyscraper.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace vodbcast::schemes {
+namespace {
+
+DesignInput paper_input(double bandwidth) {
+  return DesignInput{
+      .server_bandwidth = core::MbitPerSec{bandwidth},
+      .num_videos = 10,
+      .video = core::VideoParams{core::Minutes{120.0}, core::MbitPerSec{1.5}},
+  };
+}
+
+TEST(SkyscraperSchemeTest, Name) {
+  EXPECT_EQ(SkyscraperScheme(52).name(), "SB:W=52");
+  EXPECT_EQ(SkyscraperScheme(series::kUncapped).name(), "SB:W=inf");
+  EXPECT_EQ(SkyscraperScheme(4, "fast").name(), "SB(fast):W=4");
+}
+
+TEST(SkyscraperSchemeTest, ChannelCountIsFloorOfBandwidthShare) {
+  const SkyscraperScheme sb(52);
+  EXPECT_EQ(sb.design(paper_input(600.0))->segments, 40);
+  EXPECT_EQ(sb.design(paper_input(320.0))->segments, 21);
+  EXPECT_EQ(sb.design(paper_input(100.0))->segments, 6);
+  // Below one channel per video the scheme is infeasible.
+  EXPECT_FALSE(sb.design(paper_input(14.0)).has_value());
+  EXPECT_TRUE(sb.design(paper_input(15.0)).has_value());
+}
+
+TEST(SkyscraperSchemeTest, PaperSpotCheckW52At600) {
+  // Paper Section 5.4: at B = 600 Mb/s and W = 52 a client enjoys ~0.1 min
+  // latency with only ~40 MB of buffer.
+  const SkyscraperScheme sb(52);
+  const auto eval = sb.evaluate(paper_input(600.0));
+  ASSERT_TRUE(eval.has_value());
+  EXPECT_NEAR(eval->metrics.access_latency.v, 120.0 / 1701.0, 1e-12);
+  EXPECT_NEAR(eval->metrics.access_latency.v, 0.0706, 1e-3);
+  EXPECT_NEAR(eval->metrics.client_buffer.mbytes(), 40.5, 0.5);
+  EXPECT_DOUBLE_EQ(eval->metrics.client_disk_bandwidth.v, 4.5);  // 3b
+}
+
+TEST(SkyscraperSchemeTest, PaperSpotCheckW2At320) {
+  // Paper Section 5.4: at B ~ 320 Mb/s, SB with W = 2 needs only ~33 MB.
+  const SkyscraperScheme sb(2);
+  const auto eval = sb.evaluate(paper_input(320.0));
+  ASSERT_TRUE(eval.has_value());
+  EXPECT_NEAR(eval->metrics.client_buffer.mbytes(), 32.9, 0.3);
+  // W = 2 needs only one loader stream: 2b.
+  EXPECT_DOUBLE_EQ(eval->metrics.client_disk_bandwidth.v, 3.0);
+}
+
+TEST(SkyscraperSchemeTest, DiskBandwidthRule) {
+  const auto input = paper_input(600.0);
+  // W = 1 degenerates to staggered: b.
+  EXPECT_DOUBLE_EQ(SkyscraperScheme(1).evaluate(input)
+                       ->metrics.client_disk_bandwidth.v,
+                   1.5);
+  // W = 2: 2b.
+  EXPECT_DOUBLE_EQ(SkyscraperScheme(2).evaluate(input)
+                       ->metrics.client_disk_bandwidth.v,
+                   3.0);
+  // W >= 5 with K >= 4: 3b, independent of W (the paper's flat curves).
+  for (const std::uint64_t w : {std::uint64_t{5}, std::uint64_t{52},
+                                std::uint64_t{1705}, series::kUncapped}) {
+    EXPECT_DOUBLE_EQ(SkyscraperScheme(w).evaluate(input)
+                         ->metrics.client_disk_bandwidth.v,
+                     4.5)
+        << "w = " << w;
+  }
+}
+
+TEST(SkyscraperSchemeTest, DiskBandwidthSmallK) {
+  // K in {2,3} caps the pipeline at two streams even for big W.
+  const SkyscraperScheme sb(52);
+  const auto input = paper_input(45.0);  // K = 3
+  const auto eval = sb.evaluate(input);
+  ASSERT_TRUE(eval.has_value());
+  EXPECT_EQ(eval->design.segments, 3);
+  EXPECT_DOUBLE_EQ(eval->metrics.client_disk_bandwidth.v, 3.0);
+}
+
+TEST(SkyscraperSchemeTest, LatencyDecreasesWithWidth) {
+  const auto input = paper_input(600.0);
+  double previous = 1e300;
+  for (const std::uint64_t w : {std::uint64_t{2}, std::uint64_t{12},
+                                std::uint64_t{52}, std::uint64_t{1705}}) {
+    const auto eval = SkyscraperScheme(w).evaluate(input);
+    ASSERT_TRUE(eval.has_value());
+    EXPECT_LT(eval->metrics.access_latency.v, previous);
+    previous = eval->metrics.access_latency.v;
+  }
+}
+
+TEST(SkyscraperSchemeTest, BufferGrowsWithWidth) {
+  const auto input = paper_input(600.0);
+  double previous = 0.0;
+  for (const std::uint64_t w : {std::uint64_t{2}, std::uint64_t{12},
+                                std::uint64_t{52}, std::uint64_t{1705}}) {
+    const auto eval = SkyscraperScheme(w).evaluate(input);
+    ASSERT_TRUE(eval.has_value());
+    EXPECT_GT(eval->metrics.client_buffer.v, previous);
+    previous = eval->metrics.client_buffer.v;
+  }
+}
+
+TEST(SkyscraperSchemeTest, PlanLoopsEverySegmentAtDisplayRate) {
+  const SkyscraperScheme sb(52);
+  const auto input = paper_input(150.0);  // K = 10
+  const auto design = sb.design(input);
+  ASSERT_TRUE(design.has_value());
+  const auto plan = sb.plan(input, *design);
+  EXPECT_EQ(plan.stream_count(), 100U);  // 10 videos x 10 segments
+  for (const auto& s : plan.streams()) {
+    EXPECT_DOUBLE_EQ(s.rate.v, 1.5);
+    EXPECT_DOUBLE_EQ(s.transmission.v, s.period.v);
+    EXPECT_DOUBLE_EQ(s.phase.v, 0.0);
+  }
+  // Total server rate = K * M * b <= B.
+  EXPECT_NEAR(plan.peak_aggregate_rate().v, 150.0, 1e-9);
+}
+
+TEST(SkyscraperSchemeTest, PlanSegmentPeriodsFollowLayout) {
+  const SkyscraperScheme sb(series::kUncapped);
+  const auto input = paper_input(75.0);  // K = 5
+  const auto design = sb.design(input);
+  const auto plan = sb.plan(input, *design);
+  // Layout 1,2,2,5,5 over 120 min: D1 = 8 min.
+  const auto s1 = plan.find(0, 1);
+  const auto s4 = plan.find(0, 4);
+  ASSERT_TRUE(s1.has_value() && s4.has_value());
+  EXPECT_DOUBLE_EQ(s1->period.v, 8.0);
+  EXPECT_DOUBLE_EQ(s4->period.v, 40.0);
+}
+
+TEST(SkyscraperSchemeTest, WidthForLatencyFindsPaperTradeoff) {
+  const SkyscraperScheme sb(52);
+  const auto input = paper_input(600.0);
+  // Asking for ~0.1 min at 600 Mb/s should land on a moderate width, not the
+  // extreme ones.
+  const auto choice = sb.width_for_latency(input, core::Minutes{0.1});
+  EXPECT_LE(choice.latency.v, 0.1);
+  EXPECT_LE(choice.width, 52U);
+  EXPECT_GE(choice.width, 12U);
+}
+
+TEST(SkyscraperSchemeTest, WidthOneIsStaggered) {
+  const SkyscraperScheme sb(1);
+  const auto eval = sb.evaluate(paper_input(600.0));
+  ASSERT_TRUE(eval.has_value());
+  // 40 unit segments of 3 minutes each.
+  EXPECT_DOUBLE_EQ(eval->metrics.access_latency.v, 3.0);
+  EXPECT_DOUBLE_EQ(eval->metrics.client_buffer.v, 0.0);
+}
+
+TEST(SkyscraperSchemeTest, RejectsZeroWidth) {
+  EXPECT_THROW(SkyscraperScheme(0), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace vodbcast::schemes

@@ -1,0 +1,64 @@
+#include "schemes/staggered.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vodbcast::schemes {
+namespace {
+
+DesignInput paper_input(double bandwidth) {
+  return DesignInput{
+      .server_bandwidth = core::MbitPerSec{bandwidth},
+      .num_videos = 10,
+      .video = core::VideoParams{core::Minutes{120.0}, core::MbitPerSec{1.5}},
+  };
+}
+
+TEST(StaggeredSchemeTest, LatencyImprovesOnlyLinearly) {
+  // The motivation for the pyramid family: doubling B merely halves the
+  // staggered wait.
+  const StaggeredScheme scheme;
+  const auto at300 = scheme.evaluate(paper_input(300.0));
+  const auto at600 = scheme.evaluate(paper_input(600.0));
+  ASSERT_TRUE(at300.has_value() && at600.has_value());
+  EXPECT_DOUBLE_EQ(at300->metrics.access_latency.v, 6.0);   // 120/20
+  EXPECT_DOUBLE_EQ(at600->metrics.access_latency.v, 3.0);   // 120/40
+}
+
+TEST(StaggeredSchemeTest, NoClientBufferOrExtraDiskBandwidth) {
+  const StaggeredScheme scheme;
+  const auto eval = scheme.evaluate(paper_input(600.0));
+  ASSERT_TRUE(eval.has_value());
+  EXPECT_DOUBLE_EQ(eval->metrics.client_buffer.v, 0.0);
+  EXPECT_DOUBLE_EQ(eval->metrics.client_disk_bandwidth.v, 1.5);
+}
+
+TEST(StaggeredSchemeTest, InfeasibleWithoutOneChannelPerVideo) {
+  const StaggeredScheme scheme;
+  EXPECT_FALSE(scheme.design(paper_input(10.0)).has_value());
+  EXPECT_TRUE(scheme.design(paper_input(15.0)).has_value());
+}
+
+TEST(StaggeredSchemeTest, PlanStartsAreEvenlyStaggered) {
+  const StaggeredScheme scheme;
+  const auto input = paper_input(60.0);  // K = 4 channels per video
+  const auto design = scheme.design(input);
+  ASSERT_TRUE(design.has_value());
+  const auto plan = scheme.plan(input, *design);
+  EXPECT_EQ(plan.stream_count(), 40U);
+  const auto streams = plan.streams_for(0);
+  ASSERT_EQ(streams.size(), 4U);
+  // All carry segment 1 (the whole video), 30 minutes apart.
+  std::vector<double> phases;
+  for (const auto& s : streams) {
+    EXPECT_EQ(s.segment, 1);
+    EXPECT_DOUBLE_EQ(s.period.v, 120.0);
+    phases.push_back(s.phase.v);
+  }
+  std::sort(phases.begin(), phases.end());
+  for (std::size_t i = 1; i < phases.size(); ++i) {
+    EXPECT_DOUBLE_EQ(phases[i] - phases[i - 1], 30.0);
+  }
+}
+
+}  // namespace
+}  // namespace vodbcast::schemes

@@ -1,0 +1,107 @@
+#include "series/segmentation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace vodbcast::series {
+namespace {
+
+core::VideoParams paper_video() {
+  return core::VideoParams{core::Minutes{120.0}, core::MbitPerSec{1.5}};
+}
+
+TEST(SegmentLayoutTest, TotalsAndUnitDuration) {
+  const SkyscraperSeries law;
+  const SegmentLayout layout(law, 5, kUncapped, paper_video());
+  // Sizes 1,2,2,5,5 -> 15 units; D1 = 120/15 = 8 minutes.
+  EXPECT_EQ(layout.segment_count(), 5);
+  EXPECT_EQ(layout.total_units(), 15U);
+  EXPECT_DOUBLE_EQ(layout.unit_duration().v, 8.0);
+}
+
+TEST(SegmentLayoutTest, PerSegmentDurationsAndSizes) {
+  const SkyscraperSeries law;
+  const SegmentLayout layout(law, 5, kUncapped, paper_video());
+  EXPECT_DOUBLE_EQ(layout.duration(1).v, 8.0);
+  EXPECT_DOUBLE_EQ(layout.duration(2).v, 16.0);
+  EXPECT_DOUBLE_EQ(layout.duration(4).v, 40.0);
+  // Segment 4: 40 min at 1.5 Mb/s = 3600 Mbits.
+  EXPECT_DOUBLE_EQ(layout.size(4).v, 3600.0);
+}
+
+TEST(SegmentLayoutTest, DurationsSumToVideoLength) {
+  const SkyscraperSeries law;
+  for (int k = 1; k <= 30; ++k) {
+    const SegmentLayout layout(law, k, 52, paper_video());
+    double total = 0.0;
+    for (int i = 1; i <= k; ++i) {
+      total += layout.duration(i).v;
+    }
+    EXPECT_NEAR(total, 120.0, 1e-9) << "k = " << k;
+  }
+}
+
+TEST(SegmentLayoutTest, PlaybackOffsets) {
+  const SkyscraperSeries law;
+  const SegmentLayout layout(law, 5, kUncapped, paper_video());
+  EXPECT_EQ(layout.playback_offset_units(1), 0U);
+  EXPECT_EQ(layout.playback_offset_units(2), 1U);
+  EXPECT_EQ(layout.playback_offset_units(3), 3U);
+  EXPECT_EQ(layout.playback_offset_units(4), 5U);
+  EXPECT_EQ(layout.playback_offset_units(5), 10U);
+}
+
+TEST(SegmentLayoutTest, WidthCapApplies) {
+  const SkyscraperSeries law;
+  const SegmentLayout layout(law, 8, 5, paper_video());
+  EXPECT_EQ(layout.effective_width(), 5U);
+  EXPECT_EQ(layout.units(8), 5U);
+  EXPECT_EQ(layout.total_units(), 1U + 2 + 2 + 5 * 5);
+}
+
+TEST(SegmentLayoutTest, EffectiveWidthBelowCapWhenSeriesShort) {
+  const SkyscraperSeries law;
+  const SegmentLayout layout(law, 3, 52, paper_video());
+  EXPECT_EQ(layout.effective_width(), 2U);
+}
+
+TEST(SegmentLayoutTest, GroupsMatchDecomposition) {
+  const SkyscraperSeries law;
+  const SegmentLayout layout(law, 7, kUncapped, paper_video());
+  const auto& groups = layout.groups();
+  ASSERT_EQ(groups.size(), 4U);
+  EXPECT_EQ(groups.back().size, 12U);
+  EXPECT_EQ(groups.back().length, 2);
+}
+
+TEST(SegmentLayoutTest, BoundsChecked) {
+  const SkyscraperSeries law;
+  const SegmentLayout layout(law, 4, kUncapped, paper_video());
+  EXPECT_THROW((void)layout.units(0), util::ContractViolation);
+  EXPECT_THROW((void)layout.units(5), util::ContractViolation);
+  EXPECT_THROW((void)layout.duration(99), util::ContractViolation);
+}
+
+TEST(SegmentLayoutTest, RejectsInvalidParameters) {
+  const SkyscraperSeries law;
+  EXPECT_THROW(SegmentLayout(law, 0, kUncapped, paper_video()),
+               util::ContractViolation);
+  EXPECT_THROW(SegmentLayout(law, 3, 0, paper_video()),
+               util::ContractViolation);
+  EXPECT_THROW(SegmentLayout(
+                   law, 3, kUncapped,
+                   core::VideoParams{core::Minutes{0.0}, core::MbitPerSec{1.5}}),
+               util::ContractViolation);
+}
+
+TEST(SegmentLayoutTest, AccessLatencyFormula) {
+  // Paper Section 3.2: D1 = D / sum min(f(i), W).
+  const SkyscraperSeries law;
+  const SegmentLayout layout(law, 10, 52, paper_video());
+  const double expected = 120.0 / static_cast<double>(law.prefix_sum(10, 52));
+  EXPECT_DOUBLE_EQ(layout.unit_duration().v, expected);
+}
+
+}  // namespace
+}  // namespace vodbcast::series

@@ -1,0 +1,66 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace vodbcast::sim {
+namespace {
+
+TEST(DistributionTest, BasicMoments) {
+  Distribution d;
+  for (const double x : {1.0, 2.0, 3.0, 4.0}) {
+    d.add(x);
+  }
+  EXPECT_EQ(d.count(), 4U);
+  EXPECT_DOUBLE_EQ(d.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(d.min(), 1.0);
+  EXPECT_DOUBLE_EQ(d.max(), 4.0);
+  EXPECT_NEAR(d.stddev(), 1.1180, 1e-4);
+}
+
+TEST(DistributionTest, Quantiles) {
+  Distribution d;
+  for (int i = 1; i <= 100; ++i) {
+    d.add(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(d.quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.quantile(1.0), 100.0);
+}
+
+TEST(DistributionTest, QuantileAfterLateAdd) {
+  Distribution d;
+  d.add(10.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.5), 10.0);
+  d.add(0.0);  // invalidates the sorted cache
+  EXPECT_DOUBLE_EQ(d.min(), 0.0);
+}
+
+TEST(DistributionTest, EmptyGuards) {
+  Distribution d;
+  EXPECT_TRUE(d.empty());
+  EXPECT_THROW((void)d.mean(), util::ContractViolation);
+  EXPECT_THROW((void)d.quantile(0.5), util::ContractViolation);
+  EXPECT_EQ(d.summary(), "n=0");
+}
+
+TEST(DistributionTest, RejectsBadQuantile) {
+  Distribution d;
+  d.add(1.0);
+  EXPECT_THROW((void)d.quantile(-0.1), util::ContractViolation);
+  EXPECT_THROW((void)d.quantile(1.1), util::ContractViolation);
+}
+
+TEST(DistributionTest, SummaryMentionsCount) {
+  Distribution d;
+  d.add(2.0);
+  d.add(4.0);
+  const auto s = d.summary();
+  EXPECT_NE(s.find("n=2"), std::string::npos);
+  EXPECT_NE(s.find("mean=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vodbcast::sim

@@ -1,0 +1,110 @@
+#include "channel/timetable.hpp"
+
+#include <gtest/gtest.h>
+
+#include "schemes/pyramid.hpp"
+#include "schemes/skyscraper.hpp"
+#include "util/contracts.hpp"
+
+namespace vodbcast::channel {
+namespace {
+
+schemes::DesignInput paper_input(double bandwidth) {
+  return schemes::DesignInput{
+      .server_bandwidth = core::MbitPerSec{bandwidth},
+      .num_videos = 2,
+      .video = core::VideoParams{core::Minutes{120.0}, core::MbitPerSec{1.5}},
+  };
+}
+
+TEST(TimetableTest, SbEmissionsTileEveryChannel) {
+  const schemes::SkyscraperScheme sb(series::kUncapped);
+  const auto input = paper_input(15.0);  // K = 5 per video, 2 videos
+  const auto plan = sb.plan(input, *sb.design(input));
+  // D1 = 8 min; segment 1 of each video starts every 8 minutes.
+  const auto t = timetable(plan, core::Minutes{0.0}, core::Minutes{40.0});
+  int seg1_video0 = 0;
+  for (const auto& e : t) {
+    EXPECT_GE(e.start.v, 0.0);
+    EXPECT_LT(e.start.v, 40.0);
+    if (e.segment == 1 && e.video == 0) {
+      ++seg1_video0;
+    }
+  }
+  EXPECT_EQ(seg1_video0, 5);  // starts at 0, 8, 16, 24, 32
+}
+
+TEST(TimetableTest, SortedByStartThenChannel) {
+  const schemes::SkyscraperScheme sb(series::kUncapped);
+  const auto input = paper_input(15.0);
+  const auto plan = sb.plan(input, *sb.design(input));
+  const auto t = timetable(plan, core::Minutes{0.0}, core::Minutes{120.0});
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    const bool ordered =
+        t[i - 1].start.v < t[i].start.v ||
+        (t[i - 1].start.v == t[i].start.v &&
+         t[i - 1].logical_channel <= t[i].logical_channel);
+    EXPECT_TRUE(ordered) << "at index " << i;
+  }
+}
+
+TEST(TimetableTest, WindowExcludesOutside) {
+  const schemes::SkyscraperScheme sb(series::kUncapped);
+  const auto input = paper_input(15.0);
+  const auto plan = sb.plan(input, *sb.design(input));
+  const auto t = timetable(plan, core::Minutes{16.0}, core::Minutes{24.0});
+  for (const auto& e : t) {
+    EXPECT_GE(e.start.v, 16.0);
+    EXPECT_LT(e.start.v, 24.0);
+  }
+  // Segment 1 of both videos starts exactly once in [16, 24).
+  int seg1 = 0;
+  for (const auto& e : t) {
+    seg1 += e.segment == 1 ? 1 : 0;
+  }
+  EXPECT_EQ(seg1, 2);
+}
+
+TEST(TimetableTest, PyramidEmissionsInterleaveVideos) {
+  const schemes::PyramidScheme pb(schemes::Variant::kB);
+  auto input = paper_input(90.0);
+  const auto design = pb.design(input);
+  ASSERT_TRUE(design.has_value());
+  const auto plan = pb.plan(input, *design);
+  const auto t = timetable(plan, core::Minutes{0.0}, core::Minutes{30.0});
+  ASSERT_FALSE(t.empty());
+  // On channel 0 consecutive emissions alternate videos back to back.
+  const Emission* prev = nullptr;
+  for (const auto& e : t) {
+    if (e.logical_channel != 0) {
+      continue;
+    }
+    if (prev != nullptr) {
+      EXPECT_NE(prev->video, e.video);
+      EXPECT_NEAR(prev->end.v, e.start.v, 1e-9);
+    }
+    prev = &e;
+  }
+}
+
+TEST(TimetableTest, CapGuardsRunawayWindows) {
+  const schemes::SkyscraperScheme sb(series::kUncapped);
+  const auto input = paper_input(15.0);
+  const auto plan = sb.plan(input, *sb.design(input));
+  EXPECT_THROW((void)timetable(plan, core::Minutes{0.0},
+                               core::Minutes{1e7}, 100),
+               util::ContractViolation);
+}
+
+TEST(TimetableTest, RenderListsColumns) {
+  const schemes::SkyscraperScheme sb(series::kUncapped);
+  const auto input = paper_input(15.0);
+  const auto plan = sb.plan(input, *sb.design(input));
+  const auto text = render_timetable(
+      timetable(plan, core::Minutes{0.0}, core::Minutes{8.0}));
+  EXPECT_NE(text.find("channel"), std::string::npos);
+  EXPECT_NE(text.find("segment"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vodbcast::channel

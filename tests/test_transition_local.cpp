@@ -1,0 +1,67 @@
+// Tests for the transition-local buffer accounting that reproduces the
+// paper's Figures 1-4 numerically, including the parity split of the third
+// transition type.
+#include <gtest/gtest.h>
+
+#include "analysis/experiments.hpp"
+#include "series/broadcast_series.hpp"
+#include "util/contracts.hpp"
+
+namespace vodbcast::analysis {
+namespace {
+
+series::SegmentLayout make_layout(int k) {
+  static const series::SkyscraperSeries law;
+  return series::SegmentLayout(
+      law, k, series::kUncapped,
+      core::VideoParams{core::Minutes{120.0}, core::MbitPerSec{1.5}});
+}
+
+TEST(TransitionLocalTest, Figure1InitialTransition) {
+  // (1) -> (2,2): worst 1 unit, attained at even playback starts only.
+  const auto layout = make_layout(3);
+  EXPECT_EQ(transition_local_worst(layout, 0, -1).peak_units, 1);
+  EXPECT_EQ(transition_local_worst(layout, 0, 1).peak_units, 0);  // Fig 1(a)
+  EXPECT_EQ(transition_local_worst(layout, 0, 0).peak_units, 1);  // Fig 1(b)
+}
+
+TEST(TransitionLocalTest, Figure2EvenToOddReachesTwoA) {
+  // (2,2) -> (5,5): 2A = 4.   (12,12) -> (25,25): 2A = 24.
+  EXPECT_EQ(transition_local_worst(make_layout(5), 1).peak_units, 4);
+  EXPECT_EQ(transition_local_worst(make_layout(9), 3).peak_units, 24);
+}
+
+TEST(TransitionLocalTest, Figure3EvenStartsReachTwoA) {
+  // (5,5) -> (12,12) with even playback starts: 2A = 10.
+  EXPECT_EQ(transition_local_worst(make_layout(7), 2, 0).peak_units, 10);
+}
+
+TEST(TransitionLocalTest, Figure4OddStartsReachTwoAPlusOne) {
+  // (5,5) -> (12,12) with odd playback starts: 2A + 1 = 11 -- the most
+  // demanding case, equal to the incoming group width minus one.
+  EXPECT_EQ(transition_local_worst(make_layout(7), 2, 1).peak_units, 11);
+}
+
+TEST(TransitionLocalTest, LocalPeakMatchesUniformBound) {
+  // Every transition's local worst equals next-group-size - 1 when both
+  // parities are allowed (the uniform worst_case_buffer_units bound).
+  const auto layout = make_layout(9);
+  const auto& groups = layout.groups();
+  for (std::size_t g = 0; g + 1 < groups.size(); ++g) {
+    const auto local = transition_local_worst(layout, g, -1);
+    EXPECT_EQ(local.peak_units,
+              static_cast<std::int64_t>(groups[g + 1].size) - 1)
+        << "transition " << g;
+  }
+}
+
+TEST(TransitionLocalTest, RejectsBadGroupIndex) {
+  const auto layout = make_layout(5);
+  EXPECT_THROW((void)transition_local_worst(layout, 2, -1),
+               util::ContractViolation);
+  EXPECT_THROW((void)transition_local_worst(layout, 0, 2),
+               util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace vodbcast::analysis

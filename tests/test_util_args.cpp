@@ -1,0 +1,82 @@
+#include "util/args.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace vodbcast::util {
+namespace {
+
+TEST(ArgParserTest, PositionalsAndFlags) {
+  const ArgParser args({"design", "--scheme", "SB:W=52", "--bandwidth",
+                        "600", "extra"});
+  EXPECT_EQ(args.positional_count(), 2U);
+  EXPECT_EQ(args.positional(0), "design");
+  EXPECT_EQ(args.positional(1), "extra");
+  EXPECT_EQ(args.get_string("scheme", ""), "SB:W=52");
+  EXPECT_DOUBLE_EQ(args.get_double("bandwidth", 0.0), 600.0);
+}
+
+TEST(ArgParserTest, EqualsSyntax) {
+  const ArgParser args({"--bandwidth=320.5", "--scheme=PB:a"});
+  EXPECT_DOUBLE_EQ(args.get_double("bandwidth", 0.0), 320.5);
+  EXPECT_EQ(args.get_string("scheme", ""), "PB:a");
+}
+
+TEST(ArgParserTest, BooleanFlags) {
+  const ArgParser args({"figure", "7", "--csv"});
+  EXPECT_TRUE(args.has("csv"));
+  EXPECT_EQ(args.get_string("csv", ""), "true");
+  EXPECT_FALSE(args.has("plot"));
+}
+
+TEST(ArgParserTest, FlagFollowedByFlagIsBoolean) {
+  const ArgParser args({"--verbose", "--seed", "7"});
+  EXPECT_EQ(args.get_string("verbose", ""), "true");
+  EXPECT_EQ(args.get_uint("seed", 0), 7U);
+}
+
+TEST(ArgParserTest, Defaults) {
+  const ArgParser args(std::vector<std::string>{});
+  EXPECT_EQ(args.positional_count(), 0U);
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 1.5), 1.5);
+  EXPECT_EQ(args.get_int("missing", -3), -3);
+  EXPECT_EQ(args.get_string("missing", "x"), "x");
+}
+
+TEST(ArgParserTest, UintAcceptsInf) {
+  const ArgParser args({"--width", "inf"});
+  EXPECT_EQ(args.get_uint("width", 0), static_cast<std::uint64_t>(-1));
+}
+
+TEST(ArgParserTest, RejectsJunkNumbers) {
+  const ArgParser args({"--bandwidth", "fast", "--count", "3x"});
+  EXPECT_THROW((void)args.get_double("bandwidth", 0.0), ContractViolation);
+  EXPECT_THROW((void)args.get_int("count", 0), ContractViolation);
+  EXPECT_THROW((void)args.get_uint("count", 0), ContractViolation);
+}
+
+TEST(ArgParserTest, RejectsBareDoubleDash) {
+  EXPECT_THROW(ArgParser({"--"}), ContractViolation);
+}
+
+TEST(ArgParserTest, PositionalBoundsChecked) {
+  const ArgParser args({"one"});
+  EXPECT_THROW((void)args.positional(1), ContractViolation);
+}
+
+TEST(ArgParserTest, ArgvConstructorSkipsProgramName) {
+  const char* argv[] = {"vodbcast", "table", "--bandwidth", "320"};
+  const ArgParser args(4, argv);
+  EXPECT_EQ(args.positional_count(), 1U);
+  EXPECT_EQ(args.positional(0), "table");
+  EXPECT_DOUBLE_EQ(args.get_double("bandwidth", 0.0), 320.0);
+}
+
+TEST(ArgParserTest, NegativeNumbersAreValues) {
+  const ArgParser args({"--offset", "-5"});
+  EXPECT_EQ(args.get_int("offset", 0), -5);
+}
+
+}  // namespace
+}  // namespace vodbcast::util

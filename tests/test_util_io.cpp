@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/ascii_plot.hpp"
+#include "util/contracts.hpp"
+#include "util/csv.hpp"
+#include "util/text_table.hpp"
+
+namespace vodbcast::util {
+namespace {
+
+TEST(CsvEscapeTest, PlainFieldsPassThrough) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+  EXPECT_EQ(csv_escape("1.5"), "1.5");
+}
+
+TEST(CsvEscapeTest, QuotesSpecialCharacters) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriterTest, WritesHeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"a", "b"});
+  csv.row({"1", "2"});
+  csv.row({"x,y", "3"});
+  EXPECT_EQ(out.str(), "a,b\n1,2\n\"x,y\",3\n");
+  EXPECT_EQ(csv.rows_written(), 2U);
+}
+
+TEST(CsvWriterTest, RejectsArityMismatch) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"a", "b"});
+  EXPECT_THROW(csv.row({"only-one"}), ContractViolation);
+}
+
+TEST(CsvWriterTest, DoubleCellsRoundTrip) {
+  EXPECT_EQ(CsvWriter::cell(1.5), "1.5");
+  EXPECT_EQ(CsvWriter::cell(static_cast<long long>(42)), "42");
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"long-name", "23456"});
+  const std::string rendered = table.render();
+  // Every line has the same width.
+  std::istringstream lines(rendered);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) {
+      width = line.size();
+    }
+    EXPECT_EQ(line.size(), width) << "line: '" << line << "'";
+  }
+  EXPECT_EQ(table.row_count(), 2U);
+}
+
+TEST(TextTableTest, RejectsArityMismatch) {
+  TextTable table({"a", "b", "c"});
+  EXPECT_THROW(table.add_row({"1", "2"}), ContractViolation);
+}
+
+TEST(TextTableTest, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::num(static_cast<long long>(-7)), "-7");
+}
+
+TEST(AsciiPlotTest, RendersSeriesWithLegend) {
+  Series s;
+  s.label = "latency";
+  s.x = {1.0, 2.0, 3.0};
+  s.y = {10.0, 20.0, 15.0};
+  PlotOptions options;
+  options.title = "demo";
+  const std::string plot = render_plot({s}, options);
+  EXPECT_NE(plot.find("demo"), std::string::npos);
+  EXPECT_NE(plot.find("a = latency"), std::string::npos);
+  EXPECT_NE(plot.find('a'), std::string::npos);
+}
+
+TEST(AsciiPlotTest, LogScaleSkipsNonPositive) {
+  Series s;
+  s.label = "curve";
+  s.x = {1.0, 2.0, 3.0};
+  s.y = {0.0, 10.0, 100.0};  // first point unplottable in log mode
+  PlotOptions options;
+  options.log_y = true;
+  const std::string plot = render_plot({s}, options);
+  EXPECT_NE(plot.find("a = curve"), std::string::npos);
+}
+
+TEST(AsciiPlotTest, EmptyDataIsHandled) {
+  PlotOptions options;
+  const std::string plot = render_plot({}, options);
+  EXPECT_NE(plot.find("no plottable data"), std::string::npos);
+}
+
+TEST(AsciiPlotTest, MismatchedSeriesRejected) {
+  Series s;
+  s.label = "bad";
+  s.x = {1.0};
+  s.y = {1.0, 2.0};
+  PlotOptions options;
+  EXPECT_THROW((void)render_plot({s}, options), ContractViolation);
+}
+
+}  // namespace
+}  // namespace vodbcast::util

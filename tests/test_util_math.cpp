@@ -1,0 +1,122 @@
+#include "util/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "util/contracts.hpp"
+
+namespace vodbcast::util {
+namespace {
+
+TEST(GcdTest, BasicPairs) {
+  EXPECT_EQ(gcd_u64(12, 18), 6U);
+  EXPECT_EQ(gcd_u64(18, 12), 6U);
+  EXPECT_EQ(gcd_u64(7, 13), 1U);
+  EXPECT_EQ(gcd_u64(0, 5), 5U);
+  EXPECT_EQ(gcd_u64(5, 0), 5U);
+  EXPECT_EQ(gcd_u64(42, 42), 42U);
+}
+
+TEST(GcdTest, ConsecutiveSkyscraperGroupSizesAreCoprime) {
+  // The correctness proof of the paper's Section 4 rests on
+  // gcd(A, 2A+1) == 1 for every group size A.
+  for (std::uint64_t a = 1; a < 1000; ++a) {
+    EXPECT_EQ(gcd_u64(a, 2 * a + 1), 1U) << "A = " << a;
+  }
+}
+
+TEST(LcmTest, BasicPairs) {
+  EXPECT_EQ(lcm_u64(4, 6), 12U);
+  EXPECT_EQ(lcm_u64(1, 9), 9U);
+  EXPECT_EQ(lcm_u64(12, 12), 12U);
+}
+
+TEST(LcmTest, RejectsZero) {
+  EXPECT_THROW((void)lcm_u64(0, 3), ContractViolation);
+}
+
+TEST(CheckedMulTest, DetectsOverflow) {
+  const auto big = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_FALSE(checked_mul(big, 2).has_value());
+  EXPECT_EQ(checked_mul(big, 1), big);
+  EXPECT_EQ(checked_mul(3, 4), 12U);
+}
+
+TEST(CheckedAddTest, DetectsOverflow) {
+  const auto big = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_FALSE(checked_add(big, 1).has_value());
+  EXPECT_EQ(checked_add(big - 1, 1), big);
+}
+
+TEST(MulOrDieTest, ThrowsOnOverflow) {
+  const auto big = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_THROW((void)mul_or_die(big, 3), ContractViolation);
+  EXPECT_EQ(mul_or_die(6, 7), 42U);
+}
+
+TEST(IpowTest, SmallPowers) {
+  EXPECT_EQ(ipow(2, 0), 1U);
+  EXPECT_EQ(ipow(2, 10), 1024U);
+  EXPECT_EQ(ipow(3, 4), 81U);
+  EXPECT_EQ(ipow(10, 6), 1000000U);
+}
+
+TEST(IpowTest, ThrowsOnOverflow) {
+  EXPECT_THROW((void)ipow(2, 64), ContractViolation);
+}
+
+TEST(AlmostEqualTest, Tolerances) {
+  EXPECT_TRUE(almost_equal(1.0, 1.0));
+  EXPECT_TRUE(almost_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(almost_equal(1.0, 1.001));
+  EXPECT_TRUE(almost_equal(1e9, 1e9 * (1.0 + 1e-10)));
+}
+
+TEST(GeometricSumTest, MatchesDirectSummation) {
+  const double r = 2.5;
+  double direct = 0.0;
+  for (int n = 0; n <= 12; ++n) {
+    EXPECT_NEAR(geometric_sum(r, n), direct, 1e-9 * (direct + 1.0))
+        << "n = " << n;
+    direct += std::pow(r, n);
+  }
+}
+
+TEST(GeometricSumTest, UnitRatio) {
+  EXPECT_DOUBLE_EQ(geometric_sum(1.0, 7), 7.0);
+}
+
+TEST(GeometricSumTest, RejectsNegativeCount) {
+  EXPECT_THROW((void)geometric_sum(2.0, -1), ContractViolation);
+}
+
+TEST(RobustFloorTest, PlainValues) {
+  EXPECT_EQ(robust_floor(2.9), 2);
+  EXPECT_EQ(robust_floor(3.0), 3);
+  EXPECT_EQ(robust_floor(-1.5), -2);
+}
+
+TEST(RobustFloorTest, AbsorbsRepresentationNoise) {
+  // 0.1 * 30 is 2.9999999999999996 in binary; the paper's K = floor(B/(bM))
+  // must still read 3.
+  EXPECT_EQ(robust_floor(0.1 * 30.0), 3);
+  EXPECT_EQ(robust_floor(3.0 - 1e-12), 3);
+  EXPECT_EQ(robust_floor(3.0 - 1e-6), 2);
+}
+
+TEST(ContractsTest, ViolationCarriesContext) {
+  try {
+    VB_EXPECTS_MSG(false, "details");
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    EXPECT_STREQ(e.kind(), "precondition");
+    EXPECT_NE(std::string(e.what()).find("details"), std::string::npos);
+    EXPECT_GT(e.line(), 0);
+  }
+}
+
+}  // namespace
+}  // namespace vodbcast::util

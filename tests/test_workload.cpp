@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+#include "workload/arrivals.hpp"
+#include "workload/request.hpp"
+#include "workload/zipf.hpp"
+
+namespace vodbcast::workload {
+namespace {
+
+TEST(ZipfTest, ProbabilitiesNormalized) {
+  for (const std::size_t n : {1UL, 10UL, 100UL}) {
+    const auto p = zipf_probabilities(n);
+    double total = 0.0;
+    for (const double x : p) {
+      EXPECT_GT(x, 0.0);
+      total += x;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12) << "n = " << n;
+  }
+}
+
+TEST(ZipfTest, MonotoneDecreasing) {
+  const auto p = zipf_probabilities(50);
+  for (std::size_t i = 1; i < p.size(); ++i) {
+    EXPECT_GT(p[i - 1], p[i]);
+  }
+}
+
+TEST(ZipfTest, PaperSkewConcentratesDemand) {
+  // Paper Section 1: with skew 0.271, "most of the demand (80%) is for a few
+  // (10 to 20) very popular movies" out of a typical store of ~100.
+  const auto p = zipf_probabilities(100, kPaperSkew);
+  const auto k = titles_for_mass(p, 0.8);
+  EXPECT_GE(k, 10U);
+  EXPECT_LE(k, 25U);
+}
+
+TEST(ZipfTest, ZeroSkewIsHarmonicZipf) {
+  const auto p = zipf_probabilities(10, 0.0);
+  // p_i proportional to 1/i: p_1 / p_2 = 2.
+  EXPECT_NEAR(p[0] / p[1], 2.0, 1e-12);
+  EXPECT_NEAR(p[0] / p[4], 5.0, 1e-12);
+}
+
+TEST(ZipfTest, LargerSkewConcentratesMore) {
+  const auto flat = zipf_probabilities(100, 0.0);
+  const auto skewed = zipf_probabilities(100, 0.5);
+  EXPECT_LT(titles_for_mass(skewed, 0.8), titles_for_mass(flat, 0.8));
+}
+
+TEST(ZipfTest, RejectsBadParameters) {
+  EXPECT_THROW((void)zipf_probabilities(0), util::ContractViolation);
+  EXPECT_THROW((void)zipf_probabilities(5, -0.1), util::ContractViolation);
+  EXPECT_THROW((void)zipf_probabilities(5, 1.5), util::ContractViolation);
+}
+
+TEST(TitlesForMassTest, Boundaries) {
+  const std::vector<double> p{0.5, 0.3, 0.2};
+  EXPECT_EQ(titles_for_mass(p, 0.0), 1U);
+  EXPECT_EQ(titles_for_mass(p, 0.5), 1U);
+  EXPECT_EQ(titles_for_mass(p, 0.6), 2U);
+  EXPECT_EQ(titles_for_mass(p, 1.0), 3U);
+}
+
+TEST(PoissonProcessTest, ArrivalsAreMonotone) {
+  PoissonProcess process(4.0, util::Rng(3));
+  double last = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double t = process.next().v;
+    EXPECT_GT(t, last);
+    last = t;
+  }
+}
+
+TEST(PoissonProcessTest, RateMatchesLongRunAverage) {
+  PoissonProcess process(4.0, util::Rng(17));
+  const int n = 40000;
+  double t = 0.0;
+  for (int i = 0; i < n; ++i) {
+    t = process.next().v;
+  }
+  EXPECT_NEAR(n / t, 4.0, 0.1);
+}
+
+TEST(RequestGeneratorTest, VideosFollowPopularity) {
+  const std::vector<double> popularity{0.7, 0.2, 0.1};
+  RequestGenerator gen(popularity, 10.0, util::Rng(23));
+  std::vector<int> counts(3, 0);
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[gen.next().video];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.7, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.2, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.1, 0.02);
+}
+
+TEST(RequestGeneratorTest, GenerateUntilRespectsHorizon) {
+  RequestGenerator gen(zipf_probabilities(5), 2.0, util::Rng(29));
+  const auto requests = gen.generate_until(core::Minutes{50.0});
+  EXPECT_GT(requests.size(), 50U);
+  for (const auto& r : requests) {
+    EXPECT_LT(r.arrival.v, 50.0);
+    EXPECT_LT(r.video, 5U);
+  }
+  // Expected count = rate * horizon = 100 +- sampling noise.
+  EXPECT_NEAR(static_cast<double>(requests.size()), 100.0, 40.0);
+}
+
+TEST(RequestGeneratorTest, RejectsUnnormalizedPopularity) {
+  EXPECT_THROW(RequestGenerator({0.5, 0.1}, 1.0, util::Rng(1)),
+               util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace vodbcast::workload

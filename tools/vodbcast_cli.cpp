@@ -1,0 +1,280 @@
+// vodbcast — command-line front end for the library.
+//
+//   vodbcast design   --scheme SB:W=52 --bandwidth 600 [--videos 10]
+//                     [--duration 120] [--rate 1.5]
+//   vodbcast table    <1|2> [--bandwidth 600]
+//   vodbcast figure   <5|6|7|8> [--csv]
+//   vodbcast plan     --scheme SB:W=52 --bandwidth 300 --phase 4
+//   vodbcast simulate --scheme SB:W=52 --bandwidth 300 [--horizon 240]
+//                     [--arrivals 4] [--seed 42]
+//   vodbcast width    --bandwidth 400 --latency 0.25
+//   vodbcast hybrid   [--hot 10] [--channels 6] [--bandwidth 600]
+//   vodbcast help
+#include <cstdio>
+#include <string>
+
+#include "analysis/experiments.hpp"
+#include "batching/hybrid.hpp"
+#include "channel/timetable.hpp"
+#include "client/reception_plan.hpp"
+#include "schemes/registry.hpp"
+#include "schemes/skyscraper.hpp"
+#include "sim/simulator.hpp"
+#include "util/args.hpp"
+#include "util/contracts.hpp"
+
+namespace {
+
+using namespace vodbcast;
+
+schemes::DesignInput input_from(const util::ArgParser& args,
+                                double default_bandwidth = 600.0) {
+  return schemes::DesignInput{
+      .server_bandwidth =
+          core::MbitPerSec{args.get_double("bandwidth", default_bandwidth)},
+      .num_videos = static_cast<int>(args.get_int("videos", 10)),
+      .video = core::VideoParams{
+          core::Minutes{args.get_double("duration", 120.0)},
+          core::MbitPerSec{args.get_double("rate", 1.5)}},
+  };
+}
+
+int cmd_design(const util::ArgParser& args) {
+  const auto scheme = schemes::make_scheme(
+      args.get_string("scheme", "SB:W=52"));
+  const auto input = input_from(args);
+  const auto evaluation = scheme->evaluate(input);
+  if (!evaluation.has_value()) {
+    std::printf("%s is infeasible at %.1f Mb/s\n", scheme->name().c_str(),
+                input.server_bandwidth.v);
+    return 2;
+  }
+  const auto& d = evaluation->design;
+  const auto& m = evaluation->metrics;
+  std::printf("scheme          : %s\n", scheme->name().c_str());
+  std::printf("K (segments)    : %d\n", d.segments);
+  std::printf("P (replicas)    : %d\n", d.replicas);
+  if (d.alpha > 0.0) {
+    std::printf("alpha           : %.4f\n", d.alpha);
+  }
+  std::printf("access latency  : %.4f min\n", m.access_latency.v);
+  std::printf("client buffer   : %.1f MB\n", m.client_buffer.mbytes());
+  std::printf("client disk b/w : %.2f Mb/s\n", m.client_disk_bandwidth.v);
+  const auto plan = scheme->plan(input, d);
+  std::printf("server streams  : %zu (peak %.1f Mb/s)\n", plan.stream_count(),
+              plan.peak_aggregate_rate().v);
+  return 0;
+}
+
+int cmd_table(const util::ArgParser& args) {
+  VB_EXPECTS_MSG(args.positional_count() >= 2, "usage: vodbcast table <1|2>");
+  const double bandwidth = args.get_double("bandwidth", 600.0);
+  const std::string which = args.positional(1);
+  if (which == "1") {
+    std::puts(analysis::table1_performance(bandwidth).c_str());
+  } else if (which == "2") {
+    std::puts(analysis::table2_parameters(bandwidth).c_str());
+  } else {
+    std::fprintf(stderr, "unknown table '%s'\n", which.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+int cmd_figure(const util::ArgParser& args) {
+  VB_EXPECTS_MSG(args.positional_count() >= 2,
+                 "usage: vodbcast figure <5|6|7|8>");
+  const std::string which = args.positional(1);
+  analysis::FigureReport report;
+  if (which == "5") {
+    report = analysis::figure5_parameters();
+  } else if (which == "6") {
+    report = analysis::figure6_disk_bandwidth();
+  } else if (which == "7") {
+    report = analysis::figure7_access_latency();
+  } else if (which == "8") {
+    report = analysis::figure8_storage();
+  } else {
+    std::fprintf(stderr, "unknown figure '%s'\n", which.c_str());
+    return 2;
+  }
+  if (args.has("csv")) {
+    std::fputs(report.csv.c_str(), stdout);
+  } else {
+    std::puts(report.plot.c_str());
+    std::puts(report.table.c_str());
+  }
+  return 0;
+}
+
+int cmd_plan(const util::ArgParser& args) {
+  const std::string label = args.get_string("scheme", "SB:W=52");
+  VB_EXPECTS_MSG(label.rfind("SB", 0) == 0,
+                 "plan prints the two-loader client plan; use an SB scheme");
+  const auto scheme = schemes::make_scheme(label);
+  const auto* sb = dynamic_cast<const schemes::SkyscraperScheme*>(
+      scheme.get());
+  VB_ASSERT(sb != nullptr);
+  const auto input = input_from(args);
+  const auto design = sb->design(input);
+  if (!design.has_value()) {
+    std::puts("infeasible at this bandwidth");
+    return 2;
+  }
+  const auto layout = sb->layout(input, *design);
+  const auto phase = args.get_uint("phase", 0);
+  const auto plan = client::plan_reception(layout, phase);
+  std::puts(analysis::describe_plan(layout, plan).c_str());
+  return 0;
+}
+
+int cmd_simulate(const util::ArgParser& args) {
+  const auto scheme = schemes::make_scheme(
+      args.get_string("scheme", "SB:W=52"));
+  const auto input = input_from(args, 300.0);
+  sim::SimulationConfig config;
+  config.horizon = core::Minutes{args.get_double("horizon", 240.0)};
+  config.arrivals_per_minute = args.get_double("arrivals", 4.0);
+  config.seed = args.get_uint("seed", 42);
+  config.plan_clients = true;
+  const auto report = sim::simulate(*scheme, input, config);
+  std::printf("scheme        : %s\n", report.scheme.c_str());
+  std::printf("clients served: %llu\n",
+              static_cast<unsigned long long>(report.clients_served));
+  std::printf("waits (min)   : %s\n", report.latency_minutes.summary().c_str());
+  std::printf("jitter events : %llu\n",
+              static_cast<unsigned long long>(report.jitter_events));
+  if (!report.buffer_peak_mbits.empty()) {
+    std::printf("buffer peak   : %.1f MB (max tuners %d)\n",
+                report.buffer_peak_mbits.max() / 8.0,
+                report.max_concurrent_downloads);
+  }
+  std::printf("server rate   : %.1f Mb/s\n", report.peak_server_rate.v);
+  return 0;
+}
+
+int cmd_guide(const util::ArgParser& args) {
+  const auto scheme = schemes::make_scheme(
+      args.get_string("scheme", "SB:W=52"));
+  const auto input = input_from(args, 75.0);
+  const auto design = scheme->design(input);
+  if (!design.has_value()) {
+    std::puts("infeasible at this bandwidth");
+    return 2;
+  }
+  const auto plan = scheme->plan(input, *design);
+  const core::Minutes from{args.get_double("from", 0.0)};
+  const core::Minutes until{args.get_double("until", from.v + 30.0)};
+  const auto emissions = channel::timetable(plan, from, until);
+  std::printf("%zu emissions in [%.1f, %.1f) min under %s\n\n",
+              emissions.size(), from.v, until.v, scheme->name().c_str());
+  std::puts(channel::render_timetable(emissions).c_str());
+  return 0;
+}
+
+int cmd_width(const util::ArgParser& args) {
+  const auto input = input_from(args, 400.0);
+  const double target = args.get_double("latency", 0.25);
+  const schemes::SkyscraperScheme probe(2);
+  const auto choice = probe.width_for_latency(input, core::Minutes{target});
+  const schemes::SkyscraperScheme chosen(choice.width);
+  const auto evaluation = chosen.evaluate(input);
+  VB_ASSERT(evaluation.has_value());
+  std::printf("smallest W for <= %.3f min: %llu\n", target,
+              static_cast<unsigned long long>(choice.width));
+  std::printf("achieved latency : %.4f min\n", choice.latency.v);
+  std::printf("client buffer    : %.1f MB\n",
+              evaluation->metrics.client_buffer.mbytes());
+  return 0;
+}
+
+int cmd_hybrid(const util::ArgParser& args) {
+  batching::HybridConfig config;
+  config.total_bandwidth =
+      core::MbitPerSec{args.get_double("bandwidth", 600.0)};
+  config.catalog_size =
+      static_cast<std::size_t>(args.get_int("catalog", 100));
+  config.hot_titles = static_cast<std::size_t>(args.get_int("hot", 10));
+  config.broadcast_channels_per_video =
+      static_cast<int>(args.get_int("channels", 6));
+  config.sb_width = args.get_uint("width", 52);
+  config.arrivals_per_minute = args.get_double("arrivals", 3.0);
+  config.horizon = core::Minutes{args.get_double("horizon", 1500.0)};
+  const batching::MqlPolicy mql;
+  const batching::FcfsPolicy fcfs;
+  const bool use_fcfs = args.get_string("policy", "mql") == "fcfs";
+  const auto report = batching::evaluate_hybrid(
+      use_fcfs ? static_cast<const batching::BatchingPolicy&>(fcfs)
+               : static_cast<const batching::BatchingPolicy&>(mql),
+      config);
+  std::printf("hot titles        : %zu (%.0f%% of demand)\n",
+              report.hot_titles, 100.0 * report.hot_demand_fraction);
+  std::printf("broadcast latency : %.3f min worst (guaranteed)\n",
+              report.broadcast_worst_latency.v);
+  std::printf("tail channels     : %d (%s)\n", report.multicast_channels,
+              report.multicast.policy.c_str());
+  std::printf("tail waits        : %s\n",
+              report.multicast.wait_minutes.summary().c_str());
+  std::printf("combined mean wait: %.3f min\n",
+              report.combined_mean_wait_minutes);
+  return 0;
+}
+
+int cmd_help() {
+  std::puts(
+      "vodbcast — Skyscraper Broadcasting toolkit\n"
+      "  design   --scheme <label> --bandwidth <Mb/s>   closed-form design\n"
+      "  table    <1|2> [--bandwidth]                   the paper's tables\n"
+      "  figure   <5|6|7|8> [--csv]                     the paper's figures\n"
+      "  plan     --scheme SB:W=n --phase t0            client plan detail\n"
+      "  simulate --scheme <label> [--horizon ...]      discrete-event run\n"
+      "  width    --bandwidth B --latency L             width for a target\n"
+      "  guide    --scheme <label> [--from --until]     emission timetable\n"
+      "  hybrid   [--hot N --channels K --policy mql]   hybrid server\n"
+      "scheme labels: SB:W=<n|inf>, SB(fast|flat):W=<n>, PB:a, PB:b, PPB:a,\n"
+      "               PPB:b, FB, HB, staggered");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::ArgParser args(argc, argv);
+    const std::string command =
+        args.positional_count() > 0 ? args.positional(0) : "help";
+    if (command == "design") {
+      return cmd_design(args);
+    }
+    if (command == "table") {
+      return cmd_table(args);
+    }
+    if (command == "figure") {
+      return cmd_figure(args);
+    }
+    if (command == "plan") {
+      return cmd_plan(args);
+    }
+    if (command == "simulate") {
+      return cmd_simulate(args);
+    }
+    if (command == "width") {
+      return cmd_width(args);
+    }
+    if (command == "guide") {
+      return cmd_guide(args);
+    }
+    if (command == "hybrid") {
+      return cmd_hybrid(args);
+    }
+    if (command == "help" || command == "--help") {
+      return cmd_help();
+    }
+    std::fprintf(stderr, "unknown command '%s'; try 'vodbcast help'\n",
+                 command.c_str());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
