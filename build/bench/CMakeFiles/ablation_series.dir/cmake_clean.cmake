@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_series.dir/ablation_series.cpp.o"
+  "CMakeFiles/ablation_series.dir/ablation_series.cpp.o.d"
+  "ablation_series"
+  "ablation_series.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_series.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_client_disk.dir/ext_client_disk.cpp.o"
+  "CMakeFiles/ext_client_disk.dir/ext_client_disk.cpp.o.d"
+  "ext_client_disk"
+  "ext_client_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_client_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

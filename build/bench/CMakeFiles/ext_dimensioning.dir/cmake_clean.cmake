@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_dimensioning.dir/ext_dimensioning.cpp.o"
+  "CMakeFiles/ext_dimensioning.dir/ext_dimensioning.cpp.o.d"
+  "ext_dimensioning"
+  "ext_dimensioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dimensioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

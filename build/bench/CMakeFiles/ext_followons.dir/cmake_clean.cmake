@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_followons.dir/ext_followons.cpp.o"
+  "CMakeFiles/ext_followons.dir/ext_followons.cpp.o.d"
+  "ext_followons"
+  "ext_followons.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_followons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

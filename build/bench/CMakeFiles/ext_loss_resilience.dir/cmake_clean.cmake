@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_loss_resilience.dir/ext_loss_resilience.cpp.o"
+  "CMakeFiles/ext_loss_resilience.dir/ext_loss_resilience.cpp.o.d"
+  "ext_loss_resilience"
+  "ext_loss_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_loss_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_transition2.dir/fig2_transition2.cpp.o"
+  "CMakeFiles/fig2_transition2.dir/fig2_transition2.cpp.o.d"
+  "fig2_transition2"
+  "fig2_transition2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_transition2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

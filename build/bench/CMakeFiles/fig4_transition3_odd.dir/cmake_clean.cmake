@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_transition3_odd.dir/fig4_transition3_odd.cpp.o"
+  "CMakeFiles/fig4_transition3_odd.dir/fig4_transition3_odd.cpp.o.d"
+  "fig4_transition3_odd"
+  "fig4_transition3_odd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_transition3_odd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

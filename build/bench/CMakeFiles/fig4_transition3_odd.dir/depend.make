@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_transition3_odd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_parameters.dir/fig5_parameters.cpp.o"
+  "CMakeFiles/fig5_parameters.dir/fig5_parameters.cpp.o.d"
+  "fig5_parameters"
+  "fig5_parameters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_parameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_storage.dir/fig8_storage.cpp.o"
+  "CMakeFiles/fig8_storage.dir/fig8_storage.cpp.o.d"
+  "fig8_storage"
+  "fig8_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_formulas.dir/table1_formulas.cpp.o"
+  "CMakeFiles/table1_formulas.dir/table1_formulas.cpp.o.d"
+  "table1_formulas"
+  "table1_formulas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_formulas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_simulation.dir/validation_simulation.cpp.o"
+  "CMakeFiles/validation_simulation.dir/validation_simulation.cpp.o.d"
+  "validation_simulation"
+  "validation_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metropolitan_vod.dir/metropolitan_vod.cpp.o"
+  "CMakeFiles/metropolitan_vod.dir/metropolitan_vod.cpp.o.d"
+  "metropolitan_vod"
+  "metropolitan_vod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metropolitan_vod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tune_width.dir/tune_width.cpp.o"
+  "CMakeFiles/tune_width.dir/tune_width.cpp.o.d"
+  "tune_width"
+  "tune_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tune_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

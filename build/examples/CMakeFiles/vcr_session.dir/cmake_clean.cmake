@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcr_session.dir/vcr_session.cpp.o"
+  "CMakeFiles/vcr_session.dir/vcr_session.cpp.o.d"
+  "vcr_session"
+  "vcr_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcr_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

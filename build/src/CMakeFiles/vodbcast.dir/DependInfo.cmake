@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/dimensioning.cpp" "src/CMakeFiles/vodbcast.dir/analysis/dimensioning.cpp.o" "gcc" "src/CMakeFiles/vodbcast.dir/analysis/dimensioning.cpp.o.d"
+  "/root/repo/src/analysis/experiments.cpp" "src/CMakeFiles/vodbcast.dir/analysis/experiments.cpp.o" "gcc" "src/CMakeFiles/vodbcast.dir/analysis/experiments.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/CMakeFiles/vodbcast.dir/analysis/report.cpp.o" "gcc" "src/CMakeFiles/vodbcast.dir/analysis/report.cpp.o.d"
+  "/root/repo/src/analysis/sweep.cpp" "src/CMakeFiles/vodbcast.dir/analysis/sweep.cpp.o" "gcc" "src/CMakeFiles/vodbcast.dir/analysis/sweep.cpp.o.d"
+  "/root/repo/src/batching/hybrid.cpp" "src/CMakeFiles/vodbcast.dir/batching/hybrid.cpp.o" "gcc" "src/CMakeFiles/vodbcast.dir/batching/hybrid.cpp.o.d"
+  "/root/repo/src/batching/queue_policies.cpp" "src/CMakeFiles/vodbcast.dir/batching/queue_policies.cpp.o" "gcc" "src/CMakeFiles/vodbcast.dir/batching/queue_policies.cpp.o.d"
+  "/root/repo/src/batching/scheduled_multicast.cpp" "src/CMakeFiles/vodbcast.dir/batching/scheduled_multicast.cpp.o" "gcc" "src/CMakeFiles/vodbcast.dir/batching/scheduled_multicast.cpp.o.d"
+  "/root/repo/src/channel/schedule.cpp" "src/CMakeFiles/vodbcast.dir/channel/schedule.cpp.o" "gcc" "src/CMakeFiles/vodbcast.dir/channel/schedule.cpp.o.d"
+  "/root/repo/src/channel/subchannel.cpp" "src/CMakeFiles/vodbcast.dir/channel/subchannel.cpp.o" "gcc" "src/CMakeFiles/vodbcast.dir/channel/subchannel.cpp.o.d"
+  "/root/repo/src/channel/timetable.cpp" "src/CMakeFiles/vodbcast.dir/channel/timetable.cpp.o" "gcc" "src/CMakeFiles/vodbcast.dir/channel/timetable.cpp.o.d"
+  "/root/repo/src/client/buffer_trace.cpp" "src/CMakeFiles/vodbcast.dir/client/buffer_trace.cpp.o" "gcc" "src/CMakeFiles/vodbcast.dir/client/buffer_trace.cpp.o.d"
+  "/root/repo/src/client/client_session.cpp" "src/CMakeFiles/vodbcast.dir/client/client_session.cpp.o" "gcc" "src/CMakeFiles/vodbcast.dir/client/client_session.cpp.o.d"
+  "/root/repo/src/client/loader.cpp" "src/CMakeFiles/vodbcast.dir/client/loader.cpp.o" "gcc" "src/CMakeFiles/vodbcast.dir/client/loader.cpp.o.d"
+  "/root/repo/src/client/player.cpp" "src/CMakeFiles/vodbcast.dir/client/player.cpp.o" "gcc" "src/CMakeFiles/vodbcast.dir/client/player.cpp.o.d"
+  "/root/repo/src/client/reception_plan.cpp" "src/CMakeFiles/vodbcast.dir/client/reception_plan.cpp.o" "gcc" "src/CMakeFiles/vodbcast.dir/client/reception_plan.cpp.o.d"
+  "/root/repo/src/client/vcr.cpp" "src/CMakeFiles/vodbcast.dir/client/vcr.cpp.o" "gcc" "src/CMakeFiles/vodbcast.dir/client/vcr.cpp.o.d"
+  "/root/repo/src/core/units.cpp" "src/CMakeFiles/vodbcast.dir/core/units.cpp.o" "gcc" "src/CMakeFiles/vodbcast.dir/core/units.cpp.o.d"
+  "/root/repo/src/core/video.cpp" "src/CMakeFiles/vodbcast.dir/core/video.cpp.o" "gcc" "src/CMakeFiles/vodbcast.dir/core/video.cpp.o.d"
+  "/root/repo/src/disk/disk_model.cpp" "src/CMakeFiles/vodbcast.dir/disk/disk_model.cpp.o" "gcc" "src/CMakeFiles/vodbcast.dir/disk/disk_model.cpp.o.d"
+  "/root/repo/src/net/delivery.cpp" "src/CMakeFiles/vodbcast.dir/net/delivery.cpp.o" "gcc" "src/CMakeFiles/vodbcast.dir/net/delivery.cpp.o.d"
+  "/root/repo/src/net/loss.cpp" "src/CMakeFiles/vodbcast.dir/net/loss.cpp.o" "gcc" "src/CMakeFiles/vodbcast.dir/net/loss.cpp.o.d"
+  "/root/repo/src/net/packet_client.cpp" "src/CMakeFiles/vodbcast.dir/net/packet_client.cpp.o" "gcc" "src/CMakeFiles/vodbcast.dir/net/packet_client.cpp.o.d"
+  "/root/repo/src/net/packetizer.cpp" "src/CMakeFiles/vodbcast.dir/net/packetizer.cpp.o" "gcc" "src/CMakeFiles/vodbcast.dir/net/packetizer.cpp.o.d"
+  "/root/repo/src/net/reassembly.cpp" "src/CMakeFiles/vodbcast.dir/net/reassembly.cpp.o" "gcc" "src/CMakeFiles/vodbcast.dir/net/reassembly.cpp.o.d"
+  "/root/repo/src/schemes/fast_broadcast.cpp" "src/CMakeFiles/vodbcast.dir/schemes/fast_broadcast.cpp.o" "gcc" "src/CMakeFiles/vodbcast.dir/schemes/fast_broadcast.cpp.o.d"
+  "/root/repo/src/schemes/harmonic.cpp" "src/CMakeFiles/vodbcast.dir/schemes/harmonic.cpp.o" "gcc" "src/CMakeFiles/vodbcast.dir/schemes/harmonic.cpp.o.d"
+  "/root/repo/src/schemes/permutation_pyramid.cpp" "src/CMakeFiles/vodbcast.dir/schemes/permutation_pyramid.cpp.o" "gcc" "src/CMakeFiles/vodbcast.dir/schemes/permutation_pyramid.cpp.o.d"
+  "/root/repo/src/schemes/pyramid.cpp" "src/CMakeFiles/vodbcast.dir/schemes/pyramid.cpp.o" "gcc" "src/CMakeFiles/vodbcast.dir/schemes/pyramid.cpp.o.d"
+  "/root/repo/src/schemes/registry.cpp" "src/CMakeFiles/vodbcast.dir/schemes/registry.cpp.o" "gcc" "src/CMakeFiles/vodbcast.dir/schemes/registry.cpp.o.d"
+  "/root/repo/src/schemes/scheme.cpp" "src/CMakeFiles/vodbcast.dir/schemes/scheme.cpp.o" "gcc" "src/CMakeFiles/vodbcast.dir/schemes/scheme.cpp.o.d"
+  "/root/repo/src/schemes/skyscraper.cpp" "src/CMakeFiles/vodbcast.dir/schemes/skyscraper.cpp.o" "gcc" "src/CMakeFiles/vodbcast.dir/schemes/skyscraper.cpp.o.d"
+  "/root/repo/src/schemes/staggered.cpp" "src/CMakeFiles/vodbcast.dir/schemes/staggered.cpp.o" "gcc" "src/CMakeFiles/vodbcast.dir/schemes/staggered.cpp.o.d"
+  "/root/repo/src/series/broadcast_series.cpp" "src/CMakeFiles/vodbcast.dir/series/broadcast_series.cpp.o" "gcc" "src/CMakeFiles/vodbcast.dir/series/broadcast_series.cpp.o.d"
+  "/root/repo/src/series/groups.cpp" "src/CMakeFiles/vodbcast.dir/series/groups.cpp.o" "gcc" "src/CMakeFiles/vodbcast.dir/series/groups.cpp.o.d"
+  "/root/repo/src/series/segmentation.cpp" "src/CMakeFiles/vodbcast.dir/series/segmentation.cpp.o" "gcc" "src/CMakeFiles/vodbcast.dir/series/segmentation.cpp.o.d"
+  "/root/repo/src/sim/broadcast_server.cpp" "src/CMakeFiles/vodbcast.dir/sim/broadcast_server.cpp.o" "gcc" "src/CMakeFiles/vodbcast.dir/sim/broadcast_server.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/vodbcast.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/vodbcast.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/vodbcast.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/vodbcast.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/vodbcast.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/vodbcast.dir/sim/stats.cpp.o.d"
+  "/root/repo/src/util/args.cpp" "src/CMakeFiles/vodbcast.dir/util/args.cpp.o" "gcc" "src/CMakeFiles/vodbcast.dir/util/args.cpp.o.d"
+  "/root/repo/src/util/ascii_plot.cpp" "src/CMakeFiles/vodbcast.dir/util/ascii_plot.cpp.o" "gcc" "src/CMakeFiles/vodbcast.dir/util/ascii_plot.cpp.o.d"
+  "/root/repo/src/util/contracts.cpp" "src/CMakeFiles/vodbcast.dir/util/contracts.cpp.o" "gcc" "src/CMakeFiles/vodbcast.dir/util/contracts.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/vodbcast.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/vodbcast.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/math.cpp" "src/CMakeFiles/vodbcast.dir/util/math.cpp.o" "gcc" "src/CMakeFiles/vodbcast.dir/util/math.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/vodbcast.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/vodbcast.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/text_table.cpp" "src/CMakeFiles/vodbcast.dir/util/text_table.cpp.o" "gcc" "src/CMakeFiles/vodbcast.dir/util/text_table.cpp.o.d"
+  "/root/repo/src/workload/arrivals.cpp" "src/CMakeFiles/vodbcast.dir/workload/arrivals.cpp.o" "gcc" "src/CMakeFiles/vodbcast.dir/workload/arrivals.cpp.o.d"
+  "/root/repo/src/workload/request.cpp" "src/CMakeFiles/vodbcast.dir/workload/request.cpp.o" "gcc" "src/CMakeFiles/vodbcast.dir/workload/request.cpp.o.d"
+  "/root/repo/src/workload/zipf.cpp" "src/CMakeFiles/vodbcast.dir/workload/zipf.cpp.o" "gcc" "src/CMakeFiles/vodbcast.dir/workload/zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

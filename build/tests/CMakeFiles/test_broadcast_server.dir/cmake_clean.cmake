@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_broadcast_server.dir/test_broadcast_server.cpp.o"
+  "CMakeFiles/test_broadcast_server.dir/test_broadcast_server.cpp.o.d"
+  "test_broadcast_server"
+  "test_broadcast_server.pdb"
+  "test_broadcast_server[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_broadcast_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

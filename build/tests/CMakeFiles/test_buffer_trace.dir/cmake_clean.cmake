@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_buffer_trace.dir/test_buffer_trace.cpp.o"
+  "CMakeFiles/test_buffer_trace.dir/test_buffer_trace.cpp.o.d"
+  "test_buffer_trace"
+  "test_buffer_trace.pdb"
+  "test_buffer_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_buffer_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_client_session.dir/test_client_session.cpp.o"
+  "CMakeFiles/test_client_session.dir/test_client_session.cpp.o.d"
+  "test_client_session"
+  "test_client_session.pdb"
+  "test_client_session[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_client_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

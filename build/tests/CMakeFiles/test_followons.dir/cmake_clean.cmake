@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_followons.dir/test_followons.cpp.o"
+  "CMakeFiles/test_followons.dir/test_followons.cpp.o.d"
+  "test_followons"
+  "test_followons.pdb"
+  "test_followons[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_followons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_packet_client.dir/test_packet_client.cpp.o"
+  "CMakeFiles/test_packet_client.dir/test_packet_client.cpp.o.d"
+  "test_packet_client"
+  "test_packet_client.pdb"
+  "test_packet_client[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_packet_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

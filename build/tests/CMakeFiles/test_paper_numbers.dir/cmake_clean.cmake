@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_numbers.dir/test_paper_numbers.cpp.o"
+  "CMakeFiles/test_paper_numbers.dir/test_paper_numbers.cpp.o.d"
+  "test_paper_numbers"
+  "test_paper_numbers.pdb"
+  "test_paper_numbers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_numbers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

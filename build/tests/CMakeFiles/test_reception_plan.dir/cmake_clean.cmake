@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reception_plan.dir/test_reception_plan.cpp.o"
+  "CMakeFiles/test_reception_plan.dir/test_reception_plan.cpp.o.d"
+  "test_reception_plan"
+  "test_reception_plan.pdb"
+  "test_reception_plan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reception_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reception_properties.dir/test_reception_properties.cpp.o"
+  "CMakeFiles/test_reception_properties.dir/test_reception_properties.cpp.o.d"
+  "test_reception_properties"
+  "test_reception_properties.pdb"
+  "test_reception_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reception_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

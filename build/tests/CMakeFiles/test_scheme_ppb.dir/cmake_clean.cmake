@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scheme_ppb.dir/test_scheme_ppb.cpp.o"
+  "CMakeFiles/test_scheme_ppb.dir/test_scheme_ppb.cpp.o.d"
+  "test_scheme_ppb"
+  "test_scheme_ppb.pdb"
+  "test_scheme_ppb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scheme_ppb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scheme_pyramid.dir/test_scheme_pyramid.cpp.o"
+  "CMakeFiles/test_scheme_pyramid.dir/test_scheme_pyramid.cpp.o.d"
+  "test_scheme_pyramid"
+  "test_scheme_pyramid.pdb"
+  "test_scheme_pyramid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scheme_pyramid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scheme_skyscraper.dir/test_scheme_skyscraper.cpp.o"
+  "CMakeFiles/test_scheme_skyscraper.dir/test_scheme_skyscraper.cpp.o.d"
+  "test_scheme_skyscraper"
+  "test_scheme_skyscraper.pdb"
+  "test_scheme_skyscraper[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scheme_skyscraper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scheme_staggered.dir/test_scheme_staggered.cpp.o"
+  "CMakeFiles/test_scheme_staggered.dir/test_scheme_staggered.cpp.o.d"
+  "test_scheme_staggered"
+  "test_scheme_staggered.pdb"
+  "test_scheme_staggered[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scheme_staggered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

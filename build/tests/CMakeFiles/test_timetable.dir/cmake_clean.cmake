@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timetable.dir/test_timetable.cpp.o"
+  "CMakeFiles/test_timetable.dir/test_timetable.cpp.o.d"
+  "test_timetable"
+  "test_timetable.pdb"
+  "test_timetable[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timetable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

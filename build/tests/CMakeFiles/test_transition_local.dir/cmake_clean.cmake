@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transition_local.dir/test_transition_local.cpp.o"
+  "CMakeFiles/test_transition_local.dir/test_transition_local.cpp.o.d"
+  "test_transition_local"
+  "test_transition_local.pdb"
+  "test_transition_local[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transition_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

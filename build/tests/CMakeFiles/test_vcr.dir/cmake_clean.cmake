@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vcr.dir/test_vcr.cpp.o"
+  "CMakeFiles/test_vcr.dir/test_vcr.cpp.o.d"
+  "test_vcr"
+  "test_vcr.pdb"
+  "test_vcr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vcr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vodbcast_cli.dir/vodbcast_cli.cpp.o"
+  "CMakeFiles/vodbcast_cli.dir/vodbcast_cli.cpp.o.d"
+  "vodbcast"
+  "vodbcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vodbcast_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
