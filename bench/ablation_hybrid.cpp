@@ -9,7 +9,10 @@
 #include "batching/hybrid.hpp"
 #include "util/text_table.hpp"
 
+#include "obs/bench_report.hpp"
+
 int main() {
+  const vodbcast::obs::BenchReporter obs_report("ablation_hybrid");
   using namespace vodbcast;
   std::puts("=== Ablation: hybrid broadcast/batching split ===");
   std::puts("(B = 600 Mb/s total, 100-title Zipf(0.271) catalog, 3 req/min, "

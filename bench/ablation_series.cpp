@@ -12,7 +12,10 @@
 #include "series/broadcast_series.hpp"
 #include "util/text_table.hpp"
 
+#include "obs/bench_report.hpp"
+
 int main() {
+  const vodbcast::obs::BenchReporter obs_report("ablation_series");
   using namespace vodbcast;
   std::puts("=== Ablation: broadcast series laws under the two-loader "
             "client (K = 8) ===\n");

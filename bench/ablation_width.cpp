@@ -8,7 +8,10 @@
 #include "series/broadcast_series.hpp"
 #include "util/text_table.hpp"
 
+#include "obs/bench_report.hpp"
+
 int main() {
+  const vodbcast::obs::BenchReporter obs_report("ablation_width");
   using namespace vodbcast;
   std::puts("=== Ablation: the width knob (B = 400 Mb/s, M = 10) ===\n");
   const auto input = analysis::paper_design_input(400.0);

@@ -14,7 +14,10 @@
 #include "schemes/skyscraper.hpp"
 #include "util/text_table.hpp"
 
+#include "obs/bench_report.hpp"
+
 int main() {
+  const vodbcast::obs::BenchReporter obs_report("ext_client_disk");
   using namespace vodbcast;
   std::puts("=== Extension: client disk admission (B = 600 Mb/s, b = 1.5 "
             "Mb/s) ===\n");

@@ -8,7 +8,10 @@
 #include "schemes/registry.hpp"
 #include "util/text_table.hpp"
 
+#include "obs/bench_report.hpp"
+
 int main() {
+  const vodbcast::obs::BenchReporter obs_report("ext_dimensioning");
   using namespace vodbcast;
   std::puts("=== Extension: minimum bandwidth per latency SLO ===");
   std::puts("(M = 10, D = 120 min, b = 1.5 Mb/s; client buffer cap 128 MB;\n"

@@ -11,7 +11,10 @@
 #include "analysis/report.hpp"
 #include "schemes/registry.hpp"
 
+#include "obs/bench_report.hpp"
+
 int main() {
+  const vodbcast::obs::BenchReporter obs_report("ext_followons");
   using namespace vodbcast;
   std::puts("=== Extension: SB vs follow-on protocols (FB, HB) ===\n");
 

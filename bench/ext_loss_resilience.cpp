@@ -12,7 +12,10 @@
 #include "schemes/skyscraper.hpp"
 #include "util/text_table.hpp"
 
+#include "obs/bench_report.hpp"
+
 int main() {
+  const vodbcast::obs::BenchReporter obs_report("ext_loss_resilience");
   using namespace vodbcast;
   std::puts("=== Extension: packet-loss resilience of SB sessions ===");
   std::puts("(K = 8, W = 12, MTU 10 Mbit, 40 sessions per point)\n");

@@ -10,7 +10,10 @@
 #include "client/reception_plan.hpp"
 #include "series/broadcast_series.hpp"
 
+#include "obs/bench_report.hpp"
+
 int main() {
+  const vodbcast::obs::BenchReporter obs_report("fig1_transition1");
   using namespace vodbcast;
   std::puts("=== Figure 1: transition (1) -> (2,2) ===\n");
   const series::SkyscraperSeries law;

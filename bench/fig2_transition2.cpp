@@ -8,7 +8,10 @@
 
 #include "analysis/experiments.hpp"
 
+#include "obs/bench_report.hpp"
+
 int main() {
+  const vodbcast::obs::BenchReporter obs_report("fig2_transition2");
   using namespace vodbcast;
   std::puts("=== Figure 2: transition (A,A) -> (2A+1,2A+1), A even ===\n");
   // K = 5 ends at (2,2) -> (5,5): A = 2.   K = 9 ends at (12,12) -> (25,25):

@@ -8,7 +8,10 @@
 
 #include "analysis/experiments.hpp"
 
+#include "obs/bench_report.hpp"
+
 int main() {
+  const vodbcast::obs::BenchReporter obs_report("fig3_transition3");
   using namespace vodbcast;
   std::puts("=== Figure 3: transition (A,A) -> (2A+2,2A+2), A odd, even "
             "playback start ===\n");

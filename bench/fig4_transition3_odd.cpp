@@ -8,7 +8,10 @@
 #include "analysis/experiments.hpp"
 #include "client/reception_plan.hpp"
 
+#include "obs/bench_report.hpp"
+
 int main() {
+  const vodbcast::obs::BenchReporter obs_report("fig4_transition3_odd");
   using namespace vodbcast;
   std::puts("=== Figure 4: transition (A,A) -> (2A+2,2A+2), A odd, odd "
             "playback start ===\n");

@@ -4,7 +4,10 @@
 
 #include "analysis/experiments.hpp"
 
+#include "obs/bench_report.hpp"
+
 int main() {
+  const vodbcast::obs::BenchReporter obs_report("fig5_parameters");
   const auto figure = vodbcast::analysis::figure5_parameters();
   std::puts(figure.title.c_str());
   std::puts(figure.plot.c_str());

@@ -5,7 +5,10 @@
 
 #include "analysis/experiments.hpp"
 
+#include "obs/bench_report.hpp"
+
 int main() {
+  const vodbcast::obs::BenchReporter obs_report("fig6_disk_bandwidth");
   const auto figure = vodbcast::analysis::figure6_disk_bandwidth();
   std::puts(figure.plot.c_str());
   std::puts(figure.table.c_str());

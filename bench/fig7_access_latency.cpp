@@ -5,7 +5,10 @@
 
 #include "analysis/experiments.hpp"
 
+#include "obs/bench_report.hpp"
+
 int main() {
+  const vodbcast::obs::BenchReporter obs_report("fig7_access_latency");
   const auto figure = vodbcast::analysis::figure7_access_latency();
   std::puts(figure.plot.c_str());
   std::puts(figure.table.c_str());

@@ -6,7 +6,10 @@
 
 #include "analysis/experiments.hpp"
 
+#include "obs/bench_report.hpp"
+
 int main() {
+  const vodbcast::obs::BenchReporter obs_report("fig8_storage");
   const auto figure = vodbcast::analysis::figure8_storage();
   std::puts(figure.plot.c_str());
   std::puts(figure.table.c_str());

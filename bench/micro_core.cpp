@@ -5,6 +5,7 @@
 
 #include "client/client_session.hpp"
 #include "client/reception_plan.hpp"
+#include "obs/bench_report.hpp"
 #include "schemes/registry.hpp"
 #include "schemes/skyscraper.hpp"
 #include "series/broadcast_series.hpp"
@@ -13,6 +14,10 @@
 namespace {
 
 using namespace vodbcast;
+
+// File-scope so a machine-readable snapshot footer prints at process exit,
+// after google-benchmark's own report.
+obs::BenchReporter g_obs_report("micro_core");
 
 const core::VideoParams kVideo{core::Minutes{120.0}, core::MbitPerSec{1.5}};
 
@@ -79,5 +84,23 @@ void BM_EndToEndSimulation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EndToEndSimulation);
+
+// A/B partner of BM_EndToEndSimulation: identical run with a live obs::Sink
+// attached. The no-sink variant must stay within noise of its pre-obs
+// baseline (the null-sink path is one pointer test); the delta between the
+// two *is* the cost of full metrics + tracing.
+void BM_EndToEndSimulationWithSink(benchmark::State& state) {
+  const schemes::SkyscraperScheme sb(52);
+  const schemes::DesignInput input{core::MbitPerSec{300.0}, 10, kVideo};
+  obs::Sink sink;
+  for (auto _ : state) {
+    sim::SimulationConfig config;
+    config.horizon = core::Minutes{30.0};
+    config.arrivals_per_minute = 2.0;
+    config.sink = &sink;
+    benchmark::DoNotOptimize(sim::simulate(sb, input, config));
+  }
+}
+BENCHMARK(BM_EndToEndSimulationWithSink);
 
 }  // namespace

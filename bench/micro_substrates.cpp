@@ -7,12 +7,17 @@
 #include "disk/disk_model.hpp"
 #include "net/packetizer.hpp"
 #include "net/reassembly.hpp"
+#include "obs/bench_report.hpp"
 #include "workload/request.hpp"
 #include "workload/zipf.hpp"
 
 namespace {
 
 using namespace vodbcast;
+
+// File-scope so a machine-readable snapshot footer prints at process exit,
+// after google-benchmark's own report.
+obs::BenchReporter g_obs_report("micro_substrates");
 
 const channel::PeriodicBroadcast kStream{
     .logical_channel = 0,

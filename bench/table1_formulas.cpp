@@ -5,7 +5,10 @@
 
 #include "analysis/experiments.hpp"
 
+#include "obs/bench_report.hpp"
+
 int main() {
+  const vodbcast::obs::BenchReporter obs_report("table1_formulas");
   std::puts("=== Table 1: performance computation ===");
   std::puts("(M = 10 videos, D = 120 min, b = 1.5 Mb/s MPEG-1)\n");
   for (const double bandwidth : {100.0, 320.0, 600.0}) {

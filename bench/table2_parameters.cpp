@@ -4,7 +4,10 @@
 
 #include "analysis/experiments.hpp"
 
+#include "obs/bench_report.hpp"
+
 int main() {
+  const vodbcast::obs::BenchReporter obs_report("table2_parameters");
   std::puts("=== Table 2: design parameter determination ===\n");
   for (const double bandwidth : {100.0, 320.0, 600.0}) {
     std::puts(vodbcast::analysis::table2_parameters(bandwidth).c_str());

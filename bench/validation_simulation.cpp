@@ -10,7 +10,10 @@
 #include "sim/simulator.hpp"
 #include "util/text_table.hpp"
 
+#include "obs/bench_report.hpp"
+
 int main() {
+  vodbcast::obs::BenchReporter obs_report("validation_simulation");
   using namespace vodbcast;
   std::puts("=== Validation: simulation vs closed forms (B = 300 Mb/s) ===\n");
   const auto input = analysis::paper_design_input(300.0);
@@ -30,6 +33,7 @@ int main() {
     config.horizon = core::Minutes{240.0};
     config.arrivals_per_minute = 4.0;
     config.plan_clients = true;
+    config.sink = &obs_report.sink();
     const auto report = sim::simulate(*scheme, input, config);
     table.add_row(
         {label,

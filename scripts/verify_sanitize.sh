@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# ASan+UBSan build-and-test sweep for the observability subsystem and the
+# simulator it instruments. Uses a separate build tree (build-asan) so the
+# regular tier-1 build stays untouched.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build-asan -S . -DVODBCAST_SANITIZE=ON
+cmake --build build-asan -j "$(nproc)" \
+  --target test_obs_registry test_obs_trace test_simulator
+
+./build-asan/tests/test_obs_registry
+./build-asan/tests/test_obs_trace
+./build-asan/tests/test_simulator
+
+echo "sanitize verify: OK"

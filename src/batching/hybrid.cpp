@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/log.hpp"
 #include "util/contracts.hpp"
 #include "util/math.hpp"
 #include "workload/request.hpp"
@@ -54,12 +55,25 @@ HybridReport evaluate_hybrid(const BatchingPolicy& policy,
     }
   }
 
+  obs::logf(obs::LogLevel::kDebug,
+            "hybrid: %zu hot titles at %.1f Mb/s broadcast, %d tail channels",
+            config.hot_titles, broadcast_bw, multicast_channels);
+  if (config.sink != nullptr) {
+    config.sink->metrics.gauge("hybrid.broadcast_bandwidth_mbps")
+        .set(broadcast_bw);
+    config.sink->metrics.gauge("hybrid.multicast_channels")
+        .set(static_cast<double>(multicast_channels));
+    config.sink->metrics.counter("hybrid.hot_requests").add(hot_count);
+    config.sink->metrics.counter("hybrid.cold_requests").add(cold.size());
+  }
+
   const MulticastConfig mc{
       .channels = multicast_channels,
       .video_length = config.video.duration,
       .horizon = config.horizon,
       .mean_patience = config.mean_patience,
       .seed = config.seed + 1,
+      .sink = config.sink,
   };
   HybridReport report;
   report.multicast = simulate_scheduled_multicast(

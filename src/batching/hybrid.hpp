@@ -29,6 +29,9 @@ struct HybridConfig {
   core::Minutes horizon{2000.0};
   core::Minutes mean_patience{-1.0};
   std::uint64_t seed = 11;
+  /// Optional observability attachment (not owned), forwarded to the tail's
+  /// scheduled-multicast simulation; "hybrid.*" gauges record the split.
+  obs::Sink* sink = nullptr;
 };
 
 struct HybridReport {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/log.hpp"
+#include "obs/timer.hpp"
 #include "sim/event_queue.hpp"
 #include "util/contracts.hpp"
 
@@ -10,17 +12,37 @@ namespace vodbcast::batching {
 namespace {
 
 /// Drops pending requests whose patience expired before `now`.
-std::uint64_t clean_expired(WaitQueues& queues, double now) {
+std::uint64_t clean_expired(WaitQueues& queues, double now, obs::Sink* sink) {
   std::uint64_t reneged = 0;
-  for (auto& queue : queues) {
+  for (std::size_t video = 0; video < queues.size(); ++video) {
+    auto& queue = queues[video];
     const auto kept = std::remove_if(
         queue.begin(), queue.end(), [now](const PendingRequest& r) {
           return r.renege_at.v < now;
         });
-    reneged += static_cast<std::uint64_t>(queue.end() - kept);
+    const auto lost = static_cast<std::uint64_t>(queue.end() - kept);
+    if (lost > 0 && sink != nullptr) {
+      sink->trace.record(obs::TraceEvent{
+          .sim_time_min = now,
+          .kind = obs::EventKind::kRenege,
+          .channel = 0,
+          .video = video,
+          .client = 0,
+          .value = static_cast<double>(lost),
+      });
+    }
+    reneged += lost;
     queue.erase(kept, queue.end());
   }
   return reneged;
+}
+
+std::size_t total_pending(const WaitQueues& queues) {
+  std::size_t total = 0;
+  for (const auto& queue : queues) {
+    total += queue.size();
+  }
+  return total;
 }
 
 }  // namespace
@@ -36,20 +58,49 @@ MulticastReport simulate_scheduled_multicast(
   MulticastReport report;
   report.policy = policy.name();
 
+  obs::Sink* sink = config.sink;
+  obs::Counter* batches_counter = nullptr;
+  obs::Counter* served_counter = nullptr;
+  obs::Counter* reneged_counter = nullptr;
+  obs::Gauge* depth_peak = nullptr;
+  obs::Histogram* dispatch_ns = nullptr;
+  obs::Histogram* batch_hist = nullptr;
+  if (sink != nullptr) {
+    batches_counter = &sink->metrics.counter("batching.streams_started");
+    served_counter = &sink->metrics.counter("batching.served");
+    reneged_counter = &sink->metrics.counter("batching.reneged");
+    depth_peak = &sink->metrics.gauge("batching.queue_depth_peak");
+    dispatch_ns = &sink->metrics.histogram("batching.dispatch_ns",
+                                           obs::default_time_bounds_ns());
+    batch_hist = &sink->metrics.histogram(
+        "batching.batch_size", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0});
+  }
+
   WaitQueues queues(num_videos);
   int free_channels = config.channels;
   double busy_minutes = 0.0;
   util::Rng rng(config.seed);
 
   sim::EventQueue events;
+  events.attach_sink(sink);
+
+  // Drops expired waiters and keeps the report and metrics in step.
+  const auto clean = [&](double now) {
+    const auto expired = clean_expired(queues, now, sink);
+    report.reneged += expired;
+    if (reneged_counter != nullptr) {
+      reneged_counter->add(expired);
+    }
+  };
 
   // Serves one batch if a channel and a non-empty queue are available.
   const auto try_dispatch = [&](auto&& self) -> void {
+    const obs::ScopedTimer timer(dispatch_ns);
     if (free_channels == 0) {
       return;
     }
     const double now = events.now();
-    report.reneged += clean_expired(queues, now);
+    clean(now);
     const auto video = policy.pick(queues);
     if (!video.has_value()) {
       return;
@@ -59,12 +110,26 @@ MulticastReport simulate_scheduled_multicast(
     for (const auto& r : queue) {
       report.wait_minutes.add(now - r.arrival.v);
     }
-    report.batch_size.add(static_cast<double>(queue.size()));
-    report.served += queue.size();
+    const auto batch = queue.size();
+    report.batch_size.add(static_cast<double>(batch));
+    report.served += batch;
     queue.clear();
     ++report.streams_started;
     --free_channels;
     busy_minutes += config.video_length.v;
+    if (sink != nullptr) {
+      batches_counter->add();
+      served_counter->add(batch);
+      batch_hist->observe(static_cast<double>(batch));
+      sink->trace.record(obs::TraceEvent{
+          .sim_time_min = now,
+          .kind = obs::EventKind::kBatchFire,
+          .channel = config.channels - free_channels,
+          .video = *video,
+          .client = 0,
+          .value = static_cast<double>(batch),
+      });
+    }
     events.schedule(now + config.video_length.v, [&, self]() {
       ++free_channels;
       self(self);
@@ -82,6 +147,9 @@ MulticastReport simulate_scheduled_multicast(
             core::Minutes{rng.next_exponential(1.0 / config.mean_patience.v)};
       }
       queues[request.video].push_back(pending);
+      if (depth_peak != nullptr) {
+        depth_peak->max_of(static_cast<double>(total_pending(queues)));
+      }
       try_dispatch(try_dispatch);
     });
   }
@@ -90,10 +158,25 @@ MulticastReport simulate_scheduled_multicast(
 
   // Anything still queued at the horizon: expired entries reneged, the rest
   // simply remain unserved (neither served nor reneged).
-  report.reneged += clean_expired(queues, config.horizon.v);
+  clean(config.horizon.v);
+  const auto unserved = total_pending(queues);
+  if (unserved > 0) {
+    obs::logf(obs::LogLevel::kWarn,
+              "scheduled_multicast: %zu requests still queued at horizon "
+              "%.1f min (policy=%s)",
+              unserved, config.horizon.v, report.policy.c_str());
+  }
 
   report.channel_utilization =
       busy_minutes / (config.channels * config.horizon.v);
+  obs::logf(obs::LogLevel::kDebug,
+            "scheduled_multicast: policy=%s served=%llu reneged=%llu "
+            "streams=%llu utilization=%.3f",
+            report.policy.c_str(),
+            static_cast<unsigned long long>(report.served),
+            static_cast<unsigned long long>(report.reneged),
+            static_cast<unsigned long long>(report.streams_started),
+            report.channel_utilization);
   return report;
 }
 

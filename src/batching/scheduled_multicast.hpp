@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "batching/queue_policies.hpp"
+#include "obs/sink.hpp"
 #include "sim/stats.hpp"
 #include "util/rng.hpp"
 #include "workload/request.hpp"
@@ -26,6 +27,9 @@ struct MulticastConfig {
   /// reneging (everyone waits indefinitely).
   core::Minutes mean_patience{-1.0};
   std::uint64_t seed = 7;
+  /// Optional observability attachment (not owned): "batching.*" metrics,
+  /// batch-fire / renege trace events, and event-queue instrumentation.
+  obs::Sink* sink = nullptr;
 };
 
 struct MulticastReport {

@@ -1,0 +1,22 @@
+#include "obs/bench_report.hpp"
+
+#include <cstdio>
+
+namespace vodbcast::obs {
+
+BenchReporter::BenchReporter(std::string name)
+    : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+
+BenchReporter::~BenchReporter() {
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  const double wall_ms =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::microseconds>(
+          elapsed).count()) / 1e3;
+  std::printf("\n[obs-snapshot] {\"bench\":\"%s\",\"wall_ms\":%.3f,"
+              "\"events_recorded\":%llu,\"metrics\":%s}\n",
+              name_.c_str(), wall_ms,
+              static_cast<unsigned long long>(sink_.trace.recorded()),
+              sink_.metrics.to_json().c_str());
+}
+
+}  // namespace vodbcast::obs

@@ -1,0 +1,37 @@
+// Machine-readable metrics footer for the bench/ binaries.
+//
+// Every evaluation binary prints human-oriented tables; a BenchReporter
+// additionally emits, at exit, one line of JSON prefixed with
+// "[obs-snapshot] " carrying the binary's name, wall time, and whatever the
+// bench recorded into its registry. A scraper can therefore recover the
+// whole benchmark trajectory with `grep '^\[obs-snapshot\]' logs`.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "obs/sink.hpp"
+
+namespace vodbcast::obs {
+
+class BenchReporter {
+ public:
+  /// `name` should match the binary, e.g. "fig7_access_latency".
+  explicit BenchReporter(std::string name);
+
+  BenchReporter(const BenchReporter&) = delete;
+  BenchReporter& operator=(const BenchReporter&) = delete;
+
+  /// Prints the snapshot footer to stdout.
+  ~BenchReporter();
+
+  [[nodiscard]] Registry& metrics() noexcept { return sink_.metrics; }
+  [[nodiscard]] Sink& sink() noexcept { return sink_; }
+
+ private:
+  std::string name_;
+  Sink sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace vodbcast::obs

@@ -1,0 +1,98 @@
+#include "obs/log.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdlib>
+#include <cstring>
+
+namespace vodbcast::obs {
+
+namespace {
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("VODBCAST_LOG");
+  if (env == nullptr) {
+    return LogLevel::kWarn;
+  }
+  if (std::strcmp(env, "debug") == 0) {
+    return LogLevel::kDebug;
+  }
+  if (std::strcmp(env, "info") == 0) {
+    return LogLevel::kInfo;
+  }
+  if (std::strcmp(env, "warn") == 0) {
+    return LogLevel::kWarn;
+  }
+  if (std::strcmp(env, "error") == 0) {
+    return LogLevel::kError;
+  }
+  if (std::strcmp(env, "off") == 0) {
+    return LogLevel::kOff;
+  }
+  return LogLevel::kWarn;
+}
+
+std::atomic<int>& threshold() {
+  static std::atomic<int> value{static_cast<int>(level_from_env())};
+  return value;
+}
+
+std::atomic<std::FILE*>& stream() {
+  static std::atomic<std::FILE*> value{nullptr};  // null means stderr
+  return value;
+}
+
+}  // namespace
+
+const char* to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "unknown";
+}
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(threshold().load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) noexcept {
+  threshold().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void set_log_stream(std::FILE* s) noexcept {
+  stream().store(s, std::memory_order_relaxed);
+}
+
+void log(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) {
+    return;
+  }
+  std::FILE* out = stream().load(std::memory_order_relaxed);
+  if (out == nullptr) {
+    out = stderr;
+  }
+  std::fprintf(out, "[vodbcast:%s] %s\n", to_string(level), message.c_str());
+}
+
+void logf(LogLevel level, const char* format, ...) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) {
+    return;
+  }
+  char buf[512];
+  std::va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof buf, format, args);
+  va_end(args);
+  log(level, buf);
+}
+
+}  // namespace vodbcast::obs

@@ -1,0 +1,44 @@
+// Leveled diagnostics for library code.
+//
+// Library modules must never write to stdout unconditionally — stdout
+// belongs to the tools' tables and CSV. obs::log() routes diagnostics to a
+// configurable FILE* (stderr by default) behind a level threshold, so a
+// quiet run stays byte-identical on stdout while `VODBCAST_LOG=debug`
+// surfaces the library's internal narration.
+//
+// The default threshold is kWarn; it can be overridden programmatically or
+// via the VODBCAST_LOG environment variable (debug|info|warn|error|off),
+// read once on first use.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace vodbcast::obs {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+[[nodiscard]] const char* to_string(LogLevel level) noexcept;
+
+/// Current threshold: messages below it are dropped.
+[[nodiscard]] LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+/// Redirects output (default stderr). Null restores stderr.
+void set_log_stream(std::FILE* stream) noexcept;
+
+/// Emits "[vodbcast:<level>] <message>\n" if `level` passes the threshold.
+void log(LogLevel level, const std::string& message);
+
+/// printf-style convenience; formatting is skipped entirely when the level
+/// is below the threshold.
+void logf(LogLevel level, const char* format, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace vodbcast::obs

@@ -1,0 +1,197 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/contracts.hpp"
+#include "util/csv.hpp"
+
+namespace vodbcast::obs {
+
+namespace {
+
+// CAS update helper for atomic doubles: GCC's fetch_add on atomic<double>
+// is fine in C++20 but a CAS loop keeps us portable to older libstdc++.
+template <typename Fn>
+void update_double(std::atomic<double>& target, Fn&& combine) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, combine(cur),
+                                       std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+std::string json_number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  // JSON has no inf/nan literals; clamp to null.
+  const std::string s = buf;
+  if (s.find("inf") != std::string::npos ||
+      s.find("nan") != std::string::npos) {
+    return "null";
+  }
+  return s;
+}
+
+}  // namespace
+
+void Gauge::add(double delta) noexcept {
+  update_double(value_, [delta](double cur) { return cur + delta; });
+}
+
+void Gauge::max_of(double v) noexcept {
+  update_double(value_, [v](double cur) { return std::max(cur, v); });
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  VB_EXPECTS(!bounds_.empty());
+  VB_EXPECTS(std::is_sorted(bounds_.begin(), bounds_.end()));
+  VB_EXPECTS(std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+             bounds_.end());
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bucket_count());
+  for (std::size_t i = 0; i < bucket_count(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::observe(double sample) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), sample);
+  const auto index = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  update_double(sum_, [sample](double cur) { return cur + sample; });
+}
+
+double Histogram::mean() const noexcept {
+  const auto n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+std::vector<double> default_time_bounds_ns() {
+  std::vector<double> bounds;
+  for (double b = 1e3; b <= 1e9; b *= 4.0) {  // 1us .. ~1s, 11 buckets
+    bounds.push_back(b);
+  }
+  return bounds;
+}
+
+std::vector<double> default_latency_bounds_min() {
+  return {0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0};
+}
+
+Counter& Registry::counter(const std::string& name) {
+  const std::scoped_lock lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  const std::scoped_lock lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> bounds) {
+  const std::scoped_lock lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *slot;
+}
+
+Snapshot Registry::snapshot() const {
+  const std::scoped_lock lock(mutex_);
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    Snapshot::HistogramView view;
+    view.name = name;
+    view.bounds = h->bounds();
+    view.buckets.resize(h->bucket_count());
+    for (std::size_t i = 0; i < h->bucket_count(); ++i) {
+      view.buckets[i] = h->bucket(i);
+    }
+    view.count = h->count();
+    view.sum = h->sum();
+    snap.histograms.push_back(std::move(view));
+  }
+  return snap;
+}
+
+std::string Registry::to_json() const {
+  const Snapshot snap = snapshot();
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    os << (i ? "," : "") << '"' << snap.counters[i].first << "\":"
+       << snap.counters[i].second;
+  }
+  os << "},\"gauges\":{";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    os << (i ? "," : "") << '"' << snap.gauges[i].first << "\":"
+       << json_number(snap.gauges[i].second);
+  }
+  os << "},\"histograms\":{";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const auto& h = snap.histograms[i];
+    os << (i ? "," : "") << '"' << h.name << "\":{\"bounds\":[";
+    for (std::size_t j = 0; j < h.bounds.size(); ++j) {
+      os << (j ? "," : "") << json_number(h.bounds[j]);
+    }
+    os << "],\"buckets\":[";
+    for (std::size_t j = 0; j < h.buckets.size(); ++j) {
+      os << (j ? "," : "") << h.buckets[j];
+    }
+    os << "],\"count\":" << h.count << ",\"sum\":" << json_number(h.sum)
+       << '}';
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string Registry::to_csv() const {
+  const Snapshot snap = snapshot();
+  std::ostringstream os;
+  util::CsvWriter csv(os, {"kind", "name", "field", "value"});
+  for (const auto& [name, v] : snap.counters) {
+    csv.row({"counter", name, "value", util::CsvWriter::cell(
+        static_cast<unsigned long long>(v))});
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    csv.row({"gauge", name, "value", util::CsvWriter::cell(v)});
+  }
+  for (const auto& h : snap.histograms) {
+    csv.row({"histogram", h.name, "count", util::CsvWriter::cell(
+        static_cast<unsigned long long>(h.count))});
+    csv.row({"histogram", h.name, "sum", util::CsvWriter::cell(h.sum)});
+    for (std::size_t j = 0; j < h.buckets.size(); ++j) {
+      const std::string field =
+          j < h.bounds.size()
+              ? "le=" + util::CsvWriter::cell(h.bounds[j])
+              : std::string("le=+inf");
+      csv.row({"histogram", h.name, field, util::CsvWriter::cell(
+          static_cast<unsigned long long>(h.buckets[j]))});
+    }
+  }
+  return os.str();
+}
+
+}  // namespace vodbcast::obs

@@ -1,0 +1,141 @@
+// Metrics registry: named counters, gauges and fixed-bin histograms cheap
+// enough for simulation hot paths.
+//
+// Design constraints (mirroring production VoD servers, e.g. the
+// performance-counter blocks of nginx-vod-module):
+//   * increments are lock-free (relaxed atomics) — safe from any thread;
+//   * instrument handles are stable for the registry's lifetime, so hot
+//     loops resolve a name once and then touch only the atomic;
+//   * snapshots are lazily materialized on demand: nothing is aggregated
+//     until snapshot()/to_json()/to_csv() is called;
+//   * when no registry is wired up (the null-sink default) instrumented code
+//     pays one pointer test and nothing else.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace vodbcast::obs {
+
+/// Monotonic event count. Lock-free; relaxed ordering (metrics tolerate
+/// being read mid-update).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written scalar (queue depth, peak rate). set() overwrites; add()
+/// and max_of() update via CAS so concurrent writers never lose updates.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) noexcept;
+  /// Raises the gauge to `v` if larger (peak tracking).
+  void max_of(double v) noexcept;
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bin histogram: bucket i counts samples <= bounds[i]; one implicit
+/// overflow bucket counts the rest. Bounds are fixed at construction so
+/// observe() is a branch-light binary search plus one relaxed increment.
+class Histogram {
+ public:
+  /// Preconditions: bounds non-empty and strictly increasing.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double sample) noexcept;
+
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  /// Number of buckets including the overflow bucket.
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return bounds_.size() + 1;
+  }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double mean() const noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Exponential bucket bounds for nanosecond timings: 1us .. ~1s.
+[[nodiscard]] std::vector<double> default_time_bounds_ns();
+/// Bucket bounds for tune-in waits in minutes: 0.01 .. ~30 min.
+[[nodiscard]] std::vector<double> default_latency_bounds_min();
+
+/// Point-in-time copy of every instrument, detached from the registry.
+struct Snapshot {
+  struct HistogramView {
+    std::string name;
+    std::vector<double> bounds;            ///< upper bounds per bucket
+    std::vector<std::uint64_t> buckets;    ///< bounds.size() + 1 entries
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramView> histograms;
+};
+
+/// Owns the instruments. Lookup/creation takes a mutex (cold path);
+/// returned references stay valid for the registry's lifetime.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Finds or creates. Names are conventionally dotted lowercase paths,
+  /// e.g. "sim.clients_served" (see docs/OBSERVABILITY.md).
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  /// `bounds` is used only on first creation; later calls with the same
+  /// name return the existing histogram unchanged.
+  [[nodiscard]] Histogram& histogram(const std::string& name,
+                                     std::vector<double> bounds);
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  [[nodiscard]] std::string to_json() const;
+  /// Flat CSV: kind,name,field,value — one row per scalar / bucket.
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace vodbcast::obs

@@ -1,0 +1,26 @@
+// The observability attachment point: a Sink bundles a metrics Registry and
+// an event Tracer. Simulation entry points take an optional `obs::Sink*`
+// (null by default); instrumented code guards every record with one pointer
+// test, so an un-instrumented run pays nothing beyond that branch.
+//
+//   obs::Sink sink;                      // owning bundle
+//   config.sink = &sink;
+//   auto report = sim::simulate(scheme, input, config);
+//   write(metrics_path, sink.metrics.to_json());
+//   write(trace_path, sink.trace.to_jsonl());
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace vodbcast::obs {
+
+struct Sink {
+  Sink() = default;
+  explicit Sink(std::size_t trace_capacity) : trace(trace_capacity) {}
+
+  Registry metrics;
+  Tracer trace;
+};
+
+}  // namespace vodbcast::obs

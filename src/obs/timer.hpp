@@ -1,0 +1,41 @@
+// RAII profiling hooks. A ScopedTimer reads the steady clock only when a
+// histogram is attached; with a null target the constructor and destructor
+// collapse to a pointer test, keeping release hot loops unperturbed.
+#pragma once
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+
+namespace vodbcast::obs {
+
+/// Records the scope's wall time, in nanoseconds, into a Histogram.
+///
+///   obs::ScopedTimer timer(sink ? &sink->metrics.histogram(
+///       "sim.simulate_ns", obs::default_time_bounds_ns()) : nullptr);
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* target) noexcept : target_(target) {
+    if (target_ != nullptr) {
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (target_ != nullptr) {
+      const auto elapsed = std::chrono::steady_clock::now() - start_;
+      target_->observe(static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+              .count()));
+    }
+  }
+
+ private:
+  Histogram* target_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace vodbcast::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/sink.hpp"
+#include "obs/timer.hpp"
 #include "util/contracts.hpp"
 
 namespace vodbcast::sim {
@@ -11,6 +13,10 @@ void EventQueue::schedule(SimTime at, Callback fn) {
   VB_EXPECTS_MSG(at >= now_, "cannot schedule into the past");
   VB_EXPECTS(fn != nullptr);
   heap_.push(Entry{at, next_seq_++, std::move(fn)});
+  if (sink_ != nullptr) {
+    scheduled_->add();
+    pending_peak_->max_of(static_cast<double>(heap_.size()));
+  }
 }
 
 bool EventQueue::step() {
@@ -22,7 +28,13 @@ bool EventQueue::step() {
   Entry entry = heap_.top();
   heap_.pop();
   now_ = entry.at;
-  entry.fn();
+  if (sink_ != nullptr) {
+    fired_->add();
+    const obs::ScopedTimer timer(callback_ns_);
+    entry.fn();
+  } else {
+    entry.fn();
+  }
   return true;
 }
 
@@ -31,6 +43,22 @@ void EventQueue::run_until(SimTime until) {
     step();
   }
   now_ = std::max(now_, until);
+}
+
+void EventQueue::attach_sink(obs::Sink* sink) {
+  sink_ = sink;
+  if (sink == nullptr) {
+    scheduled_ = nullptr;
+    fired_ = nullptr;
+    pending_peak_ = nullptr;
+    callback_ns_ = nullptr;
+    return;
+  }
+  scheduled_ = &sink->metrics.counter("sim.event_queue.scheduled");
+  fired_ = &sink->metrics.counter("sim.event_queue.fired");
+  pending_peak_ = &sink->metrics.gauge("sim.event_queue.pending_peak");
+  callback_ns_ = &sink->metrics.histogram("sim.event_queue.callback_ns",
+                                          obs::default_time_bounds_ns());
 }
 
 }  // namespace vodbcast::sim

@@ -10,6 +10,13 @@
 #include <queue>
 #include <vector>
 
+namespace vodbcast::obs {
+struct Sink;
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace vodbcast::obs
+
 namespace vodbcast::sim {
 
 /// Simulation time in minutes (matching the paper's reporting unit).
@@ -33,6 +40,12 @@ class EventQueue {
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
   [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
 
+  /// Attaches an observability sink: schedule/fire counters, a queue-depth
+  /// peak gauge and a per-callback cost histogram under "sim.event_queue.*".
+  /// Null detaches. With no sink attached the hot path pays one pointer
+  /// test per operation.
+  void attach_sink(obs::Sink* sink);
+
  private:
   struct Entry {
     SimTime at;
@@ -51,6 +64,14 @@ class EventQueue {
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
+
+  // Instrument handles are resolved once in attach_sink(); null when no
+  // sink is attached.
+  obs::Sink* sink_ = nullptr;
+  obs::Counter* scheduled_ = nullptr;
+  obs::Counter* fired_ = nullptr;
+  obs::Gauge* pending_peak_ = nullptr;
+  obs::Histogram* callback_ns_ = nullptr;
 };
 
 }  // namespace vodbcast::sim

@@ -4,11 +4,64 @@
 #include <cmath>
 
 #include "client/reception_plan.hpp"
+#include "obs/log.hpp"
+#include "obs/timer.hpp"
 #include "schemes/skyscraper.hpp"
 #include "util/contracts.hpp"
 #include "workload/zipf.hpp"
 
 namespace vodbcast::sim {
+
+namespace {
+
+/// Traces the first broadcast slots of every stream so a trace viewer shows
+/// the channel layout alongside the client activity. Capped per stream: the
+/// schedule is periodic, so a handful of periods carries the full pattern.
+void trace_channel_slots(obs::Sink& sink, const channel::ChannelPlan& plan,
+                         core::Minutes horizon) {
+  constexpr int kSlotsPerStream = 16;
+  for (const auto& stream : plan.streams()) {
+    double start = stream.phase.v;
+    for (int i = 0; i < kSlotsPerStream && start < horizon.v; ++i) {
+      sink.trace.record(obs::TraceEvent{
+          .sim_time_min = start,
+          .kind = obs::EventKind::kChannelSlotStart,
+          .channel = stream.logical_channel,
+          .video = stream.video,
+          .client = 0,
+          .value = stream.transmission.v,
+      });
+      start += stream.period.v;
+    }
+  }
+}
+
+/// Traces one client's exact reception plan (tuner joins and releases).
+void trace_reception(obs::Sink& sink, const client::ReceptionPlan& plan,
+                     double d1, core::VideoId video, std::uint64_t client) {
+  for (const auto& d : plan.downloads) {
+    const double start_min = static_cast<double>(d.start) * d1;
+    const double length_min = static_cast<double>(d.length) * d1;
+    sink.trace.record(obs::TraceEvent{
+        .sim_time_min = start_min,
+        .kind = obs::EventKind::kSegmentDownloadStart,
+        .channel = d.segment,
+        .video = video,
+        .client = client,
+        .value = length_min,
+    });
+    sink.trace.record(obs::TraceEvent{
+        .sim_time_min = start_min + length_min,
+        .kind = obs::EventKind::kSegmentDownloadEnd,
+        .channel = d.segment,
+        .video = video,
+        .client = client,
+        .value = 0.0,
+    });
+  }
+}
+
+}  // namespace
 
 SimulationReport simulate(const schemes::BroadcastScheme& scheme,
                           const schemes::DesignInput& input,
@@ -16,11 +69,30 @@ SimulationReport simulate(const schemes::BroadcastScheme& scheme,
   const auto design = scheme.design(input);
   VB_EXPECTS_MSG(design.has_value(), "scheme infeasible at this bandwidth");
 
+  obs::Sink* sink = config.sink;
+  obs::ScopedTimer run_timer(
+      sink != nullptr
+          ? &sink->metrics.histogram("sim.simulate_ns",
+                                     obs::default_time_bounds_ns())
+          : nullptr);
+
   BroadcastServer server(scheme.plan(input, *design));
 
   SimulationReport report;
   report.scheme = scheme.name();
   report.peak_server_rate = server.plan().peak_aggregate_rate();
+
+  if (sink != nullptr) {
+    obs::logf(obs::LogLevel::kDebug,
+              "simulate: scheme=%s horizon=%.1fmin rate=%.2f/min",
+              report.scheme.c_str(), config.horizon.v,
+              config.arrivals_per_minute);
+    // max_of, not set: several runs may share one sink (bench sweeps), and
+    // a "peak" gauge should survive a later, smaller run.
+    sink->metrics.gauge("sim.peak_server_rate_mbps")
+        .max_of(report.peak_server_rate.v);
+    trace_channel_slots(*sink, server.plan(), config.horizon);
+  }
 
   // The simulated population requests only the M broadcast videos; within
   // them the paper's Zipf skew still applies (rank 1 is hottest).
@@ -37,12 +109,49 @@ SimulationReport simulate(const schemes::BroadcastScheme& scheme,
     layout.emplace(sb->layout(input, *design));
   }
 
+  // Instrument handles resolved once, outside the per-client loop.
+  obs::Counter* clients_counter = nullptr;
+  obs::Counter* jitter_counter = nullptr;
+  obs::Histogram* wait_hist = nullptr;
+  obs::Histogram* plan_ns = nullptr;
+  if (sink != nullptr) {
+    clients_counter = &sink->metrics.counter("sim.clients_served");
+    jitter_counter = &sink->metrics.counter("sim.jitter_events");
+    wait_hist = &sink->metrics.histogram("sim.tune_wait_min",
+                                         obs::default_latency_bounds_min());
+    if (layout.has_value()) {
+      plan_ns = &sink->metrics.histogram("client.plan_reception_ns",
+                                         obs::default_time_bounds_ns());
+    }
+  }
+
   for (const auto& request : generator.generate_until(config.horizon)) {
     const auto start =
         server.next_segment_start(request.video, 1, request.arrival);
     VB_ASSERT(start.has_value());
-    report.latency_minutes.add(start->v - request.arrival.v);
+    const double wait = start->v - request.arrival.v;
+    report.latency_minutes.add(wait);
     ++report.clients_served;
+    if (sink != nullptr) {
+      clients_counter->add();
+      wait_hist->observe(wait);
+      sink->trace.record(obs::TraceEvent{
+          .sim_time_min = request.arrival.v,
+          .kind = obs::EventKind::kClientArrival,
+          .channel = 0,
+          .video = request.video,
+          .client = report.clients_served,
+          .value = 0.0,
+      });
+      sink->trace.record(obs::TraceEvent{
+          .sim_time_min = start->v,
+          .kind = obs::EventKind::kTuneIn,
+          .channel = 0,
+          .video = request.video,
+          .client = report.clients_served,
+          .value = wait,
+      });
+    }
 
     if (layout.has_value()) {
       // Playback starts at the joined broadcast, i.e. slot
@@ -50,16 +159,48 @@ SimulationReport simulate(const schemes::BroadcastScheme& scheme,
       const double d1 = layout->unit_duration().v;
       const auto t0 = static_cast<std::uint64_t>(
           std::llround(start->v / d1));
-      const client::ReceptionPlan plan =
-          client::plan_reception(*layout, t0);
-      if (!plan.jitter_free) {
+      std::optional<client::ReceptionPlan> plan;
+      {
+        const obs::ScopedTimer plan_timer(plan_ns);
+        plan.emplace(client::plan_reception(*layout, t0));
+      }
+      if (!plan->jitter_free) {
         ++report.jitter_events;
+        obs::logf(obs::LogLevel::kWarn,
+                  "simulate: jitter for client %llu of video %llu (t0=%llu)",
+                  static_cast<unsigned long long>(report.clients_served),
+                  static_cast<unsigned long long>(request.video),
+                  static_cast<unsigned long long>(t0));
+        if (sink != nullptr) {
+          jitter_counter->add();
+          sink->trace.record(obs::TraceEvent{
+              .sim_time_min = start->v,
+              .kind = obs::EventKind::kJitter,
+              .channel = 0,
+              .video = request.video,
+              .client = report.clients_served,
+              .value = 0.0,
+          });
+        }
       }
       report.max_concurrent_downloads =
           std::max(report.max_concurrent_downloads,
-                   plan.max_concurrent_downloads);
-      report.buffer_peak_mbits.add(plan.max_buffer(*layout).v);
+                   plan->max_concurrent_downloads);
+      report.buffer_peak_mbits.add(plan->max_buffer(*layout).v);
+      if (sink != nullptr) {
+        trace_reception(*sink, *plan, d1, request.video,
+                        report.clients_served);
+      }
     }
+  }
+
+  if (sink != nullptr) {
+    sink->metrics.gauge("sim.max_concurrent_downloads")
+        .max_of(static_cast<double>(report.max_concurrent_downloads));
+    obs::logf(obs::LogLevel::kDebug,
+              "simulate: done, %llu clients, %llu jitter events",
+              static_cast<unsigned long long>(report.clients_served),
+              static_cast<unsigned long long>(report.jitter_events));
   }
   return report;
 }

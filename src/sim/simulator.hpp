@@ -9,6 +9,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/sink.hpp"
 #include "schemes/scheme.hpp"
 #include "sim/broadcast_server.hpp"
 #include "sim/stats.hpp"
@@ -23,6 +24,11 @@ struct SimulationConfig {
   std::uint64_t seed = 42;
   /// Run the exact SB reception plan per client (slower; SB schemes only).
   bool plan_clients = false;
+  /// Optional observability attachment (not owned). When set, the run
+  /// records "sim.*" / "client.*" metrics and traces client arrival,
+  /// tune-in, download, jitter and channel-slot events. Null (the default)
+  /// costs one pointer test per instrumented site.
+  obs::Sink* sink = nullptr;
 };
 
 struct SimulationReport {

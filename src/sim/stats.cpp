@@ -15,6 +15,14 @@ void Distribution::add(double sample) {
   sorted_valid_ = false;
 }
 
+void Distribution::merge(const Distribution& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+  sorted_valid_ = false;
+}
+
 double Distribution::mean() const {
   VB_EXPECTS(!samples_.empty());
   return sum_ / static_cast<double>(samples_.size());
@@ -53,10 +61,34 @@ double Distribution::quantile(double q) const {
 
 double Distribution::stddev() const {
   VB_EXPECTS(!samples_.empty());
+  // With one sample the variance is exactly zero; return it explicitly
+  // rather than trusting the sum-of-squares identity's rounding.
+  if (samples_.size() < 2) {
+    return 0.0;
+  }
   const double n = static_cast<double>(samples_.size());
   const double m = sum_ / n;
   const double var = std::max(0.0, sum_sq_ / n - m * m);
   return std::sqrt(var);
+}
+
+HistogramBins Distribution::histogram(std::size_t bins) const {
+  VB_EXPECTS(!samples_.empty());
+  VB_EXPECTS(bins >= 1);
+  HistogramBins out;
+  out.lo = min();
+  out.hi = max();
+  out.counts.assign(bins, 0);
+  const double width = (out.hi - out.lo) / static_cast<double>(bins);
+  for (const double s : samples_) {
+    std::size_t index = 0;
+    if (width > 0.0) {
+      index = static_cast<std::size_t>((s - out.lo) / width);
+      index = std::min(index, bins - 1);  // top edge is inclusive
+    }
+    ++out.counts[index];
+  }
+  return out;
 }
 
 std::string Distribution::summary() const {

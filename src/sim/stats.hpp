@@ -8,10 +8,21 @@
 
 namespace vodbcast::sim {
 
+/// Equal-width histogram over [lo, hi] (see Distribution::histogram).
+struct HistogramBins {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::vector<std::uint64_t> counts;  ///< one entry per bin
+};
+
 /// Accumulates scalar samples; quantiles are computed on demand.
 class Distribution {
  public:
   void add(double sample);
+
+  /// Folds `other`'s samples into this distribution (shard merging: each
+  /// worker accumulates locally, then the results are combined).
+  void merge(const Distribution& other);
 
   [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
   [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
@@ -20,7 +31,12 @@ class Distribution {
   [[nodiscard]] double max() const;
   /// Nearest-rank quantile; q in [0, 1]. Precondition: non-empty.
   [[nodiscard]] double quantile(double q) const;
+  /// Population standard deviation; 0 for fewer than two samples.
   [[nodiscard]] double stddev() const;
+
+  /// Equal-width bins spanning [min(), max()]; the top edge is inclusive so
+  /// every sample lands in a bin. Preconditions: non-empty, bins >= 1.
+  [[nodiscard]] HistogramBins histogram(std::size_t bins) const;
 
   /// "n=100 mean=1.23 p50=1.10 p99=4.56 max=5.00"
   [[nodiscard]] std::string summary() const;

@@ -53,6 +53,65 @@ TEST(DistributionTest, RejectsBadQuantile) {
   EXPECT_THROW((void)d.quantile(1.1), util::ContractViolation);
 }
 
+TEST(DistributionTest, StddevSingleSampleIsExactlyZero) {
+  Distribution d;
+  d.add(1e9);  // large magnitude would stress the sum-of-squares identity
+  EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+}
+
+TEST(DistributionTest, MergeCombinesSamplesAndMoments) {
+  Distribution a;
+  a.add(1.0);
+  a.add(2.0);
+  Distribution b;
+  b.add(3.0);
+  b.add(4.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4U);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 4.0);
+  EXPECT_NEAR(a.stddev(), 1.1180, 1e-4);
+  // The source is untouched.
+  EXPECT_EQ(b.count(), 2U);
+}
+
+TEST(DistributionTest, MergeIntoEmpty) {
+  Distribution a;
+  Distribution b;
+  b.add(7.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1U);
+  EXPECT_DOUBLE_EQ(a.mean(), 7.0);
+  a.merge(Distribution{});  // merging an empty source is a no-op
+  EXPECT_EQ(a.count(), 1U);
+}
+
+TEST(DistributionTest, HistogramBinsSpanMinToMax) {
+  Distribution d;
+  for (int i = 0; i < 10; ++i) {
+    d.add(static_cast<double>(i));  // 0..9
+  }
+  const auto bins = d.histogram(3);
+  EXPECT_DOUBLE_EQ(bins.lo, 0.0);
+  EXPECT_DOUBLE_EQ(bins.hi, 9.0);
+  ASSERT_EQ(bins.counts.size(), 3U);
+  // Width 3: [0,3) -> 0,1,2; [3,6) -> 3,4,5; [6,9] -> 6,7,8,9.
+  EXPECT_EQ(bins.counts[0], 3U);
+  EXPECT_EQ(bins.counts[1], 3U);
+  EXPECT_EQ(bins.counts[2], 4U);
+}
+
+TEST(DistributionTest, HistogramDegenerateRange) {
+  Distribution d;
+  d.add(5.0);
+  d.add(5.0);
+  const auto bins = d.histogram(4);
+  EXPECT_EQ(bins.counts[0], 2U);  // zero-width range lands in bin 0
+  EXPECT_THROW((void)Distribution{}.histogram(2), util::ContractViolation);
+  EXPECT_THROW((void)d.histogram(0), util::ContractViolation);
+}
+
 TEST(DistributionTest, SummaryMentionsCount) {
   Distribution d;
   d.add(2.0);

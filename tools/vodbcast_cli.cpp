@@ -6,7 +6,8 @@
 //   vodbcast figure   <5|6|7|8> [--csv]
 //   vodbcast plan     --scheme SB:W=52 --bandwidth 300 --phase 4
 //   vodbcast simulate --scheme SB:W=52 --bandwidth 300 [--horizon 240]
-//                     [--arrivals 4] [--seed 42]
+//                     [--arrivals 4] [--seed 42] [--metrics-out m.json]
+//                     [--trace-out run.json|run.jsonl] [--trace-limit N]
 //   vodbcast width    --bandwidth 400 --latency 0.25
 //   vodbcast hybrid   [--hot 10] [--channels 6] [--bandwidth 600]
 //   vodbcast help
@@ -17,6 +18,7 @@
 #include "batching/hybrid.hpp"
 #include "channel/timetable.hpp"
 #include "client/reception_plan.hpp"
+#include "obs/sink.hpp"
 #include "schemes/registry.hpp"
 #include "schemes/skyscraper.hpp"
 #include "sim/simulator.hpp"
@@ -26,6 +28,41 @@
 namespace {
 
 using namespace vodbcast;
+
+void write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  VB_EXPECTS_MSG(f != nullptr, "cannot open output file: " + path);
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Dumps the sink's collected state per the --metrics-out/--trace-out flags.
+/// A ".jsonl" trace path selects JSONL; anything else gets Chrome
+/// trace-event JSON for chrome://tracing / Perfetto.
+void export_observability(const util::ArgParser& args, obs::Sink& sink) {
+  if (const auto path = args.get("metrics-out")) {
+    write_file(*path, sink.metrics.to_json() + "\n");
+    std::fprintf(stderr, "metrics written to %s\n", path->c_str());
+  }
+  if (const auto path = args.get("trace-out")) {
+    const bool jsonl = ends_with(*path, ".jsonl");
+    write_file(*path, jsonl ? sink.trace.to_jsonl()
+                            : sink.trace.to_chrome_trace());
+    std::fprintf(stderr, "trace written to %s (%zu events, %llu dropped)\n",
+                 path->c_str(), sink.trace.size(),
+                 static_cast<unsigned long long>(sink.trace.dropped()));
+  }
+}
+
+/// True if the run should carry a sink at all.
+bool wants_observability(const util::ArgParser& args) {
+  return args.has("metrics-out") || args.has("trace-out");
+}
 
 schemes::DesignInput input_from(const util::ArgParser& args,
                                 double default_bandwidth = 600.0) {
@@ -137,7 +174,13 @@ int cmd_simulate(const util::ArgParser& args) {
   config.arrivals_per_minute = args.get_double("arrivals", 4.0);
   config.seed = args.get_uint("seed", 42);
   config.plan_clients = true;
+  obs::Sink sink(static_cast<std::size_t>(
+      args.get_uint("trace-limit", 65536)));
+  if (wants_observability(args)) {
+    config.sink = &sink;
+  }
   const auto report = sim::simulate(*scheme, input, config);
+  export_observability(args, sink);
   std::printf("scheme        : %s\n", report.scheme.c_str());
   std::printf("clients served: %llu\n",
               static_cast<unsigned long long>(report.clients_served));
@@ -200,6 +243,11 @@ int cmd_hybrid(const util::ArgParser& args) {
   config.sb_width = args.get_uint("width", 52);
   config.arrivals_per_minute = args.get_double("arrivals", 3.0);
   config.horizon = core::Minutes{args.get_double("horizon", 1500.0)};
+  obs::Sink sink(static_cast<std::size_t>(
+      args.get_uint("trace-limit", 65536)));
+  if (wants_observability(args)) {
+    config.sink = &sink;
+  }
   const batching::MqlPolicy mql;
   const batching::FcfsPolicy fcfs;
   const bool use_fcfs = args.get_string("policy", "mql") == "fcfs";
@@ -217,6 +265,7 @@ int cmd_hybrid(const util::ArgParser& args) {
               report.multicast.wait_minutes.summary().c_str());
   std::printf("combined mean wait: %.3f min\n",
               report.combined_mean_wait_minutes);
+  export_observability(args, sink);
   return 0;
 }
 
@@ -228,6 +277,8 @@ int cmd_help() {
       "  figure   <5|6|7|8> [--csv]                     the paper's figures\n"
       "  plan     --scheme SB:W=n --phase t0            client plan detail\n"
       "  simulate --scheme <label> [--horizon ...]      discrete-event run\n"
+      "           [--metrics-out m.json] [--trace-out run.json|run.jsonl]\n"
+      "           [--trace-limit N]   (hybrid accepts the same flags)\n"
       "  width    --bandwidth B --latency L             width for a target\n"
       "  guide    --scheme <label> [--from --until]     emission timetable\n"
       "  hybrid   [--hot N --channels K --policy mql]   hybrid server\n"
