@@ -5,14 +5,15 @@
 // wait — reproducing the cited result that a hybrid beats either pure
 // approach on a Zipf workload.
 #include <cstdio>
+#include <string>
 
 #include "batching/hybrid.hpp"
 #include "util/text_table.hpp"
 
-#include "obs/bench_report.hpp"
+#include "harness/harness.hpp"
 
-int main() {
-  const vodbcast::obs::BenchReporter obs_report("ablation_hybrid");
+int main(int argc, char** argv) {
+  vodbcast::bench::Session session("ablation_hybrid", argc, argv);
   using namespace vodbcast;
   std::puts("=== Ablation: hybrid broadcast/batching split ===");
   std::puts("(B = 600 Mb/s total, 100-title Zipf(0.271) catalog, 3 req/min, "
@@ -29,17 +30,23 @@ int main() {
                            "tail channels", "tail mean wait (min)",
                            "combined mean wait (min)"});
     for (const std::size_t hot : {1UL, 5UL, 10UL, 20UL, 40UL}) {
-      batching::HybridConfig config;
-      config.total_bandwidth = core::MbitPerSec{600.0};
-      config.catalog_size = 100;
-      config.hot_titles = hot;
-      config.broadcast_channels_per_video = 6;
-      config.sb_width = 52;
-      config.video =
-          core::VideoParams{core::Minutes{120.0}, core::MbitPerSec{1.5}};
-      config.arrivals_per_minute = 3.0;
-      config.horizon = core::Minutes{1500.0};
-      const auto report = batching::evaluate_hybrid(policy, config);
+      const auto report = session.run(
+          "evaluate_hybrid/" + policy.name() + "/hot=" + std::to_string(hot),
+          [&] {
+            batching::HybridConfig config;
+            config.total_bandwidth = core::MbitPerSec{600.0};
+            config.catalog_size = 100;
+            config.hot_titles = hot;
+            config.broadcast_channels_per_video = 6;
+            config.sb_width = 52;
+            config.video =
+                core::VideoParams{core::Minutes{120.0},
+                                  core::MbitPerSec{1.5}};
+            config.arrivals_per_minute = 3.0;
+            config.horizon = core::Minutes{1500.0};
+            config.sink = &session.sink();
+            return batching::evaluate_hybrid(policy, config);
+          });
       table.add_row(
           {util::TextTable::num(static_cast<long long>(hot)),
            util::TextTable::num(report.hot_demand_fraction, 3),

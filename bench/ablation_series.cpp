@@ -6,16 +6,25 @@
 // through the exact two-loader client and reports which remain jitter-free —
 // quantifying why the series was designed the way it was.
 #include <cstdio>
+#include <string>
 
 #include "analysis/experiments.hpp"
 #include "client/reception_plan.hpp"
 #include "series/broadcast_series.hpp"
 #include "util/text_table.hpp"
 
-#include "obs/bench_report.hpp"
+#include "harness/harness.hpp"
 
-int main() {
-  const vodbcast::obs::BenchReporter obs_report("ablation_series");
+namespace {
+struct SeriesCase {
+  std::uint64_t total_units = 0;
+  double unit_duration_min = 0.0;
+  vodbcast::client::WorstCase worst;
+};
+}  // namespace
+
+int main(int argc, char** argv) {
+  vodbcast::bench::Session session("ablation_series", argc, argv);
   using namespace vodbcast;
   std::puts("=== Ablation: broadcast series laws under the two-loader "
             "client (K = 8) ===\n");
@@ -25,18 +34,23 @@ int main() {
                          "jitter-free", "peak buffer (units)",
                          "peak tuners"});
   for (const char* law_name : {"flat", "skyscraper", "fast"}) {
-    const auto law = series::make_series(law_name);
-    const series::SegmentLayout layout(*law, 8, series::kUncapped, video);
-    const auto worst = client::worst_case_over_phases(layout, 2048);
+    const auto result = session.run(
+        std::string("worst_case_over_phases/") + law_name, [&] {
+          const auto law = series::make_series(law_name);
+          const series::SegmentLayout layout(*law, 8, series::kUncapped,
+                                             video);
+          return SeriesCase{layout.total_units(), layout.unit_duration().v,
+                            client::worst_case_over_phases(layout, 2048)};
+        });
     table.add_row(
         {law_name,
-         util::TextTable::num(static_cast<long long>(layout.total_units())),
-         util::TextTable::num(layout.unit_duration().v, 4),
-         worst.always_jitter_free ? "yes" : "NO",
+         util::TextTable::num(static_cast<long long>(result.total_units)),
+         util::TextTable::num(result.unit_duration_min, 4),
+         result.worst.always_jitter_free ? "yes" : "NO",
          util::TextTable::num(
-             static_cast<long long>(worst.max_buffer_units)),
+             static_cast<long long>(result.worst.max_buffer_units)),
          util::TextTable::num(
-             static_cast<long long>(worst.max_concurrent_downloads))});
+             static_cast<long long>(result.worst.max_concurrent_downloads))});
   }
   std::puts(table.render().c_str());
   std::puts("The doubling law packs more units into K channels (lower\n"

@@ -2,46 +2,61 @@
 // latency/storage trade-off at fixed bandwidth — the design knob the paper's
 // Section 5.4 recommends cross-examining Figures 7 and 8 for.
 #include <cstdio>
+#include <utility>
+#include <vector>
 
 #include "analysis/experiments.hpp"
 #include "schemes/skyscraper.hpp"
 #include "series/broadcast_series.hpp"
 #include "util/text_table.hpp"
 
-#include "obs/bench_report.hpp"
+#include "harness/harness.hpp"
 
-int main() {
-  const vodbcast::obs::BenchReporter obs_report("ablation_width");
+int main(int argc, char** argv) {
+  vodbcast::bench::Session session("ablation_width", argc, argv);
   using namespace vodbcast;
   std::puts("=== Ablation: the width knob (B = 400 Mb/s, M = 10) ===\n");
   const auto input = analysis::paper_design_input(400.0);
   const series::SkyscraperSeries law;
 
+  const auto evals = session.run("width_sweep", [&] {
+    std::vector<std::pair<std::uint64_t, schemes::Evaluation>> rows;
+    for (int n = 1; n <= 26; n += 2) {
+      const std::uint64_t w = law.element(n);
+      const schemes::SkyscraperScheme sb(w);
+      const auto eval = sb.evaluate(input);
+      if (eval.has_value()) {
+        rows.emplace_back(w, *eval);
+      }
+    }
+    return rows;
+  });
   util::TextTable table({"W", "K", "latency (min)", "buffer (MB)",
                          "disk bw (Mb/s)"});
-  for (int n = 1; n <= 26; n += 2) {
-    const std::uint64_t w = law.element(n);
-    const schemes::SkyscraperScheme sb(w);
-    const auto eval = sb.evaluate(input);
-    if (!eval.has_value()) {
-      continue;
-    }
+  for (const auto& [w, eval] : evals) {
     table.add_row({util::TextTable::num(static_cast<long long>(w)),
                    util::TextTable::num(
-                       static_cast<long long>(eval->design.segments)),
-                   util::TextTable::num(eval->metrics.access_latency.v, 4),
-                   util::TextTable::num(eval->metrics.client_buffer.mbytes(),
+                       static_cast<long long>(eval.design.segments)),
+                   util::TextTable::num(eval.metrics.access_latency.v, 4),
+                   util::TextTable::num(eval.metrics.client_buffer.mbytes(),
                                         1),
                    util::TextTable::num(
-                       eval->metrics.client_disk_bandwidth.v, 1)});
+                       eval.metrics.client_disk_bandwidth.v, 1)});
   }
   std::puts(table.render().c_str());
 
   std::puts("width_for_latency(): smallest W meeting a latency target");
   const schemes::SkyscraperScheme sb(52);
-  for (const double target : {1.0, 0.5, 0.1, 0.05}) {
-    const auto choice =
-        sb.width_for_latency(input, core::Minutes{target});
+  const auto choices = session.run("width_for_latency", [&] {
+    std::vector<std::pair<double, schemes::SkyscraperScheme::WidthChoice>>
+        rows;
+    for (const double target : {1.0, 0.5, 0.1, 0.05}) {
+      rows.emplace_back(target,
+                        sb.width_for_latency(input, core::Minutes{target}));
+    }
+    return rows;
+  });
+  for (const auto& [target, choice] : choices) {
     std::printf("  target %.2f min -> W = %llu (achieves %.4f min)\n",
                 target, static_cast<unsigned long long>(choice.width),
                 choice.latency.v);

@@ -7,6 +7,8 @@
 // consumer 1997 drive outright — the paper's motivation for SB stated in
 // hardware terms.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "disk/disk_model.hpp"
 #include "schemes/permutation_pyramid.hpp"
@@ -14,10 +16,10 @@
 #include "schemes/skyscraper.hpp"
 #include "util/text_table.hpp"
 
-#include "obs/bench_report.hpp"
+#include "harness/harness.hpp"
 
-int main() {
-  const vodbcast::obs::BenchReporter obs_report("ext_client_disk");
+int main(int argc, char** argv) {
+  vodbcast::bench::Session session("ext_client_disk", argc, argv);
   using namespace vodbcast;
   std::puts("=== Extension: client disk admission (B = 600 Mb/s, b = 1.5 "
             "Mb/s) ===\n");
@@ -57,22 +59,29 @@ int main() {
                            disk::DiskSpec::modern()}) {
     std::printf("--- drive: %s (seek %.1f ms, media %.0f Mb/s) ---\n",
                 spec.name.c_str(), spec.avg_seek_ms, spec.media_rate.v);
+    const auto rows = session.run("admission/" + spec.name, [&] {
+      std::vector<std::vector<std::string>> out;
+      for (const auto& c : cases) {
+        const auto round = disk::min_round_seconds(spec, c.set);
+        out.push_back(
+            {c.scheme,
+             util::TextTable::num(static_cast<long long>(c.set.size())),
+             util::TextTable::num(disk::total_rate(c.set).v, 1),
+             util::TextTable::num(disk::media_utilization(spec, c.set), 3),
+             round.has_value() ? util::TextTable::num(*round * 1000.0, 1)
+                               : "infeasible",
+             round.has_value()
+                 ? util::TextTable::num(
+                       disk::double_buffer_memory(c.set, *round).mbytes(), 3)
+                 : "-"});
+      }
+      return out;
+    });
     util::TextTable table({"scheme", "streams", "aggregate (Mb/s)",
                            "utilization", "min round (ms)",
                            "buffer for round (MB)"});
-    for (const auto& c : cases) {
-      const auto round = disk::min_round_seconds(spec, c.set);
-      table.add_row(
-          {c.scheme,
-           util::TextTable::num(static_cast<long long>(c.set.size())),
-           util::TextTable::num(disk::total_rate(c.set).v, 1),
-           util::TextTable::num(disk::media_utilization(spec, c.set), 3),
-           round.has_value() ? util::TextTable::num(*round * 1000.0, 1)
-                             : "infeasible",
-           round.has_value()
-               ? util::TextTable::num(
-                     disk::double_buffer_memory(c.set, *round).mbytes(), 3)
-               : "-"});
+    for (const auto& row : rows) {
+      table.add_row(row);
     }
     std::puts(table.render().c_str());
   }

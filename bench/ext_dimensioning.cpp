@@ -2,16 +2,18 @@
 // For a range of latency SLOs (with a 128 MB set-top-box buffer cap), how
 // much network-I/O bandwidth does each scheme require?
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "analysis/dimensioning.hpp"
 #include "analysis/experiments.hpp"
 #include "schemes/registry.hpp"
 #include "util/text_table.hpp"
 
-#include "obs/bench_report.hpp"
+#include "harness/harness.hpp"
 
-int main() {
-  const vodbcast::obs::BenchReporter obs_report("ext_dimensioning");
+int main(int argc, char** argv) {
+  vodbcast::bench::Session session("ext_dimensioning", argc, argv);
   using namespace vodbcast;
   std::puts("=== Extension: minimum bandwidth per latency SLO ===");
   std::puts("(M = 10, D = 120 min, b = 1.5 Mb/s; client buffer cap 128 MB;\n"
@@ -21,19 +23,27 @@ int main() {
   util::TextTable table({"SLO (min)", "staggered", "PB:a", "PPB:b", "SB:W=2",
                          "SB:W=52", "FB", "HB"});
   for (const double slo_min : {5.0, 2.0, 1.0, 0.5, 0.2, 0.1}) {
-    analysis::SloRequirements slo;
-    slo.max_latency = core::Minutes{slo_min};
-    slo.max_client_buffer = core::Mbits{128.0 * 8.0};
+    char case_name[48];
+    std::snprintf(case_name, sizeof case_name, "dimension/slo=%.1fmin",
+                  slo_min);
+    const auto cells = session.run(case_name, [&] {
+      analysis::SloRequirements slo;
+      slo.max_latency = core::Minutes{slo_min};
+      slo.max_client_buffer = core::Mbits{128.0 * 8.0};
+      std::vector<std::string> row;
+      for (const char* label : {"staggered", "PB:a", "PPB:b", "SB:W=2",
+                                "SB:W=52", "FB", "HB"}) {
+        const auto scheme = schemes::make_scheme(label);
+        const auto result = analysis::dimension_bandwidth(
+            *scheme, base, slo, 15.0, 2000.0, 1.0);
+        row.push_back(result.has_value()
+                          ? util::TextTable::num(result->bandwidth.v, 0)
+                          : "-");
+      }
+      return row;
+    });
     std::vector<std::string> row{util::TextTable::num(slo_min, 2)};
-    for (const char* label : {"staggered", "PB:a", "PPB:b", "SB:W=2",
-                              "SB:W=52", "FB", "HB"}) {
-      const auto scheme = schemes::make_scheme(label);
-      const auto result = analysis::dimension_bandwidth(
-          *scheme, base, slo, 15.0, 2000.0, 1.0);
-      row.push_back(result.has_value()
-                        ? util::TextTable::num(result->bandwidth.v, 0)
-                        : "-");
-    }
+    row.insert(row.end(), cells.begin(), cells.end());
     table.add_row(std::move(row));
   }
   std::puts(table.render().c_str());

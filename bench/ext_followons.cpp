@@ -11,10 +11,10 @@
 #include "analysis/report.hpp"
 #include "schemes/registry.hpp"
 
-#include "obs/bench_report.hpp"
+#include "harness/harness.hpp"
 
-int main() {
-  const vodbcast::obs::BenchReporter obs_report("ext_followons");
+int main(int argc, char** argv) {
+  vodbcast::bench::Session session("ext_followons", argc, argv);
   using namespace vodbcast;
   std::puts("=== Extension: SB vs follow-on protocols (FB, HB) ===\n");
 
@@ -25,25 +25,33 @@ int main() {
   set.push_back(schemes::make_scheme("HB"));
   set.push_back(schemes::make_scheme("staggered"));
 
-  const auto sweeps = analysis::sweep_bandwidth(
-      set, analysis::paper_design_input(), analysis::paper_bandwidth_axis());
+  const auto sweeps = session.run("sweep_bandwidth", [&] {
+    return analysis::sweep_bandwidth(set, analysis::paper_design_input(),
+                                     analysis::paper_bandwidth_axis());
+  });
 
-  const auto latency = analysis::render_metric_figure(
-      sweeps, analysis::access_latency_minutes(),
-      "Follow-ons: access latency (minutes)", "latency (min)", true);
+  const auto latency = session.run("render_latency", [&] {
+    return analysis::render_metric_figure(
+        sweeps, analysis::access_latency_minutes(),
+        "Follow-ons: access latency (minutes)", "latency (min)", true);
+  });
   std::puts(latency.plot.c_str());
   std::puts(latency.table.c_str());
 
-  const auto storage = analysis::render_metric_figure(
-      sweeps, analysis::storage_mbytes(),
-      "Follow-ons: client storage (MBytes)", "storage (MB)", true);
+  const auto storage = session.run("render_storage", [&] {
+    return analysis::render_metric_figure(
+        sweeps, analysis::storage_mbytes(),
+        "Follow-ons: client storage (MBytes)", "storage (MB)", true);
+  });
   std::puts(storage.plot.c_str());
   std::puts(storage.table.c_str());
 
-  const auto diskbw = analysis::render_metric_figure(
-      sweeps, analysis::disk_bandwidth_mbyte_per_sec(),
-      "Follow-ons: client disk bandwidth (MBytes/sec)", "disk bw (MB/s)",
-      true);
+  const auto diskbw = session.run("render_disk_bandwidth", [&] {
+    return analysis::render_metric_figure(
+        sweeps, analysis::disk_bandwidth_mbyte_per_sec(),
+        "Follow-ons: client disk bandwidth (MBytes/sec)", "disk bw (MB/s)",
+        true);
+  });
   std::puts(diskbw.plot.c_str());
   std::puts(diskbw.table.c_str());
   return 0;

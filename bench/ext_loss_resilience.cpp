@@ -7,15 +7,24 @@
 // segments develop holes — the robustness picture the fluid model cannot
 // show.
 #include <cstdio>
+#include <string>
 
 #include "net/packet_client.hpp"
 #include "schemes/skyscraper.hpp"
 #include "util/text_table.hpp"
 
-#include "obs/bench_report.hpp"
+#include "harness/harness.hpp"
 
-int main() {
-  const vodbcast::obs::BenchReporter obs_report("ext_loss_resilience");
+namespace {
+struct LossPoint {
+  int clean = 0;
+  double gaps = 0.0;
+  double lost = 0.0;
+};
+}  // namespace
+
+int main(int argc, char** argv) {
+  vodbcast::bench::Session session("ext_loss_resilience", argc, argv);
   using namespace vodbcast;
   std::puts("=== Extension: packet-loss resilience of SB sessions ===");
   std::puts("(K = 8, W = 12, MTU 10 Mbit, 40 sessions per point)\n");
@@ -38,40 +47,43 @@ int main() {
       if (p == 0.0 && bursty) {
         continue;
       }
-      int clean = 0;
-      double gaps = 0.0;
-      double lost = 0.0;
-      for (int s = 0; s < kSessions; ++s) {
-        const auto seed = static_cast<std::uint64_t>(s) * 7919 + 17;
-        net::PacketSessionReport report;
-        if (bursty) {
-          net::GilbertElliottLoss::Params params;
-          params.p_bad_to_good = 0.25;
-          params.loss_bad = 0.8;
-          // Match the average rate: stationary bad fraction * loss_bad = p.
-          params.p_good_to_bad = 0.25 * p / (0.8 - p);
-          net::GilbertElliottLoss model(params, util::Rng(seed));
-          report = net::run_packet_session(
-              plan, 0, layout, static_cast<std::uint64_t>(s) % 24, model,
-              core::Mbits{10.0});
-        } else {
-          net::BernoulliLoss model(p, util::Rng(seed));
-          report = net::run_packet_session(
-              plan, 0, layout, static_cast<std::uint64_t>(s) % 24, model,
-              core::Mbits{10.0});
+      const char* model_name = bursty ? "Gilbert-Elliott" : "Bernoulli";
+      char case_name[64];
+      std::snprintf(case_name, sizeof case_name, "%s/p=%.4f",
+                    bursty ? "gilbert_elliott" : "bernoulli", p);
+      const auto point = session.run(case_name, [&] {
+        LossPoint out;
+        for (int s = 0; s < kSessions; ++s) {
+          const auto seed = static_cast<std::uint64_t>(s) * 7919 + 17;
+          net::PacketSessionReport report;
+          if (bursty) {
+            net::GilbertElliottLoss::Params params;
+            params.p_bad_to_good = 0.25;
+            params.loss_bad = 0.8;
+            // Match the average rate: stationary bad fraction * loss_bad = p.
+            params.p_good_to_bad = 0.25 * p / (0.8 - p);
+            net::GilbertElliottLoss model(params, util::Rng(seed));
+            report = net::run_packet_session(
+                plan, 0, layout, static_cast<std::uint64_t>(s) % 24, model,
+                core::Mbits{10.0});
+          } else {
+            net::BernoulliLoss model(p, util::Rng(seed));
+            report = net::run_packet_session(
+                plan, 0, layout, static_cast<std::uint64_t>(s) % 24, model,
+                core::Mbits{10.0});
+          }
+          out.clean += report.jitter_free ? 1 : 0;
+          out.gaps += static_cast<double>(report.segments_with_gaps);
+          out.lost += static_cast<double>(report.packets_lost);
         }
-        clean += report.jitter_free ? 1 : 0;
-        gaps += static_cast<double>(report.segments_with_gaps);
-        lost += static_cast<double>(report.packets_lost);
-      }
-      char label[32];
-      std::snprintf(label, sizeof label, "%s",
-                    bursty ? "Gilbert-Elliott" : "Bernoulli");
-      table.add_row({label, util::TextTable::num(p, 4),
-                     util::TextTable::num(static_cast<long long>(clean)) +
+        return out;
+      });
+      table.add_row({model_name, util::TextTable::num(p, 4),
+                     util::TextTable::num(
+                         static_cast<long long>(point.clean)) +
                          "/" + std::to_string(kSessions),
-                     util::TextTable::num(gaps / kSessions, 2),
-                     util::TextTable::num(lost / kSessions, 1)});
+                     util::TextTable::num(point.gaps / kSessions, 2),
+                     util::TextTable::num(point.lost / kSessions, 1)});
     }
   }
   std::puts(table.render().c_str());

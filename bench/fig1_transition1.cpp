@@ -10,10 +10,10 @@
 #include "client/reception_plan.hpp"
 #include "series/broadcast_series.hpp"
 
-#include "obs/bench_report.hpp"
+#include "harness/harness.hpp"
 
-int main() {
-  const vodbcast::obs::BenchReporter obs_report("fig1_transition1");
+int main(int argc, char** argv) {
+  vodbcast::bench::Session session("fig1_transition1", argc, argv);
   using namespace vodbcast;
   std::puts("=== Figure 1: transition (1) -> (2,2) ===\n");
   const series::SkyscraperSeries law;
@@ -22,13 +22,15 @@ int main() {
       core::VideoParams{core::Minutes{120.0}, core::MbitPerSec{1.5}});
 
   std::puts("--- Figure 1(a): playback starts at an odd time (t0 = 1) ---");
-  const auto odd_plan = client::plan_reception(layout, 1);
+  const auto odd_plan = session.run(
+      "plan_reception_odd", [&] { return client::plan_reception(layout, 1); });
   std::puts(analysis::describe_plan(layout, odd_plan).c_str());
   std::printf("paper: no disk required -> peak %lld units (expect 0)\n\n",
               static_cast<long long>(odd_plan.max_buffer_units));
 
   std::puts("--- Figure 1(b): playback starts at an even time (t0 = 2) ---");
-  const auto even_plan = client::plan_reception(layout, 2);
+  const auto even_plan = session.run(
+      "plan_reception_even", [&] { return client::plan_reception(layout, 2); });
   std::puts(analysis::describe_plan(layout, even_plan).c_str());
   std::printf("paper: buffer 60*b*D1 -> peak %lld units (expect 1)\n",
               static_cast<long long>(even_plan.max_buffer_units));

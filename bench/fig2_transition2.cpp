@@ -5,19 +5,22 @@
 // final transition is the one under study and report the attained peak
 // against the bound.
 #include <cstdio>
+#include <string>
 
 #include "analysis/experiments.hpp"
 
-#include "obs/bench_report.hpp"
+#include "harness/harness.hpp"
 
-int main() {
-  const vodbcast::obs::BenchReporter obs_report("fig2_transition2");
+int main(int argc, char** argv) {
+  vodbcast::bench::Session session("fig2_transition2", argc, argv);
   using namespace vodbcast;
   std::puts("=== Figure 2: transition (A,A) -> (2A+1,2A+1), A even ===\n");
   // K = 5 ends at (2,2) -> (5,5): A = 2.   K = 9 ends at (12,12) -> (25,25):
   // A = 12.
   for (const int k : {5, 9}) {
-    const auto exp = analysis::transition_experiment(k);
+    const auto exp =
+        session.run("transition_experiment/k=" + std::to_string(k),
+                    [k] { return analysis::transition_experiment(k); });
     std::printf("--- %s (final transition A = %llu) ---\n", exp.title.c_str(),
                 static_cast<unsigned long long>(
                     exp.layout.groups()[exp.layout.groups().size() - 2].size));

@@ -5,25 +5,38 @@
 // groups' downloads and playback), exactly as the figure does, and sweep
 // every client phase with an even (A,A) playback start.
 #include <cstdio>
+#include <string>
 
 #include "analysis/experiments.hpp"
 
-#include "obs/bench_report.hpp"
+#include "harness/harness.hpp"
 
-int main() {
-  const vodbcast::obs::BenchReporter obs_report("fig3_transition3");
+namespace {
+struct TransitionCase {
+  vodbcast::analysis::TransitionExperiment exp;
+  vodbcast::analysis::TransitionLocalWorst local;
+};
+}  // namespace
+
+int main(int argc, char** argv) {
+  vodbcast::bench::Session session("fig3_transition3", argc, argv);
   using namespace vodbcast;
   std::puts("=== Figure 3: transition (A,A) -> (2A+2,2A+2), A odd, even "
             "playback start ===\n");
   // K = 7 ends at (5,5) -> (12,12): A = 5. K = 11 at (25,25) -> (52,52).
   for (const int k : {7, 11}) {
-    const auto exp = analysis::transition_experiment(k);
-    const auto& groups = exp.layout.groups();
-    const std::size_t index = groups.size() - 2;
-    const auto a = groups[index].size;
-    const auto local =
-        analysis::transition_local_worst(exp.layout, index, /*parity=*/0);
-    std::printf("--- %s: A = %llu ---\n", exp.title.c_str(),
+    const auto result =
+        session.run("transition_local_worst/k=" + std::to_string(k), [k] {
+          auto exp = analysis::transition_experiment(k);
+          const auto index = exp.layout.groups().size() - 2;
+          auto local =
+              analysis::transition_local_worst(exp.layout, index, /*parity=*/0);
+          return TransitionCase{std::move(exp), local};
+        });
+    const auto& groups = result.exp.layout.groups();
+    const auto a = groups[groups.size() - 2].size;
+    const auto& local = result.local;
+    std::printf("--- %s: A = %llu ---\n", result.exp.title.c_str(),
                 static_cast<unsigned long long>(a));
     std::printf("worst transition-local buffer over even playback starts: "
                 "%lld units\n",

@@ -4,25 +4,38 @@
 // (A,A) and (2A+2,2A+2) download simultaneously, a third stream is never
 // needed.
 #include <cstdio>
+#include <string>
 
 #include "analysis/experiments.hpp"
 #include "client/reception_plan.hpp"
 
-#include "obs/bench_report.hpp"
+#include "harness/harness.hpp"
 
-int main() {
-  const vodbcast::obs::BenchReporter obs_report("fig4_transition3_odd");
+namespace {
+struct TransitionCase {
+  vodbcast::analysis::TransitionExperiment exp;
+  vodbcast::analysis::TransitionLocalWorst local;
+};
+}  // namespace
+
+int main(int argc, char** argv) {
+  vodbcast::bench::Session session("fig4_transition3_odd", argc, argv);
   using namespace vodbcast;
   std::puts("=== Figure 4: transition (A,A) -> (2A+2,2A+2), A odd, odd "
             "playback start ===\n");
   for (const int k : {7, 11}) {
-    const auto exp = analysis::transition_experiment(k);
-    const auto& groups = exp.layout.groups();
-    const std::size_t index = groups.size() - 2;
-    const auto a = groups[index].size;
-    const auto local =
-        analysis::transition_local_worst(exp.layout, index, /*parity=*/1);
-    std::printf("--- %s: A = %llu ---\n", exp.title.c_str(),
+    const auto result =
+        session.run("transition_local_worst/k=" + std::to_string(k), [k] {
+          auto exp = analysis::transition_experiment(k);
+          const auto index = exp.layout.groups().size() - 2;
+          auto local =
+              analysis::transition_local_worst(exp.layout, index, /*parity=*/1);
+          return TransitionCase{std::move(exp), local};
+        });
+    const auto& groups = result.exp.layout.groups();
+    const auto a = groups[groups.size() - 2].size;
+    const auto& local = result.local;
+    std::printf("--- %s: A = %llu ---\n", result.exp.title.c_str(),
                 static_cast<unsigned long long>(a));
     std::printf("worst transition-local buffer over odd playback starts: "
                 "%lld units\n",
@@ -34,7 +47,7 @@ int main() {
                     : "VIOLATED");
     std::printf("max concurrent downloads across phases: %d (paper: the "
                 "third stream is never needed)\n\n",
-                exp.worst.max_concurrent_downloads);
+                result.exp.worst.max_concurrent_downloads);
   }
   return 0;
 }

@@ -4,11 +4,13 @@
 
 #include "analysis/experiments.hpp"
 
-#include "obs/bench_report.hpp"
+#include "harness/harness.hpp"
 
-int main() {
-  const vodbcast::obs::BenchReporter obs_report("fig5_parameters");
-  const auto figure = vodbcast::analysis::figure5_parameters();
+int main(int argc, char** argv) {
+  vodbcast::bench::Session session("fig5_parameters", argc, argv);
+  const auto figure = session.run("figure5_parameters", [] {
+    return vodbcast::analysis::figure5_parameters();
+  });
   std::puts(figure.title.c_str());
   std::puts(figure.plot.c_str());
   std::puts(figure.table.c_str());

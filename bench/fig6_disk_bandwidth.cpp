@@ -5,11 +5,13 @@
 
 #include "analysis/experiments.hpp"
 
-#include "obs/bench_report.hpp"
+#include "harness/harness.hpp"
 
-int main() {
-  const vodbcast::obs::BenchReporter obs_report("fig6_disk_bandwidth");
-  const auto figure = vodbcast::analysis::figure6_disk_bandwidth();
+int main(int argc, char** argv) {
+  vodbcast::bench::Session session("fig6_disk_bandwidth", argc, argv);
+  const auto figure = session.run("figure6_disk_bandwidth", [] {
+    return vodbcast::analysis::figure6_disk_bandwidth();
+  });
   std::puts(figure.plot.c_str());
   std::puts(figure.table.c_str());
   std::puts("--- CSV ---");

@@ -5,11 +5,13 @@
 
 #include "analysis/experiments.hpp"
 
-#include "obs/bench_report.hpp"
+#include "harness/harness.hpp"
 
-int main() {
-  const vodbcast::obs::BenchReporter obs_report("fig7_access_latency");
-  const auto figure = vodbcast::analysis::figure7_access_latency();
+int main(int argc, char** argv) {
+  vodbcast::bench::Session session("fig7_access_latency", argc, argv);
+  const auto figure = session.run("figure7_access_latency", [] {
+    return vodbcast::analysis::figure7_access_latency();
+  });
   std::puts(figure.plot.c_str());
   std::puts(figure.table.c_str());
   std::puts("--- CSV ---");

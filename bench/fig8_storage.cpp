@@ -6,11 +6,13 @@
 
 #include "analysis/experiments.hpp"
 
-#include "obs/bench_report.hpp"
+#include "harness/harness.hpp"
 
-int main() {
-  const vodbcast::obs::BenchReporter obs_report("fig8_storage");
-  const auto figure = vodbcast::analysis::figure8_storage();
+int main(int argc, char** argv) {
+  vodbcast::bench::Session session("fig8_storage", argc, argv);
+  const auto figure = session.run("figure8_storage", [] {
+    return vodbcast::analysis::figure8_storage();
+  });
   std::puts(figure.plot.c_str());
   std::puts(figure.table.c_str());
   std::puts("--- CSV ---");

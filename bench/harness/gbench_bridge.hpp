@@ -1,0 +1,64 @@
+// Bridge between google-benchmark and the bench harness: a ConsoleReporter
+// subclass that forwards every finished run into a Session, so the micro
+// benches keep google-benchmark's console tables AND emit the same
+// BENCH_<name>.json as the macro benches.
+//
+//   int main(int argc, char** argv) {
+//     benchmark::Initialize(&argc, argv);   // consumes --benchmark_* flags
+//     vodbcast::bench::Session session("micro_core", argc, argv);
+//     return vodbcast::bench::run_gbench(session);
+//   }
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "harness/harness.hpp"
+
+namespace vodbcast::bench {
+
+class SessionReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit SessionReporter(Session& session) : session_(&session) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const auto& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) {
+        continue;
+      }
+      // google-benchmark reports one accumulated time over N iterations;
+      // record the per-iteration average as a single-sample case (the
+      // quantile fields collapse onto it, which diffing handles fine).
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      obs::BenchCaseResult result;
+      result.name = run.benchmark_name();
+      result.reps = static_cast<int>(
+          std::min<std::int64_t>(run.iterations,
+                                 std::numeric_limits<int>::max()));
+      result.warmup = 0;
+      result.wall_ns = obs::TimingStats::from_samples(
+          {run.real_accumulated_time / iters * 1e9});
+      result.cpu_ns = obs::TimingStats::from_samples(
+          {run.cpu_accumulated_time / iters * 1e9});
+      session_->record_case(std::move(result));
+    }
+  }
+
+ private:
+  Session* session_;
+};
+
+/// Runs all registered benchmarks through a SessionReporter.
+inline int run_gbench(Session& session) {
+  SessionReporter reporter(session);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace vodbcast::bench

@@ -5,19 +5,16 @@
 
 #include "client/client_session.hpp"
 #include "client/reception_plan.hpp"
-#include "obs/bench_report.hpp"
 #include "schemes/registry.hpp"
 #include "schemes/skyscraper.hpp"
 #include "series/broadcast_series.hpp"
 #include "sim/simulator.hpp"
 
+#include "harness/gbench_bridge.hpp"
+
 namespace {
 
 using namespace vodbcast;
-
-// File-scope so a machine-readable snapshot footer prints at process exit,
-// after google-benchmark's own report.
-obs::BenchReporter g_obs_report("micro_core");
 
 const core::VideoParams kVideo{core::Minutes{120.0}, core::MbitPerSec{1.5}};
 
@@ -104,3 +101,9 @@ void BM_EndToEndSimulationWithSink(benchmark::State& state) {
 BENCHMARK(BM_EndToEndSimulationWithSink);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  vodbcast::bench::Session session("micro_core", argc, argv);
+  return vodbcast::bench::run_gbench(session);
+}

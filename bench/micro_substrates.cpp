@@ -7,17 +7,14 @@
 #include "disk/disk_model.hpp"
 #include "net/packetizer.hpp"
 #include "net/reassembly.hpp"
-#include "obs/bench_report.hpp"
 #include "workload/request.hpp"
 #include "workload/zipf.hpp"
+
+#include "harness/gbench_bridge.hpp"
 
 namespace {
 
 using namespace vodbcast;
-
-// File-scope so a machine-readable snapshot footer prints at process exit,
-// after google-benchmark's own report.
-obs::BenchReporter g_obs_report("micro_substrates");
 
 const channel::PeriodicBroadcast kStream{
     .logical_channel = 0,
@@ -97,3 +94,9 @@ void BM_DiskAdmission(benchmark::State& state) {
 BENCHMARK(BM_DiskAdmission);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  vodbcast::bench::Session session("micro_substrates", argc, argv);
+  return vodbcast::bench::run_gbench(session);
+}

@@ -2,17 +2,26 @@
 // latency and buffer space of every scheme, at representative operating
 // points of the Section 5 workload.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "analysis/experiments.hpp"
 
-#include "obs/bench_report.hpp"
+#include "harness/harness.hpp"
 
-int main() {
-  const vodbcast::obs::BenchReporter obs_report("table1_formulas");
+int main(int argc, char** argv) {
+  vodbcast::bench::Session session("table1_formulas", argc, argv);
   std::puts("=== Table 1: performance computation ===");
   std::puts("(M = 10 videos, D = 120 min, b = 1.5 Mb/s MPEG-1)\n");
-  for (const double bandwidth : {100.0, 320.0, 600.0}) {
-    std::puts(vodbcast::analysis::table1_performance(bandwidth).c_str());
+  const auto tables = session.run("table1_performance", [] {
+    std::vector<std::string> rendered;
+    for (const double bandwidth : {100.0, 320.0, 600.0}) {
+      rendered.push_back(vodbcast::analysis::table1_performance(bandwidth));
+    }
+    return rendered;
+  });
+  for (const auto& table : tables) {
+    std::puts(table.c_str());
   }
   std::puts("Note: '-' marks designs that are infeasible at that bandwidth");
   std::puts("(the pyramid family needs alpha > 1).");

@@ -1,16 +1,25 @@
 // Regenerates the paper's Table 2: the design parameters (K, P, alpha, W)
 // each scheme derives with its own methodology.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "analysis/experiments.hpp"
 
-#include "obs/bench_report.hpp"
+#include "harness/harness.hpp"
 
-int main() {
-  const vodbcast::obs::BenchReporter obs_report("table2_parameters");
+int main(int argc, char** argv) {
+  vodbcast::bench::Session session("table2_parameters", argc, argv);
   std::puts("=== Table 2: design parameter determination ===\n");
-  for (const double bandwidth : {100.0, 320.0, 600.0}) {
-    std::puts(vodbcast::analysis::table2_parameters(bandwidth).c_str());
+  const auto tables = session.run("table2_parameters", [] {
+    std::vector<std::string> rendered;
+    for (const double bandwidth : {100.0, 320.0, 600.0}) {
+      rendered.push_back(vodbcast::analysis::table2_parameters(bandwidth));
+    }
+    return rendered;
+  });
+  for (const auto& table : tables) {
+    std::puts(table.c_str());
   }
   return 0;
 }

@@ -4,16 +4,17 @@
 // the Table 1 worst case, and SB clients (run through the exact reception
 // plan) must stay jitter-free with buffers inside the published bound.
 #include <cstdio>
+#include <string>
 
 #include "analysis/experiments.hpp"
 #include "schemes/registry.hpp"
 #include "sim/simulator.hpp"
 #include "util/text_table.hpp"
 
-#include "obs/bench_report.hpp"
+#include "harness/harness.hpp"
 
-int main() {
-  vodbcast::obs::BenchReporter obs_report("validation_simulation");
+int main(int argc, char** argv) {
+  vodbcast::bench::Session session("validation_simulation", argc, argv);
   using namespace vodbcast;
   std::puts("=== Validation: simulation vs closed forms (B = 300 Mb/s) ===\n");
   const auto input = analysis::paper_design_input(300.0);
@@ -29,12 +30,15 @@ int main() {
       table.add_row({label, "-", "-", "-", "-", "-", "-", "-"});
       continue;
     }
-    sim::SimulationConfig config;
-    config.horizon = core::Minutes{240.0};
-    config.arrivals_per_minute = 4.0;
-    config.plan_clients = true;
-    config.sink = &obs_report.sink();
-    const auto report = sim::simulate(*scheme, input, config);
+    const auto report =
+        session.run(std::string("simulate/") + label, [&] {
+          sim::SimulationConfig config;
+          config.horizon = core::Minutes{240.0};
+          config.arrivals_per_minute = 4.0;
+          config.plan_clients = true;
+          config.sink = &session.sink();
+          return sim::simulate(*scheme, input, config);
+        });
     table.add_row(
         {label,
          util::TextTable::num(static_cast<long long>(report.clients_served)),

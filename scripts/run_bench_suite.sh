@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Runs every bench binary and collects one machine-readable BENCH_<name>.json
+# per binary (schema vodbcast-bench-v1, see docs/OBSERVABILITY.md).
+#
+#   scripts/run_bench_suite.sh [--out DIR] [--quick] [--build-dir DIR]
+#
+#   --out DIR      directory the BENCH_*.json land in (default: the repo
+#                  root, refreshing the committed perf trajectory)
+#   --quick        smoke mode: 1 rep, no warmup, minimal gbench min-time.
+#                  Checks the pipeline, not the numbers.
+#   --build-dir D  build tree holding the bench binaries (default: build)
+#
+# Typical A/B flow:
+#   git checkout main   && scripts/run_bench_suite.sh --out /tmp/base
+#   git checkout mywork && scripts/run_bench_suite.sh --out /tmp/cand
+#   build/tools/bench_diff /tmp/base /tmp/cand
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out_dir=.
+build_dir=build
+quick=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --out) out_dir=$2; shift 2 ;;
+    --out=*) out_dir=${1#--out=}; shift ;;
+    --build-dir) build_dir=$2; shift 2 ;;
+    --build-dir=*) build_dir=${1#--build-dir=}; shift ;;
+    --quick) quick=1; shift ;;
+    *)
+      echo "usage: $0 [--out DIR] [--quick] [--build-dir DIR]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+cmake --build "$build_dir" -j "$(nproc)" >/dev/null
+mkdir -p "$out_dir"
+
+export VODBCAST_BENCH_OUT="$out_dir"
+gbench_args=()
+if [[ $quick -eq 1 ]]; then
+  export VODBCAST_BENCH_QUICK=1
+  gbench_args+=(--benchmark_min_time=0.001)
+fi
+
+ran=0
+for bin in "$build_dir"/bench/*; do
+  [[ -f $bin && -x $bin ]] || continue
+  name=$(basename "$bin")
+  extra=()
+  if [[ $name == micro_* && ${#gbench_args[@]} -gt 0 ]]; then
+    extra=("${gbench_args[@]}")
+  fi
+  start=$(date +%s%N)
+  "$bin" "${extra[@]}" >/dev/null
+  elapsed_ms=$(( ($(date +%s%N) - start) / 1000000 ))
+  if [[ ! -s "$out_dir/BENCH_$name.json" ]]; then
+    echo "FAIL  $name: no BENCH_$name.json written" >&2
+    exit 1
+  fi
+  printf 'ok    %-24s %6d ms\n' "$name" "$elapsed_ms"
+  ran=$((ran + 1))
+done
+
+if [[ $ran -eq 0 ]]; then
+  echo "FAIL  no bench binaries found under $build_dir/bench" >&2
+  exit 1
+fi
+echo "bench suite: $ran result file(s) in $out_dir"

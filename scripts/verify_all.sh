@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Full verification chain: tier-1 build+tests, the ASan/UBSan sweep, and a
+# quick pass of the bench suite to prove every binary still writes a valid
+# BENCH_*.json that bench_diff can read back.
+#
+#   scripts/verify_all.sh [--skip-sanitize]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+skip_sanitize=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-sanitize) skip_sanitize=1 ;;
+    *)
+      echo "usage: $0 [--skip-sanitize]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+echo "== tier-1: build + ctest =="
+cmake --build build -j "$(nproc)"
+ctest --test-dir build --output-on-failure
+
+if [[ $skip_sanitize -eq 0 ]]; then
+  echo "== sanitize sweep =="
+  scripts/verify_sanitize.sh
+fi
+
+echo "== bench suite (quick) + self-diff =="
+suite_dir=$(mktemp -d)
+trap 'rm -rf "$suite_dir"' EXIT
+scripts/run_bench_suite.sh --quick --out "$suite_dir"
+build/tools/bench_diff "$suite_dir" "$suite_dir"
+
+echo "verify_all: OK"

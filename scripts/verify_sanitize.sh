@@ -7,10 +7,14 @@ cd "$(dirname "$0")/.."
 
 cmake -B build-asan -S . -DVODBCAST_SANITIZE=ON
 cmake --build build-asan -j "$(nproc)" \
-  --target test_obs_registry test_obs_trace test_simulator
+  --target test_obs_registry test_obs_trace test_obs_sampler \
+  test_util_json test_bench_harness test_simulator
 
 ./build-asan/tests/test_obs_registry
 ./build-asan/tests/test_obs_trace
+./build-asan/tests/test_obs_sampler
+./build-asan/tests/test_util_json
+./build-asan/tests/test_bench_harness
 ./build-asan/tests/test_simulator
 
 echo "sanitize verify: OK"

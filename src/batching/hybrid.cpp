@@ -74,6 +74,7 @@ HybridReport evaluate_hybrid(const BatchingPolicy& policy,
       .mean_patience = config.mean_patience,
       .seed = config.seed + 1,
       .sink = config.sink,
+      .sampler = config.sampler,
   };
   HybridReport report;
   report.multicast = simulate_scheduled_multicast(

@@ -32,6 +32,9 @@ struct HybridConfig {
   /// Optional observability attachment (not owned), forwarded to the tail's
   /// scheduled-multicast simulation; "hybrid.*" gauges record the split.
   obs::Sink* sink = nullptr;
+  /// Optional time-series sampler (not owned), forwarded to the tail's
+  /// scheduled-multicast simulation.
+  obs::Sampler* sampler = nullptr;
 };
 
 struct HybridReport {

@@ -84,6 +84,19 @@ MulticastReport simulate_scheduled_multicast(
   sim::EventQueue events;
   events.attach_sink(sink);
 
+  // Time-series probes over the simulation locals; the ProbeScope
+  // unregisters them before the locals die. Advanced at each arrival (the
+  // only points where the clock moves past sampler ticks in bulk).
+  obs::ProbeScope probes(config.sampler);
+  probes.add("batching.queue_depth", [&queues] {
+    return static_cast<double>(total_pending(queues));
+  });
+  probes.add("batching.busy_channels", [&config, &free_channels] {
+    return static_cast<double>(config.channels - free_channels);
+  });
+  probes.add("batching.event_queue.pending",
+             [&events] { return static_cast<double>(events.pending()); });
+
   // Drops expired waiters and keeps the report and metrics in step.
   const auto clean = [&](double now) {
     const auto expired = clean_expired(queues, now, sink);
@@ -139,6 +152,7 @@ MulticastReport simulate_scheduled_multicast(
   for (const auto& request : requests) {
     VB_EXPECTS(request.video < num_videos);
     events.schedule(request.arrival.v, [&, request]() {
+      probes.advance(request.arrival.v);
       PendingRequest pending{.arrival = request.arrival,
                              .renege_at = core::Minutes{1e300}};
       if (config.mean_patience.v > 0.0) {
@@ -155,6 +169,7 @@ MulticastReport simulate_scheduled_multicast(
   }
 
   events.run_until(config.horizon.v);
+  probes.advance(config.horizon.v);
 
   // Anything still queued at the horizon: expired entries reneged, the rest
   // simply remain unserved (neither served nor reneged).

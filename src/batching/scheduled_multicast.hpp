@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "batching/queue_policies.hpp"
+#include "obs/sampler.hpp"
 #include "obs/sink.hpp"
 #include "sim/stats.hpp"
 #include "util/rng.hpp"
@@ -30,6 +31,11 @@ struct MulticastConfig {
   /// Optional observability attachment (not owned): "batching.*" metrics,
   /// batch-fire / renege trace events, and event-queue instrumentation.
   obs::Sink* sink = nullptr;
+  /// Optional time-series sampler (not owned). When set, the run registers
+  /// "batching.queue_depth", "batching.busy_channels" and
+  /// "batching.event_queue.pending" probes and advances the sampler as the
+  /// event clock moves. Null costs one pointer test per event.
+  obs::Sampler* sampler = nullptr;
 };
 
 struct MulticastReport {

@@ -12,10 +12,15 @@ BenchReporter::~BenchReporter() {
   const double wall_ms =
       static_cast<double>(std::chrono::duration_cast<std::chrono::microseconds>(
           elapsed).count()) / 1e3;
+  // dropped/capacity make ring truncation visible: a scraper can tell a
+  // complete trace from one that silently wrapped.
   std::printf("\n[obs-snapshot] {\"bench\":\"%s\",\"wall_ms\":%.3f,"
-              "\"events_recorded\":%llu,\"metrics\":%s}\n",
+              "\"events_recorded\":%llu,\"events_dropped\":%llu,"
+              "\"trace_capacity\":%llu,\"metrics\":%s}\n",
               name_.c_str(), wall_ms,
               static_cast<unsigned long long>(sink_.trace.recorded()),
+              static_cast<unsigned long long>(sink_.trace.dropped()),
+              static_cast<unsigned long long>(sink_.trace.capacity()),
               sink_.metrics.to_json().c_str());
 }
 

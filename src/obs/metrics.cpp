@@ -81,6 +81,30 @@ std::vector<double> default_latency_bounds_min() {
   return {0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0};
 }
 
+double Snapshot::HistogramView::quantile(double q) const {
+  VB_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (count == 0) {
+    return 0.0;
+  }
+  const double target = q * static_cast<double>(count);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const double in_bucket = static_cast<double>(buckets[i]);
+    cum += in_bucket;
+    if (cum < target || in_bucket == 0.0) {
+      continue;
+    }
+    if (i >= bounds.size()) {
+      return bounds.back();  // overflow bucket: clamp to last finite bound
+    }
+    const double upper = bounds[i];
+    const double lower = i == 0 ? std::min(0.0, upper) : bounds[i - 1];
+    const double frac = (target - (cum - in_bucket)) / in_bucket;
+    return lower + (upper - lower) * frac;
+  }
+  return bounds.back();
+}
+
 Counter& Registry::counter(const std::string& name) {
   const std::scoped_lock lock(mutex_);
   auto& slot = counters_[name];
@@ -131,6 +155,9 @@ Snapshot Registry::snapshot() const {
     }
     view.count = h->count();
     view.sum = h->sum();
+    view.p50 = view.quantile(0.50);
+    view.p95 = view.quantile(0.95);
+    view.p99 = view.quantile(0.99);
     snap.histograms.push_back(std::move(view));
   }
   return snap;
@@ -161,7 +188,8 @@ std::string Registry::to_json() const {
       os << (j ? "," : "") << h.buckets[j];
     }
     os << "],\"count\":" << h.count << ",\"sum\":" << json_number(h.sum)
-       << '}';
+       << ",\"p50\":" << json_number(h.p50) << ",\"p95\":"
+       << json_number(h.p95) << ",\"p99\":" << json_number(h.p99) << '}';
   }
   os << "}}";
   return os.str();
@@ -182,6 +210,9 @@ std::string Registry::to_csv() const {
     csv.row({"histogram", h.name, "count", util::CsvWriter::cell(
         static_cast<unsigned long long>(h.count))});
     csv.row({"histogram", h.name, "sum", util::CsvWriter::cell(h.sum)});
+    csv.row({"histogram", h.name, "p50", util::CsvWriter::cell(h.p50)});
+    csv.row({"histogram", h.name, "p95", util::CsvWriter::cell(h.p95)});
+    csv.row({"histogram", h.name, "p99", util::CsvWriter::cell(h.p99)});
     for (std::size_t j = 0; j < h.buckets.size(); ++j) {
       const std::string field =
           j < h.bounds.size()

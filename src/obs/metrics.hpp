@@ -101,6 +101,15 @@ struct Snapshot {
     std::vector<std::uint64_t> buckets;    ///< bounds.size() + 1 entries
     std::uint64_t count = 0;
     double sum = 0.0;
+    double p50 = 0.0;                      ///< interpolated; see quantile()
+    double p95 = 0.0;
+    double p99 = 0.0;
+
+    /// Interpolated quantile estimate (Prometheus histogram_quantile
+    /// semantics): linear within the bucket that crosses rank q*count; the
+    /// first bucket's lower edge is min(0, bound); samples in the overflow
+    /// bucket clamp to the last finite bound. q in [0, 1]; 0 when empty.
+    [[nodiscard]] double quantile(double q) const;
   };
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, double>> gauges;

@@ -109,6 +109,23 @@ SimulationReport simulate(const schemes::BroadcastScheme& scheme,
     layout.emplace(sb->layout(input, *design));
   }
 
+  // Time-series probes read simulation locals; the ProbeScope unregisters
+  // them before those locals die. last_buffer_peak_units tracks the most
+  // recent planned client's peak occupancy — a utilization-style series the
+  // aggregate histogram cannot show.
+  double last_buffer_peak_units = 0.0;
+  obs::ProbeScope probes(config.sampler);
+  probes.add("sim.clients_served", [&report] {
+    return static_cast<double>(report.clients_served);
+  });
+  probes.add("sim.jitter_events", [&report] {
+    return static_cast<double>(report.jitter_events);
+  });
+  if (layout.has_value()) {
+    probes.add("client.last_buffer_peak_units",
+               [&last_buffer_peak_units] { return last_buffer_peak_units; });
+  }
+
   // Instrument handles resolved once, outside the per-client loop.
   obs::Counter* clients_counter = nullptr;
   obs::Counter* jitter_counter = nullptr;
@@ -126,6 +143,7 @@ SimulationReport simulate(const schemes::BroadcastScheme& scheme,
   }
 
   for (const auto& request : generator.generate_until(config.horizon)) {
+    probes.advance(request.arrival.v);
     const auto start =
         server.next_segment_start(request.video, 1, request.arrival);
     VB_ASSERT(start.has_value());
@@ -186,6 +204,8 @@ SimulationReport simulate(const schemes::BroadcastScheme& scheme,
       report.max_concurrent_downloads =
           std::max(report.max_concurrent_downloads,
                    plan->max_concurrent_downloads);
+      last_buffer_peak_units =
+          static_cast<double>(plan->max_buffer_units);
       report.buffer_peak_mbits.add(plan->max_buffer(*layout).v);
       if (sink != nullptr) {
         trace_reception(*sink, *plan, d1, request.video,
@@ -194,6 +214,7 @@ SimulationReport simulate(const schemes::BroadcastScheme& scheme,
     }
   }
 
+  probes.advance(config.horizon.v);
   if (sink != nullptr) {
     sink->metrics.gauge("sim.max_concurrent_downloads")
         .max_of(static_cast<double>(report.max_concurrent_downloads));

@@ -9,6 +9,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/sampler.hpp"
 #include "obs/sink.hpp"
 #include "schemes/scheme.hpp"
 #include "sim/broadcast_server.hpp"
@@ -29,6 +30,11 @@ struct SimulationConfig {
   /// tune-in, download, jitter and channel-slot events. Null (the default)
   /// costs one pointer test per instrumented site.
   obs::Sink* sink = nullptr;
+  /// Optional time-series sampler (not owned). When set, the run registers
+  /// "sim.clients_served", "sim.jitter_events" and
+  /// "client.last_buffer_peak_units" probes and advances the sampler along
+  /// the arrival clock. Null costs one pointer test per arrival.
+  obs::Sampler* sampler = nullptr;
 };
 
 struct SimulationReport {

@@ -8,16 +8,20 @@
 //   vodbcast simulate --scheme SB:W=52 --bandwidth 300 [--horizon 240]
 //                     [--arrivals 4] [--seed 42] [--metrics-out m.json]
 //                     [--trace-out run.json|run.jsonl] [--trace-limit N]
+//                     [--series-out s.jsonl] [--series-interval MIN]
+//                     [--series-limit N]
 //   vodbcast width    --bandwidth 400 --latency 0.25
 //   vodbcast hybrid   [--hot 10] [--channels 6] [--bandwidth 600]
 //   vodbcast help
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "analysis/experiments.hpp"
 #include "batching/hybrid.hpp"
 #include "channel/timetable.hpp"
 #include "client/reception_plan.hpp"
+#include "obs/sampler.hpp"
 #include "obs/sink.hpp"
 #include "schemes/registry.hpp"
 #include "schemes/skyscraper.hpp"
@@ -62,6 +66,31 @@ void export_observability(const util::ArgParser& args, obs::Sink& sink) {
 /// True if the run should carry a sink at all.
 bool wants_observability(const util::ArgParser& args) {
   return args.has("metrics-out") || args.has("trace-out");
+}
+
+/// Builds the --series-out sampler (null when the flag is absent).
+std::unique_ptr<obs::Sampler> make_sampler(const util::ArgParser& args) {
+  if (!args.has("series-out")) {
+    return nullptr;
+  }
+  obs::Sampler::Options options;
+  options.interval_min = args.get_double("series-interval", 1.0);
+  options.max_samples = static_cast<std::size_t>(
+      args.get_uint("series-limit", 4096));
+  return std::make_unique<obs::Sampler>(options);
+}
+
+/// Dumps the sampler rows per --series-out (always JSONL).
+void export_series(const util::ArgParser& args, const obs::Sampler* sampler) {
+  if (sampler == nullptr) {
+    return;
+  }
+  const auto path = args.get("series-out");
+  VB_ASSERT(path.has_value());
+  write_file(*path, sampler->to_jsonl());
+  std::fprintf(stderr, "series written to %s (%zu rows, %llu dropped)\n",
+               path->c_str(), sampler->size(),
+               static_cast<unsigned long long>(sampler->dropped()));
 }
 
 schemes::DesignInput input_from(const util::ArgParser& args,
@@ -179,8 +208,11 @@ int cmd_simulate(const util::ArgParser& args) {
   if (wants_observability(args)) {
     config.sink = &sink;
   }
+  const auto sampler = make_sampler(args);
+  config.sampler = sampler.get();
   const auto report = sim::simulate(*scheme, input, config);
   export_observability(args, sink);
+  export_series(args, sampler.get());
   std::printf("scheme        : %s\n", report.scheme.c_str());
   std::printf("clients served: %llu\n",
               static_cast<unsigned long long>(report.clients_served));
@@ -248,6 +280,8 @@ int cmd_hybrid(const util::ArgParser& args) {
   if (wants_observability(args)) {
     config.sink = &sink;
   }
+  const auto sampler = make_sampler(args);
+  config.sampler = sampler.get();
   const batching::MqlPolicy mql;
   const batching::FcfsPolicy fcfs;
   const bool use_fcfs = args.get_string("policy", "mql") == "fcfs";
@@ -266,6 +300,7 @@ int cmd_hybrid(const util::ArgParser& args) {
   std::printf("combined mean wait: %.3f min\n",
               report.combined_mean_wait_minutes);
   export_observability(args, sink);
+  export_series(args, sampler.get());
   return 0;
 }
 
@@ -278,7 +313,9 @@ int cmd_help() {
       "  plan     --scheme SB:W=n --phase t0            client plan detail\n"
       "  simulate --scheme <label> [--horizon ...]      discrete-event run\n"
       "           [--metrics-out m.json] [--trace-out run.json|run.jsonl]\n"
-      "           [--trace-limit N]   (hybrid accepts the same flags)\n"
+      "           [--trace-limit N] [--series-out s.jsonl]\n"
+      "           [--series-interval MIN] [--series-limit N]\n"
+      "           (hybrid accepts the same flags)\n"
       "  width    --bandwidth B --latency L             width for a target\n"
       "  guide    --scheme <label> [--from --until]     emission timetable\n"
       "  hybrid   [--hot N --channels K --policy mql]   hybrid server\n"
