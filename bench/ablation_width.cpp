@@ -2,6 +2,7 @@
 // latency/storage trade-off at fixed bandwidth — the design knob the paper's
 // Section 5.4 recommends cross-examining Figures 7 and 8 for.
 #include <cstdio>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -20,13 +21,20 @@ int main(int argc, char** argv) {
   const series::SkyscraperSeries law;
 
   const auto evals = session.run("width_sweep", [&] {
-    std::vector<std::pair<std::uint64_t, schemes::Evaluation>> rows;
+    // Widths evaluate into pre-sized slots (pool-parallel when --threads
+    // > 1); the row order is the width order either way.
+    std::vector<std::uint64_t> widths;
     for (int n = 1; n <= 26; n += 2) {
-      const std::uint64_t w = law.element(n);
-      const schemes::SkyscraperScheme sb(w);
-      const auto eval = sb.evaluate(input);
-      if (eval.has_value()) {
-        rows.emplace_back(w, *eval);
+      widths.push_back(law.element(n));
+    }
+    const auto cells = util::parallel_map<std::optional<schemes::Evaluation>>(
+        session.pool(), widths.size(), [&](std::size_t i) {
+          return schemes::SkyscraperScheme(widths[i]).evaluate(input);
+        });
+    std::vector<std::pair<std::uint64_t, schemes::Evaluation>> rows;
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      if (cells[i].has_value()) {
+        rows.emplace_back(widths[i], *cells[i]);
       }
     }
     return rows;

@@ -27,7 +27,8 @@ int main(int argc, char** argv) {
 
   const auto sweeps = session.run("sweep_bandwidth", [&] {
     return analysis::sweep_bandwidth(set, analysis::paper_design_input(),
-                                     analysis::paper_bandwidth_axis());
+                                     analysis::paper_bandwidth_axis(),
+                                     session.pool());
   });
 
   const auto latency = session.run("render_latency", [&] {

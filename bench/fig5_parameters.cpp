@@ -8,8 +8,8 @@
 
 int main(int argc, char** argv) {
   vodbcast::bench::Session session("fig5_parameters", argc, argv);
-  const auto figure = session.run("figure5_parameters", [] {
-    return vodbcast::analysis::figure5_parameters();
+  const auto figure = session.run("figure5_parameters", [&session] {
+    return vodbcast::analysis::figure5_parameters(session.pool());
   });
   std::puts(figure.title.c_str());
   std::puts(figure.plot.c_str());

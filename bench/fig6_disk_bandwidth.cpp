@@ -9,8 +9,8 @@
 
 int main(int argc, char** argv) {
   vodbcast::bench::Session session("fig6_disk_bandwidth", argc, argv);
-  const auto figure = session.run("figure6_disk_bandwidth", [] {
-    return vodbcast::analysis::figure6_disk_bandwidth();
+  const auto figure = session.run("figure6_disk_bandwidth", [&session] {
+    return vodbcast::analysis::figure6_disk_bandwidth(session.pool());
   });
   std::puts(figure.plot.c_str());
   std::puts(figure.table.c_str());

@@ -9,8 +9,8 @@
 
 int main(int argc, char** argv) {
   vodbcast::bench::Session session("fig7_access_latency", argc, argv);
-  const auto figure = session.run("figure7_access_latency", [] {
-    return vodbcast::analysis::figure7_access_latency();
+  const auto figure = session.run("figure7_access_latency", [&session] {
+    return vodbcast::analysis::figure7_access_latency(session.pool());
   });
   std::puts(figure.plot.c_str());
   std::puts(figure.table.c_str());

@@ -10,8 +10,8 @@
 
 int main(int argc, char** argv) {
   vodbcast::bench::Session session("fig8_storage", argc, argv);
-  const auto figure = session.run("figure8_storage", [] {
-    return vodbcast::analysis::figure8_storage();
+  const auto figure = session.run("figure8_storage", [&session] {
+    return vodbcast::analysis::figure8_storage(session.pool());
   });
   std::puts(figure.plot.c_str());
   std::puts(figure.table.c_str());

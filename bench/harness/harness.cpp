@@ -78,6 +78,7 @@ Session::Session(std::string name, int argc, const char* const* argv)
   }
   reps_ = env_int_or("VODBCAST_BENCH_REPS", reps_);
   warmup_ = env_int_or("VODBCAST_BENCH_WARMUP", warmup_);
+  threads_ = env_int_or("VODBCAST_BENCH_THREADS", threads_);
   if (argv != nullptr) {
     if (const auto v = flag_value(argc, argv, "--bench-out")) {
       out_dir_ = *v;
@@ -88,9 +89,13 @@ Session::Session(std::string name, int argc, const char* const* argv)
     if (const auto v = flag_value(argc, argv, "--bench-warmup")) {
       warmup_ = std::atoi(v->c_str());
     }
+    if (const auto v = flag_value(argc, argv, "--threads")) {
+      threads_ = std::atoi(v->c_str());
+    }
   }
   VB_EXPECTS_MSG(reps_ >= 1, "bench harness: reps must be >= 1");
   VB_EXPECTS_MSG(warmup_ >= 0, "bench harness: warmup must be >= 0");
+  VB_EXPECTS_MSG(threads_ >= 1, "bench harness: threads must be >= 1");
 }
 
 Session::~Session() { write_result(); }
@@ -102,6 +107,17 @@ std::string Session::result_path() const {
 
 void Session::record_case(obs::BenchCaseResult result) {
   cases_.push_back(std::move(result));
+}
+
+util::TaskPool* Session::pool() {
+  if (threads_ <= 1) {
+    return nullptr;
+  }
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<util::TaskPool>(
+        static_cast<unsigned>(threads_));
+  }
+  return pool_.get();
 }
 
 double Session::wall_now_ns() {
@@ -144,6 +160,7 @@ void Session::write_result() {
   result.compiler = VODBCAST_COMPILER;
   result.build_flags = VODBCAST_BUILD_FLAGS;
   result.sanitize = VODBCAST_SANITIZE_BUILD != 0;
+  result.threads = threads_;
   result.wall_ms =
       static_cast<double>(std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - start_)

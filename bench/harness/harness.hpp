@@ -20,10 +20,15 @@
 //   --bench-out=DIR   VODBCAST_BENCH_OUT      result directory (default ".")
 //   --bench-reps=N    VODBCAST_BENCH_REPS     repetitions per case (default 5)
 //   --bench-warmup=N  VODBCAST_BENCH_WARMUP   warmup runs per case (default 1)
+//   --threads=N       VODBCAST_BENCH_THREADS  TaskPool workers handed to
+//                                             pool-aware cases (default 1;
+//                                             results are identical, only
+//                                             wall time changes)
 //                     VODBCAST_BENCH_QUICK=1  reps=1, warmup=0 (CI smoke)
 #pragma once
 
 #include <chrono>
+#include <memory>
 #include <optional>
 #include <string>
 #include <type_traits>
@@ -33,6 +38,7 @@
 #include "obs/bench_report.hpp"
 #include "obs/bench_result.hpp"
 #include "obs/sink.hpp"
+#include "util/task_pool.hpp"
 
 namespace vodbcast::bench {
 
@@ -62,6 +68,13 @@ class Session {
 
   [[nodiscard]] int default_reps() const noexcept { return reps_; }
   [[nodiscard]] int default_warmup() const noexcept { return warmup_; }
+  [[nodiscard]] int threads() const noexcept { return threads_; }
+
+  /// Lazily-built worker pool for pool-aware cases: null when --threads
+  /// (or VODBCAST_BENCH_THREADS) is 1 — the serial path, no pool overhead —
+  /// else a TaskPool of that many workers, built on first use and shared by
+  /// every case in the session.
+  [[nodiscard]] util::TaskPool* pool();
   [[nodiscard]] const std::string& out_dir() const noexcept {
     return out_dir_;
   }
@@ -125,6 +138,8 @@ class Session {
   std::string out_dir_;
   int reps_ = 5;
   int warmup_ = 1;
+  int threads_ = 1;
+  std::unique_ptr<util::TaskPool> pool_;
   std::vector<obs::BenchCaseResult> cases_;
   std::chrono::steady_clock::time_point start_;
   // Last member: its destructor prints the [obs-snapshot] footer after the

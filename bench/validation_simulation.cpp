@@ -54,5 +54,26 @@ int main(int argc, char** argv) {
   std::puts(table.render().c_str());
   std::puts("sim max wait <= formula worst and jitter events = 0 validate "
             "the closed forms.");
+
+  // Replicated run: 4 seeded replications of the SB:W=52 simulation, pooled
+  // across --threads workers. The merged distribution tightens the mean-wait
+  // estimate and carries a 95% CI; the result is identical at any thread
+  // count.
+  const auto replicated = session.run("simulate_replicated/SB:W=52", [&] {
+    const auto scheme = schemes::make_scheme("SB:W=52");
+    sim::SimulationConfig config;
+    config.horizon = core::Minutes{240.0};
+    config.arrivals_per_minute = 4.0;
+    config.plan_clients = true;
+    return sim::simulate_replicated(*scheme, input, config, 4,
+                                    session.pool());
+  });
+  std::printf("\nSB:W=52 x%zu replications: mean wait %.4f +/- %.4f min "
+              "(95%% CI, %llu clients)\n",
+              replicated.replications,
+              replicated.merged.latency_minutes.mean(),
+              replicated.latency_mean_ci95,
+              static_cast<unsigned long long>(
+                  replicated.merged.clients_served));
   return 0;
 }

@@ -3,12 +3,15 @@
 # per binary (schema vodbcast-bench-v1, see docs/OBSERVABILITY.md).
 #
 #   scripts/run_bench_suite.sh [--out DIR] [--quick] [--build-dir DIR]
+#                              [--threads N]
 #
 #   --out DIR      directory the BENCH_*.json land in (default: the repo
 #                  root, refreshing the committed perf trajectory)
 #   --quick        smoke mode: 1 rep, no warmup, minimal gbench min-time.
 #                  Checks the pipeline, not the numbers.
 #   --build-dir D  build tree holding the bench binaries (default: build)
+#   --threads N    TaskPool workers handed to pool-aware bench cases
+#                  (default 1, i.e. serial; results are identical at any N)
 #
 # Typical A/B flow:
 #   git checkout main   && scripts/run_bench_suite.sh --out /tmp/base
@@ -20,15 +23,18 @@ cd "$(dirname "$0")/.."
 out_dir=.
 build_dir=build
 quick=0
+threads=1
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --out) out_dir=$2; shift 2 ;;
     --out=*) out_dir=${1#--out=}; shift ;;
     --build-dir) build_dir=$2; shift 2 ;;
     --build-dir=*) build_dir=${1#--build-dir=}; shift ;;
+    --threads) threads=$2; shift 2 ;;
+    --threads=*) threads=${1#--threads=}; shift ;;
     --quick) quick=1; shift ;;
     *)
-      echo "usage: $0 [--out DIR] [--quick] [--build-dir DIR]" >&2
+      echo "usage: $0 [--out DIR] [--quick] [--build-dir DIR] [--threads N]" >&2
       exit 2
       ;;
   esac
@@ -38,6 +44,7 @@ cmake --build "$build_dir" -j "$(nproc)" >/dev/null
 mkdir -p "$out_dir"
 
 export VODBCAST_BENCH_OUT="$out_dir"
+export VODBCAST_BENCH_THREADS="$threads"
 gbench_args=()
 if [[ $quick -eq 1 ]]; then
   export VODBCAST_BENCH_QUICK=1

@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
-# ASan+UBSan build-and-test sweep for the observability subsystem and the
-# simulator it instruments. Uses a separate build tree (build-asan) so the
-# regular tier-1 build stays untouched.
+# Sanitizer build-and-test sweep, two passes in separate build trees so the
+# regular tier-1 build stays untouched:
+#   build-asan  ASan+UBSan over the observability subsystem + simulator;
+#   build-tsan  TSan over the TaskPool and its parallel adopters (the data
+#               races serial ctest cannot see).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build-asan -S . -DVODBCAST_SANITIZE=ON
 cmake --build build-asan -j "$(nproc)" \
   --target test_obs_registry test_obs_trace test_obs_sampler \
-  test_util_json test_bench_harness test_simulator
+  test_util_json test_bench_harness test_simulator test_task_pool \
+  test_parallel
 
 ./build-asan/tests/test_obs_registry
 ./build-asan/tests/test_obs_trace
@@ -16,5 +19,14 @@ cmake --build build-asan -j "$(nproc)" \
 ./build-asan/tests/test_util_json
 ./build-asan/tests/test_bench_harness
 ./build-asan/tests/test_simulator
+./build-asan/tests/test_task_pool
+./build-asan/tests/test_parallel
+
+cmake -B build-tsan -S . -DVODBCAST_SANITIZE=thread
+cmake --build build-tsan -j "$(nproc)" \
+  --target test_task_pool test_parallel
+
+./build-tsan/tests/test_task_pool
+./build-tsan/tests/test_parallel
 
 echo "sanitize verify: OK"

@@ -78,32 +78,32 @@ std::string table2_parameters(double bandwidth_mbps) {
 
 namespace {
 
-std::vector<SchemeSweep> paper_sweep() {
+std::vector<SchemeSweep> paper_sweep(util::TaskPool* pool) {
   return sweep_bandwidth(schemes::paper_figure_set(), paper_design_input(),
-                         paper_bandwidth_axis());
+                         paper_bandwidth_axis(), pool);
 }
 
 }  // namespace
 
-FigureReport figure5_parameters() {
-  return render_parameter_figure(paper_sweep());
+FigureReport figure5_parameters(util::TaskPool* pool) {
+  return render_parameter_figure(paper_sweep(pool));
 }
 
-FigureReport figure6_disk_bandwidth() {
+FigureReport figure6_disk_bandwidth(util::TaskPool* pool) {
   return render_metric_figure(
-      paper_sweep(), disk_bandwidth_mbyte_per_sec(),
+      paper_sweep(pool), disk_bandwidth_mbyte_per_sec(),
       "Figure 6: disk bandwidth requirement (MBytes/sec)",
       "client disk bandwidth (MB/s)", true);
 }
 
-FigureReport figure7_access_latency() {
-  return render_metric_figure(paper_sweep(), access_latency_minutes(),
+FigureReport figure7_access_latency(util::TaskPool* pool) {
+  return render_metric_figure(paper_sweep(pool), access_latency_minutes(),
                               "Figure 7: access latency (minutes)",
                               "access latency (min)", true);
 }
 
-FigureReport figure8_storage() {
-  return render_metric_figure(paper_sweep(), storage_mbytes(),
+FigureReport figure8_storage(util::TaskPool* pool) {
+  return render_metric_figure(paper_sweep(pool), storage_mbytes(),
                               "Figure 8: storage requirement (MBytes)",
                               "client disk space (MB)", true);
 }

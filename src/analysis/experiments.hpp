@@ -28,11 +28,15 @@ namespace vodbcast::analysis {
 /// Table 2: the design parameters (K, P, alpha, W) each scheme derives.
 [[nodiscard]] std::string table2_parameters(double bandwidth_mbps);
 
-/// Figures 5-8 over the paper's bandwidth axis.
-[[nodiscard]] FigureReport figure5_parameters();
-[[nodiscard]] FigureReport figure6_disk_bandwidth();
-[[nodiscard]] FigureReport figure7_access_latency();
-[[nodiscard]] FigureReport figure8_storage();
+/// Figures 5-8 over the paper's bandwidth axis. A non-null pool fans the
+/// underlying bandwidth sweep out across its workers (see sweep_bandwidth);
+/// the rendered figure is identical either way.
+[[nodiscard]] FigureReport figure5_parameters(util::TaskPool* pool = nullptr);
+[[nodiscard]] FigureReport figure6_disk_bandwidth(
+    util::TaskPool* pool = nullptr);
+[[nodiscard]] FigureReport figure7_access_latency(
+    util::TaskPool* pool = nullptr);
+[[nodiscard]] FigureReport figure8_storage(util::TaskPool* pool = nullptr);
 
 /// Figures 1-4: the group-transition scenarios. The experiment fragments a
 /// video with the first `segments` skyscraper elements (optionally capped),

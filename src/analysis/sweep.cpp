@@ -1,35 +1,53 @@
 #include "analysis/sweep.hpp"
 
+#include <cmath>
+
 #include "util/contracts.hpp"
+#include "util/math.hpp"
 
 namespace vodbcast::analysis {
 
 std::vector<double> bandwidth_range(double lo, double hi, double step) {
   VB_EXPECTS(lo > 0.0 && hi >= lo && step > 0.0);
+  // Generate lo + i * step rather than accumulating b += step: repeated
+  // addition drifts (0.1 is not representable), which on long/fine ranges
+  // skips or duplicates the inclusive endpoint.
+  const double span = (hi - lo) / step;
+  const auto count =
+      static_cast<std::size_t>(std::floor(span + 1e-9)) + 1;
   std::vector<double> values;
-  for (double b = lo; b <= hi + 1e-9; b += step) {
-    values.push_back(b);
+  values.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double b = lo + static_cast<double>(i) * step;
+    // Snap the endpoint so callers can compare it exactly.
+    values.push_back(util::almost_equal(b, hi) ? hi : b);
   }
   return values;
 }
 
 std::vector<SchemeSweep> sweep_bandwidth(
     const std::vector<std::unique_ptr<schemes::BroadcastScheme>>& set,
-    const schemes::DesignInput& base, const std::vector<double>& bandwidths) {
-  std::vector<SchemeSweep> sweeps;
-  sweeps.reserve(set.size());
-  for (const auto& scheme : set) {
-    VB_EXPECTS(scheme != nullptr);
-    SchemeSweep sweep;
-    sweep.scheme = scheme->name();
-    sweep.points.reserve(bandwidths.size());
-    for (const double b : bandwidths) {
-      schemes::DesignInput input = base;
-      input.server_bandwidth = core::MbitPerSec{b};
-      sweep.points.push_back(SweepPoint{b, scheme->evaluate(input)});
-    }
-    sweeps.push_back(std::move(sweep));
+    const schemes::DesignInput& base, const std::vector<double>& bandwidths,
+    util::TaskPool* pool) {
+  // Pre-size every slot, then fan the (scheme x bandwidth) grid out across
+  // the pool; grid cell (s, b) writes only sweeps[s].points[b], so the
+  // output is byte-identical to the serial path at any thread count.
+  std::vector<SchemeSweep> sweeps(set.size());
+  for (std::size_t s = 0; s < set.size(); ++s) {
+    VB_EXPECTS(set[s] != nullptr);
+    sweeps[s].scheme = set[s]->name();
+    sweeps[s].points.resize(bandwidths.size());
   }
+  const std::size_t columns = bandwidths.size();
+  util::parallel_for_each(
+      pool, set.size() * columns, [&](std::size_t cell) {
+        const std::size_t s = cell / columns;
+        const std::size_t b = cell % columns;
+        schemes::DesignInput input = base;
+        input.server_bandwidth = core::MbitPerSec{bandwidths[b]};
+        sweeps[s].points[b] =
+            SweepPoint{bandwidths[b], set[s]->evaluate(input)};
+      });
   return sweeps;
 }
 

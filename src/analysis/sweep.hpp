@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "schemes/scheme.hpp"
+#include "util/task_pool.hpp"
 
 namespace vodbcast::analysis {
 
@@ -24,14 +25,20 @@ struct SchemeSweep {
   std::vector<SweepPoint> points;
 };
 
-/// Inclusive range [lo, hi] stepped by `step`.
+/// Inclusive range [lo, hi] stepped by `step`, generated as lo + i * step
+/// (no accumulated float drift); the endpoint is included whenever it is
+/// within 1e-9 relative of a grid point and snapped to exactly `hi`.
 [[nodiscard]] std::vector<double> bandwidth_range(double lo, double hi,
                                                   double step);
 
-/// Evaluates every scheme at every bandwidth, holding M, D, b fixed.
+/// Evaluates every scheme at every bandwidth, holding M, D, b fixed. With a
+/// pool, the (scheme x bandwidth) grid is evaluated across its workers into
+/// pre-sized slots — the result is byte-identical to the serial path (null
+/// pool) at any thread count.
 [[nodiscard]] std::vector<SchemeSweep> sweep_bandwidth(
     const std::vector<std::unique_ptr<schemes::BroadcastScheme>>& set,
-    const schemes::DesignInput& base, const std::vector<double>& bandwidths);
+    const schemes::DesignInput& base, const std::vector<double>& bandwidths,
+    util::TaskPool* pool = nullptr);
 
 /// Projects one metric out of an evaluation (used to drive a figure).
 using MetricFn = std::function<double(const schemes::Evaluation&)>;

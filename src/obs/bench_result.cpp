@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "util/contracts.hpp"
+#include "util/math.hpp"
 #include "util/text_table.hpp"
 
 namespace vodbcast::obs {
@@ -22,16 +23,6 @@ std::string fmt(double v) {
     return "null";
   }
   return s;
-}
-
-/// Linear interpolation between order statistics (sorted input).
-double quantile_sorted(const std::vector<double>& sorted, double q) {
-  VB_ASSERT(!sorted.empty());
-  const double rank = q * static_cast<double>(sorted.size() - 1);
-  const auto lo = static_cast<std::size_t>(rank);
-  const auto hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
 }
 
 void emit_stats(std::ostringstream& os, const char* key,
@@ -71,9 +62,9 @@ TimingStats TimingStats::from_samples(std::vector<double> values) {
     sum += v;
   }
   stats.mean = sum / static_cast<double>(values.size());
-  stats.p50 = quantile_sorted(values, 0.50);
-  stats.p95 = quantile_sorted(values, 0.95);
-  stats.p99 = quantile_sorted(values, 0.99);
+  stats.p50 = util::interpolated_quantile(values, 0.50);
+  stats.p95 = util::interpolated_quantile(values, 0.95);
+  stats.p99 = util::interpolated_quantile(values, 0.99);
   return stats;
 }
 
@@ -87,6 +78,7 @@ std::string BenchRunResult::to_json() const {
      << ",\"compiler\":" << util::json::quote(compiler)
      << ",\"flags\":" << util::json::quote(build_flags)
      << ",\"sanitize\":" << (sanitize ? "true" : "false") << '}'
+     << ",\"threads\":" << threads
      << ",\"wall_ms\":" << fmt(wall_ms) << ",\"cases\":[";
   for (std::size_t i = 0; i < cases.size(); ++i) {
     const auto& c = cases[i];
@@ -123,6 +115,7 @@ BenchRunResult parse_bench_result(const std::string& text) {
     result.sanitize = sanitize != nullptr && sanitize->is_bool() &&
                       sanitize->as_bool();
   }
+  result.threads = static_cast<int>(doc.number_or("threads", 1.0));
   result.wall_ms = doc.number_or("wall_ms", 0.0);
   if (const auto* cases = doc.find("cases")) {
     for (const auto& entry : cases->as_array()) {

@@ -68,6 +68,7 @@ struct BenchRunResult {
   std::string compiler;
   std::string build_flags;
   bool sanitize = false;
+  int threads = 1;         ///< TaskPool workers the run was given (1 = serial)
   double wall_ms = 0.0;    ///< whole-process wall time
   std::vector<BenchCaseResult> cases;
   std::uint64_t trace_recorded = 0;

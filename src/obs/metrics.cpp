@@ -69,6 +69,19 @@ double Histogram::mean() const noexcept {
   return n == 0 ? 0.0 : sum() / static_cast<double>(n);
 }
 
+void Histogram::merge_from(const Histogram& other) {
+  VB_EXPECTS_MSG(bounds_ == other.bounds_,
+                 "histogram merge requires identical bounds");
+  for (std::size_t i = 0; i < bucket_count(); ++i) {
+    buckets_[i].fetch_add(other.buckets_[i].load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  const double delta = other.sum_.load(std::memory_order_relaxed);
+  update_double(sum_, [delta](double cur) { return cur + delta; });
+}
+
 std::vector<double> default_time_bounds_ns() {
   std::vector<double> bounds;
   for (double b = 1e3; b <= 1e9; b *= 4.0) {  // 1us .. ~1s, 11 buckets
@@ -131,6 +144,32 @@ Histogram& Registry::histogram(const std::string& name,
     slot = std::make_unique<Histogram>(std::move(bounds));
   }
   return *slot;
+}
+
+void Registry::merge_from(const Registry& other) {
+  VB_EXPECTS(&other != this);
+  const std::scoped_lock lock(mutex_, other.mutex_);
+  for (const auto& [name, c] : other.counters_) {
+    auto& slot = counters_[name];
+    if (slot == nullptr) {
+      slot = std::make_unique<Counter>();
+    }
+    slot->add(c->value());
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    auto& slot = gauges_[name];
+    if (slot == nullptr) {
+      slot = std::make_unique<Gauge>();
+    }
+    slot->max_of(g->value());
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    auto& slot = histograms_[name];
+    if (slot == nullptr) {
+      slot = std::make_unique<Histogram>(h->bounds());
+    }
+    slot->merge_from(*h);
+  }
 }
 
 Snapshot Registry::snapshot() const {

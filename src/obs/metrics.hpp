@@ -81,6 +81,10 @@ class Histogram {
   }
   [[nodiscard]] double mean() const noexcept;
 
+  /// Folds `other`'s buckets, count and sum into this histogram.
+  /// Precondition: identical bounds.
+  void merge_from(const Histogram& other);
+
  private:
   std::vector<double> bounds_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
@@ -134,6 +138,16 @@ class Registry {
                                      std::vector<double> bounds);
 
   [[nodiscard]] Snapshot snapshot() const;
+
+  /// Folds another registry into this one — the shard-merge for parallel
+  /// runs where each worker records into a private sink and the results are
+  /// combined after the join. Semantics per kind: counters add; gauges take
+  /// the maximum (every current gauge is a peak: peak rate, deepest queue);
+  /// histograms add bucket-wise, adopting `other`'s bounds when the
+  /// instrument is new here and contract-checking that existing bounds
+  /// match. Merging in a fixed shard order yields identical registries at
+  /// any thread count.
+  void merge_from(const Registry& other);
 
   /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
   [[nodiscard]] std::string to_json() const;

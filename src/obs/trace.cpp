@@ -58,6 +58,14 @@ void Tracer::record(const TraceEvent& event) noexcept {
   ++recorded_;
 }
 
+void Tracer::merge_from(const Tracer& other) {
+  // Events the source ring already overwrote are gone; only its retained
+  // window transfers. dropped() here counts this ring's own overwrites.
+  for (const auto& event : other.events()) {
+    record(event);
+  }
+}
+
 std::size_t Tracer::size() const noexcept { return ring_.size(); }
 
 std::uint64_t Tracer::dropped() const noexcept {

@@ -52,6 +52,12 @@ class Tracer {
 
   void record(const TraceEvent& event) noexcept;
 
+  /// Re-records `other`'s retained events (in their time order) into this
+  /// ring. The shard-merge companion to Registry::merge_from: per-worker
+  /// tracers folded in a fixed shard order reproduce the same ring — and the
+  /// same drop count — at any thread count.
+  void merge_from(const Tracer& other);
+
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   /// Events currently held (<= capacity).
   [[nodiscard]] std::size_t size() const noexcept;

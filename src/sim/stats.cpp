@@ -5,13 +5,13 @@
 #include <cstdio>
 
 #include "util/contracts.hpp"
+#include "util/math.hpp"
 
 namespace vodbcast::sim {
 
 void Distribution::add(double sample) {
   samples_.push_back(sample);
   sum_ += sample;
-  sum_sq_ += sample * sample;
   sorted_valid_ = false;
 }
 
@@ -19,7 +19,6 @@ void Distribution::merge(const Distribution& other) {
   samples_.insert(samples_.end(), other.samples_.begin(),
                   other.samples_.end());
   sum_ += other.sum_;
-  sum_sq_ += other.sum_sq_;
   sorted_valid_ = false;
 }
 
@@ -52,24 +51,24 @@ double Distribution::quantile(double q) const {
   VB_EXPECTS(!samples_.empty());
   VB_EXPECTS(q >= 0.0 && q <= 1.0);
   ensure_sorted();
-  const auto n = sorted_.size();
-  const auto rank = static_cast<std::size_t>(
-      std::ceil(q * static_cast<double>(n)));
-  const auto index = rank == 0 ? 0 : rank - 1;
-  return sorted_[std::min(index, n - 1)];
+  return util::interpolated_quantile(sorted_, q);
 }
 
 double Distribution::stddev() const {
   VB_EXPECTS(!samples_.empty());
-  // With one sample the variance is exactly zero; return it explicitly
-  // rather than trusting the sum-of-squares identity's rounding.
   if (samples_.size() < 2) {
     return 0.0;
   }
-  const double n = static_cast<double>(samples_.size());
-  const double m = sum_ / n;
-  const double var = std::max(0.0, sum_sq_ / n - m * m);
-  return std::sqrt(var);
+  // Two-pass: center first, then accumulate squared deviations. The
+  // sum_sq/n - m^2 identity loses every significant digit when the mean is
+  // large against the spread (latencies offset by a big horizon).
+  const double m = mean();
+  double acc = 0.0;
+  for (const double s : samples_) {
+    const double d = s - m;
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(samples_.size()));
 }
 
 HistogramBins Distribution::histogram(std::size_t bins) const {

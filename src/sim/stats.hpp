@@ -26,12 +26,22 @@ class Distribution {
 
   [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
   [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  /// Samples in insertion order (replication merges append in rep order, so
+  /// two runs match exactly iff these vectors match).
+  [[nodiscard]] const std::vector<double>& samples() const noexcept {
+    return samples_;
+  }
   [[nodiscard]] double mean() const;
   [[nodiscard]] double min() const;
   [[nodiscard]] double max() const;
-  /// Nearest-rank quantile; q in [0, 1]. Precondition: non-empty.
+  /// Interpolated quantile (util::interpolated_quantile over the sorted
+  /// samples) — the same definition the obs exports and bench timing stats
+  /// report, so one dataset never prints two different percentiles.
+  /// q in [0, 1]. Precondition: non-empty.
   [[nodiscard]] double quantile(double q) const;
-  /// Population standard deviation; 0 for fewer than two samples.
+  /// Population standard deviation, computed two-pass over the samples
+  /// (no sum-of-squares identity: that cancels catastrophically when the
+  /// mean dwarfs the spread). 0 for fewer than two samples.
   [[nodiscard]] double stddev() const;
 
   /// Equal-width bins spanning [min(), max()]; the top edge is inclusive so
@@ -48,7 +58,6 @@ class Distribution {
   mutable std::vector<double> sorted_;
   mutable bool sorted_valid_ = false;
   double sum_ = 0.0;
-  double sum_sq_ = 0.0;
 };
 
 }  // namespace vodbcast::sim

@@ -1,5 +1,6 @@
 #include "util/math.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -81,6 +82,16 @@ double geometric_sum(double r, int n) {
     return static_cast<double>(n);
   }
   return (std::pow(r, n) - 1.0) / (r - 1.0);
+}
+
+double interpolated_quantile(const std::vector<double>& sorted, double q) {
+  VB_EXPECTS(!sorted.empty());
+  VB_EXPECTS(q >= 0.0 && q <= 1.0);
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
 }
 
 std::int64_t robust_floor(double x, double eps) {

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 namespace vodbcast::util {
 
@@ -44,6 +45,16 @@ namespace vodbcast::util {
 /// Floor of x with protection against the classic `floor(2.9999999999)`
 /// artefact: values within `eps` of the next integer round up.
 [[nodiscard]] std::int64_t robust_floor(double x, double eps = 1e-9);
+
+/// Quantile by linear interpolation between order statistics: the value at
+/// fractional rank q * (n - 1) of the *sorted* input. This is the one
+/// quantile definition used everywhere results are reported —
+/// `sim::Distribution`, the bench harness timing stats, and (bucket-wise,
+/// the closest a histogram can get) obs histogram snapshots — so the same
+/// data never prints two different percentiles.
+/// Preconditions: `sorted` non-empty and ascending; q in [0, 1].
+[[nodiscard]] double interpolated_quantile(const std::vector<double>& sorted,
+                                           double q);
 
 /// Euler's number to full double precision; the paper's alpha target.
 inline constexpr double kEuler = 2.718281828459045235;

@@ -6,24 +6,24 @@ namespace vodbcast::util {
 
 namespace {
 
-std::uint64_t splitmix64(std::uint64_t& state) noexcept {
-  state += 0x9E3779B97F4A7C15ULL;
-  std::uint64_t z = state;
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-  return z ^ (z >> 31);
-}
-
 std::uint64_t rotl(std::uint64_t x, int k) noexcept {
   return (x << k) | (x >> (64 - k));
 }
 
 }  // namespace
 
+std::uint64_t SplitMix64::next() noexcept {
+  state_ += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
 Rng::Rng(std::uint64_t seed) noexcept {
-  std::uint64_t sm = seed;
+  SplitMix64 sm(seed);
   for (auto& word : state_) {
-    word = splitmix64(sm);
+    word = sm.next();
   }
 }
 

@@ -9,6 +9,22 @@
 
 namespace vodbcast::util {
 
+/// SplitMix64 (Steele, Lea & Flood): one 64-bit word of state, avalanching
+/// output mixing. It both seeds `Rng` and derives per-replication seeds in
+/// `sim::simulate_replicated` — replication r consumes the (r+1)-th output
+/// of the stream seeded with the run seed, so replication results are
+/// reproducible across machines and thread counts.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next word of the sequence.
+  std::uint64_t next() noexcept;
+
+ private:
+  std::uint64_t state_;
+};
+
 /// xoshiro256** by Blackman & Vigna: fast, high-quality, tiny state.
 /// Seeded through SplitMix64 so that nearby seeds give unrelated streams.
 class Rng {

@@ -1,0 +1,109 @@
+#include "util/task_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace vodbcast::util {
+
+namespace {
+
+/// Shared completion state for one run_indexed() batch. Tasks outlive the
+/// call frame only until the final decrement, but heap-allocating the state
+/// (shared_ptr) keeps the teardown safe even if the caller rethrows early.
+struct BatchState {
+  std::mutex mutex;
+  std::condition_variable done;
+  std::size_t remaining = 0;
+  std::exception_ptr error;  ///< first failure (by completion time)
+};
+
+}  // namespace
+
+TaskPool::TaskPool(unsigned threads, std::size_t queue_capacity)
+    : queue_capacity_(std::max<std::size_t>(1, queue_capacity)) {
+  const unsigned count = std::max(1U, threads);
+  workers_.reserve(count);
+  for (unsigned i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    const std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  queue_not_empty_.notify_all();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+}
+
+void TaskPool::submit(std::function<void()> task) {
+  VB_EXPECTS(task != nullptr);
+  {
+    std::unique_lock lock(mutex_);
+    queue_not_full_.wait(
+        lock, [this] { return queue_.size() < queue_capacity_ || stopping_; });
+    VB_EXPECTS_MSG(!stopping_, "submit() on a stopping TaskPool");
+    queue_.push_back(std::move(task));
+  }
+  queue_not_empty_.notify_one();
+}
+
+void TaskPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      queue_not_empty_.wait(lock,
+                            [this] { return !queue_.empty() || stopping_; });
+      if (queue_.empty()) {
+        return;  // stopping and drained
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    queue_not_full_.notify_one();
+    task();  // exceptions are the batch's responsibility (see run_indexed)
+  }
+}
+
+void TaskPool::run_indexed(std::size_t n,
+                           const std::function<void(std::size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  auto state = std::make_shared<BatchState>();
+  state->remaining = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    submit([state, &fn, i] {
+      std::exception_ptr error;
+      try {
+        fn(i);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      const std::scoped_lock lock(state->mutex);
+      if (error != nullptr && state->error == nullptr) {
+        state->error = error;
+      }
+      if (--state->remaining == 0) {
+        state->done.notify_all();
+      }
+    });
+  }
+  std::unique_lock lock(state->mutex);
+  state->done.wait(lock, [&state] { return state->remaining == 0; });
+  if (state->error != nullptr) {
+    std::rethrow_exception(state->error);
+  }
+}
+
+unsigned TaskPool::hardware_threads() noexcept {
+  return std::max(1U, std::thread::hardware_concurrency());
+}
+
+}  // namespace vodbcast::util

@@ -19,6 +19,19 @@ TEST(SweepTest, BandwidthRange) {
                util::ContractViolation);
 }
 
+TEST(SweepTest, BandwidthRangeFractionalStepIncludesEndpoint) {
+  // Regression: the old `for (b = lo; b <= hi; b += step)` accumulated 0.1's
+  // representation error across 900 additions and dropped the hi endpoint.
+  // Generation is now lo + i*step with an epsilon-inclusive count.
+  const auto axis = bandwidth_range(10.0, 100.0, 0.1);
+  ASSERT_EQ(axis.size(), 901U);
+  EXPECT_DOUBLE_EQ(axis.front(), 10.0);
+  EXPECT_DOUBLE_EQ(axis.back(), 100.0);  // exactly hi, not 99.9999...
+  for (std::size_t i = 1; i < axis.size(); ++i) {
+    EXPECT_NEAR(axis[i] - axis[i - 1], 0.1, 1e-9);
+  }
+}
+
 TEST(SweepTest, SweepsEverySchemeAtEveryPoint) {
   const auto set = schemes::paper_figure_set();
   const auto sweeps = sweep_bandwidth(set, paper_design_input(),

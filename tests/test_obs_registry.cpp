@@ -135,6 +135,128 @@ TEST(RegistryTest, CsvExportListsEveryInstrument) {
   EXPECT_NE(csv.find("le=+inf"), std::string::npos);
 }
 
+std::uint64_t counter_value(const Snapshot& snap, const std::string& name) {
+  for (const auto& [n, v] : snap.counters) {
+    if (n == name) {
+      return v;
+    }
+  }
+  ADD_FAILURE() << "no counter named " << name;
+  return 0;
+}
+
+double gauge_value(const Snapshot& snap, const std::string& name) {
+  for (const auto& [n, v] : snap.gauges) {
+    if (n == name) {
+      return v;
+    }
+  }
+  ADD_FAILURE() << "no gauge named " << name;
+  return 0.0;
+}
+
+const Snapshot::HistogramView* find_histogram(const Snapshot& snap,
+                                              const std::string& name) {
+  for (const auto& h : snap.histograms) {
+    if (h.name == name) {
+      return &h;
+    }
+  }
+  return nullptr;
+}
+
+TEST(RegistryMergeTest, CountersAddGaugesMaxHistogramsBucketAdd) {
+  Registry a;
+  a.counter("served").add(10);
+  a.gauge("peak").max_of(3.0);
+  a.histogram("wait", {1.0, 10.0}).observe(0.5);
+
+  Registry b;
+  b.counter("served").add(5);
+  b.gauge("peak").max_of(7.0);
+  b.histogram("wait", {1.0, 10.0}).observe(5.0);
+  b.histogram("wait", {1.0, 10.0}).observe(0.25);
+
+  a.merge_from(b);
+  const auto snap = a.snapshot();
+  EXPECT_EQ(counter_value(snap, "served"), 15U);
+  EXPECT_DOUBLE_EQ(gauge_value(snap, "peak"), 7.0);
+  const auto* wait = find_histogram(snap, "wait");
+  ASSERT_NE(wait, nullptr);
+  EXPECT_EQ(wait->count, 3U);
+  EXPECT_DOUBLE_EQ(wait->sum, 5.75);
+  EXPECT_EQ(wait->buckets[0], 2U);  // 0.5 and 0.25 in the <= 1.0 bucket
+  EXPECT_EQ(wait->buckets[1], 1U);  // 5.0 in the <= 10.0 bucket
+  // The source is untouched.
+  EXPECT_EQ(counter_value(b.snapshot(), "served"), 5U);
+}
+
+TEST(RegistryMergeTest, AdoptsInstrumentsMissingFromTarget) {
+  Registry a;
+  Registry b;
+  b.counter("only_in_b").add(3);
+  b.gauge("g").set(2.5);
+  b.histogram("h", {1.0}).observe(0.5);
+  a.merge_from(b);
+  const auto snap = a.snapshot();
+  EXPECT_EQ(counter_value(snap, "only_in_b"), 3U);
+  EXPECT_DOUBLE_EQ(gauge_value(snap, "g"), 2.5);
+  const auto* h = find_histogram(snap, "h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 1U);
+}
+
+TEST(RegistryMergeTest, RejectsMismatchedHistogramBounds) {
+  Registry a;
+  a.histogram("h", {1.0, 2.0}).observe(0.5);
+  Registry b;
+  b.histogram("h", {1.0, 3.0}).observe(0.5);
+  EXPECT_THROW(a.merge_from(b), util::ContractViolation);
+  EXPECT_THROW(a.merge_from(a), util::ContractViolation);  // self-merge
+}
+
+TEST(RegistryMergeTest, ShardOrderFoldIsDeterministic) {
+  // Folding per-worker registries in a fixed shard order must give the same
+  // snapshot regardless of how work was distributed across the shards.
+  Registry shard1;
+  Registry shard2;
+  shard1.counter("n").add(1);
+  shard2.counter("n").add(2);
+  shard1.gauge("peak").max_of(4.0);
+  shard2.gauge("peak").max_of(9.0);
+
+  Registry fold_a;
+  fold_a.merge_from(shard1);
+  fold_a.merge_from(shard2);
+  Registry fold_b;
+  fold_b.merge_from(shard2);
+  fold_b.merge_from(shard1);
+  EXPECT_EQ(fold_a.to_json(), fold_b.to_json());
+}
+
+TEST(TracerMergeTest, ReRecordsRetainedEventsInTimeOrder) {
+  Tracer worker(8);
+  worker.record({.sim_time_min = 2.0,
+                 .kind = EventKind::kTuneIn,
+                 .channel = 1,
+                 .video = 5,
+                 .client = 1,
+                 .value = 0.5});
+  worker.record({.sim_time_min = 1.0,
+                 .kind = EventKind::kClientArrival,
+                 .channel = 0,
+                 .video = 5,
+                 .client = 1,
+                 .value = 0.0});
+  Tracer main(8);
+  main.merge_from(worker);
+  const auto events = main.events();
+  ASSERT_EQ(events.size(), 2U);
+  EXPECT_DOUBLE_EQ(events[0].sim_time_min, 1.0);
+  EXPECT_DOUBLE_EQ(events[1].sim_time_min, 2.0);
+  EXPECT_EQ(main.dropped(), 0U);
+}
+
 TEST(ScopedTimerTest, RecordsOnceIntoTarget) {
   Registry registry;
   Histogram& h = registry.histogram("t", default_time_bounds_ns());

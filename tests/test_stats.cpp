@@ -20,12 +20,14 @@ TEST(DistributionTest, BasicMoments) {
 }
 
 TEST(DistributionTest, Quantiles) {
+  // Interpolated (util::interpolated_quantile): rank q*(n-1) between order
+  // statistics — the same definition the bench timing stats use.
   Distribution d;
   for (int i = 1; i <= 100; ++i) {
     d.add(static_cast<double>(i));
   }
-  EXPECT_DOUBLE_EQ(d.quantile(0.5), 50.0);
-  EXPECT_DOUBLE_EQ(d.quantile(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.5), 50.5);
+  EXPECT_NEAR(d.quantile(0.99), 99.01, 1e-9);
   EXPECT_DOUBLE_EQ(d.quantile(0.0), 1.0);
   EXPECT_DOUBLE_EQ(d.quantile(1.0), 100.0);
 }
@@ -57,6 +59,28 @@ TEST(DistributionTest, StddevSingleSampleIsExactlyZero) {
   Distribution d;
   d.add(1e9);  // large magnitude would stress the sum-of-squares identity
   EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+}
+
+TEST(DistributionTest, StddevSurvivesLargeMean) {
+  // The sum-of-squares identity collapses here: sum_sq/n and mean^2 are both
+  // ~1e18, and their true difference (1.0) is below one ulp at that
+  // magnitude, so the old one-pass form returned 0. Two-pass stays exact.
+  Distribution d;
+  d.add(1e9 - 1.0);
+  d.add(1e9 + 1.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 1e9);
+  EXPECT_DOUBLE_EQ(d.stddev(), 1.0);
+}
+
+TEST(DistributionTest, SamplesExposeAddOrder) {
+  Distribution d;
+  d.add(3.0);
+  d.add(1.0);
+  d.add(2.0);
+  ASSERT_EQ(d.samples().size(), 3U);
+  EXPECT_DOUBLE_EQ(d.samples()[0], 3.0);
+  EXPECT_DOUBLE_EQ(d.samples()[1], 1.0);
+  EXPECT_DOUBLE_EQ(d.samples()[2], 2.0);
 }
 
 TEST(DistributionTest, MergeCombinesSamplesAndMoments) {

@@ -1,0 +1,129 @@
+#include "util/task_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace vodbcast::util {
+namespace {
+
+TEST(TaskPoolTest, RunsEveryIndexExactlyOnce) {
+  TaskPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4U);
+  std::vector<std::atomic<int>> hits(100);
+  pool.run_indexed(hits.size(),
+                   [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(TaskPoolTest, ZeroThreadsClampsToOne) {
+  TaskPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1U);
+  std::atomic<int> ran{0};
+  pool.run_indexed(3, [&ran](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(TaskPoolTest, EmptyBatchReturnsImmediately) {
+  TaskPool pool(2);
+  pool.run_indexed(0, [](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(TaskPoolTest, ReusableAcrossBatches) {
+  TaskPool pool(3);
+  for (int batch = 0; batch < 5; ++batch) {
+    std::atomic<int> sum{0};
+    pool.run_indexed(10, [&sum](std::size_t i) {
+      sum.fetch_add(static_cast<int>(i));
+    });
+    EXPECT_EQ(sum.load(), 45);
+  }
+}
+
+TEST(TaskPoolTest, PropagatesTheFirstWorkerException) {
+  TaskPool pool(4);
+  try {
+    pool.run_indexed(50, [](std::size_t i) {
+      if (i == 17) {
+        throw std::runtime_error("boom at 17");
+      }
+    });
+    FAIL() << "expected the worker exception to reach the caller";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom at 17");
+  }
+  // The pool survives the failed batch.
+  std::atomic<int> ran{0};
+  pool.run_indexed(4, [&ran](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(TaskPoolTest, BoundedQueueBlocksSubmitWithoutDeadlock) {
+  // Capacity 2 with slow tasks forces submit() to block and resume; the
+  // batch must still complete every task.
+  TaskPool pool(2, 2);
+  std::atomic<int> ran{0};
+  pool.run_indexed(16, [&ran](std::size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ran.fetch_add(1);
+  });
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(TaskPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> ran{0};
+  {
+    TaskPool pool(1, 64);
+    for (int i = 0; i < 32; ++i) {
+      pool.submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ran.fetch_add(1);
+      });
+    }
+  }  // destructor joins after the queue drains
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ParallelForEachTest, NullPoolRunsSerialInIndexOrder) {
+  std::vector<std::size_t> order;
+  parallel_for_each(nullptr, 5, [&order](std::size_t i) {
+    order.push_back(i);  // no pool: same thread, ascending order
+  });
+  ASSERT_EQ(order.size(), 5U);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(ParallelMapTest, SlotsMatchIndices) {
+  TaskPool pool(4);
+  const auto out = parallel_map<std::string>(
+      &pool, 20, [](std::size_t i) { return std::to_string(i * i); });
+  ASSERT_EQ(out.size(), 20U);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], std::to_string(i * i));
+  }
+}
+
+TEST(ParallelMapTest, NullPoolMatchesPooledResult) {
+  TaskPool pool(3);
+  const auto fn = [](std::size_t i) { return static_cast<double>(i) * 1.5; };
+  EXPECT_EQ(parallel_map<double>(nullptr, 9, fn),
+            parallel_map<double>(&pool, 9, fn));
+}
+
+TEST(TaskPoolTest, HardwareThreadsIsPositive) {
+  EXPECT_GE(TaskPool::hardware_threads(), 1U);
+}
+
+}  // namespace
+}  // namespace vodbcast::util

@@ -107,6 +107,18 @@ TEST(RobustFloorTest, AbsorbsRepresentationNoise) {
   EXPECT_EQ(robust_floor(3.0 - 1e-6), 2);
 }
 
+TEST(InterpolatedQuantileTest, LinearBetweenOrderStatistics) {
+  const std::vector<double> sorted{10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(interpolated_quantile(sorted, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(interpolated_quantile(sorted, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(interpolated_quantile(sorted, 0.5), 30.0);
+  // rank = 0.95 * 4 = 3.8 -> 40 + 0.8 * (50 - 40).
+  EXPECT_DOUBLE_EQ(interpolated_quantile(sorted, 0.95), 48.0);
+  EXPECT_DOUBLE_EQ(interpolated_quantile({7.0}, 0.5), 7.0);
+  EXPECT_THROW((void)interpolated_quantile({}, 0.5), ContractViolation);
+  EXPECT_THROW((void)interpolated_quantile(sorted, 1.5), ContractViolation);
+}
+
 TEST(ContractsTest, ViolationCarriesContext) {
   try {
     VB_EXPECTS_MSG(false, "details");

@@ -6,7 +6,8 @@
 //   vodbcast figure   <5|6|7|8> [--csv]
 //   vodbcast plan     --scheme SB:W=52 --bandwidth 300 --phase 4
 //   vodbcast simulate --scheme SB:W=52 --bandwidth 300 [--horizon 240]
-//                     [--arrivals 4] [--seed 42] [--metrics-out m.json]
+//                     [--arrivals 4] [--seed 42] [--reps R] [--threads T]
+//                     [--metrics-out m.json]
 //                     [--trace-out run.json|run.jsonl] [--trace-limit N]
 //                     [--series-out s.jsonl] [--series-interval MIN]
 //                     [--series-limit N]
@@ -16,6 +17,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "analysis/experiments.hpp"
 #include "batching/hybrid.hpp"
@@ -28,6 +30,8 @@
 #include "sim/simulator.hpp"
 #include "util/args.hpp"
 #include "util/contracts.hpp"
+#include "util/rng.hpp"
+#include "util/task_pool.hpp"
 
 namespace {
 
@@ -93,6 +97,17 @@ void export_series(const util::ArgParser& args, const obs::Sampler* sampler) {
                static_cast<unsigned long long>(sampler->dropped()));
 }
 
+/// Resolves --threads into a pool, or null for serial execution. Both give
+/// bit-identical results everywhere a pool is accepted; the pool only
+/// changes wall-clock time.
+std::unique_ptr<util::TaskPool> make_pool(const util::ArgParser& args) {
+  const auto threads = args.get_uint("threads", 1);
+  if (threads <= 1) {
+    return nullptr;
+  }
+  return std::make_unique<util::TaskPool>(static_cast<unsigned>(threads));
+}
+
 schemes::DesignInput input_from(const util::ArgParser& args,
                                 double default_bandwidth = 600.0) {
   return schemes::DesignInput{
@@ -151,15 +166,16 @@ int cmd_figure(const util::ArgParser& args) {
   VB_EXPECTS_MSG(args.positional_count() >= 2,
                  "usage: vodbcast figure <5|6|7|8>");
   const std::string which = args.positional(1);
+  const auto pool = make_pool(args);
   analysis::FigureReport report;
   if (which == "5") {
-    report = analysis::figure5_parameters();
+    report = analysis::figure5_parameters(pool.get());
   } else if (which == "6") {
-    report = analysis::figure6_disk_bandwidth();
+    report = analysis::figure6_disk_bandwidth(pool.get());
   } else if (which == "7") {
-    report = analysis::figure7_access_latency();
+    report = analysis::figure7_access_latency(pool.get());
   } else if (which == "8") {
-    report = analysis::figure8_storage();
+    report = analysis::figure8_storage(pool.get());
   } else {
     std::fprintf(stderr, "unknown figure '%s'\n", which.c_str());
     return 2;
@@ -210,7 +226,23 @@ int cmd_simulate(const util::ArgParser& args) {
   }
   const auto sampler = make_sampler(args);
   config.sampler = sampler.get();
-  const auto report = sim::simulate(*scheme, input, config);
+  const auto reps = static_cast<std::size_t>(args.get_uint("reps", 1));
+  sim::SimulationReport report;
+  if (reps > 1) {
+    if (sampler != nullptr) {
+      std::fprintf(stderr,
+                   "note: --series-out is ignored when --reps > 1\n");
+    }
+    const auto pool = make_pool(args);
+    const auto replicated =
+        sim::simulate_replicated(*scheme, input, config, reps, pool.get());
+    report = replicated.merged;
+    std::printf("replications  : %zu\n", replicated.replications);
+    std::printf("mean wait     : %.4f +/- %.4f min (95%% CI)\n",
+                report.latency_minutes.mean(), replicated.latency_mean_ci95);
+  } else {
+    report = sim::simulate(*scheme, input, config);
+  }
   export_observability(args, sink);
   export_series(args, sampler.get());
   std::printf("scheme        : %s\n", report.scheme.c_str());
@@ -275,6 +307,7 @@ int cmd_hybrid(const util::ArgParser& args) {
   config.sb_width = args.get_uint("width", 52);
   config.arrivals_per_minute = args.get_double("arrivals", 3.0);
   config.horizon = core::Minutes{args.get_double("horizon", 1500.0)};
+  config.seed = args.get_uint("seed", 11);
   obs::Sink sink(static_cast<std::size_t>(
       args.get_uint("trace-limit", 65536)));
   if (wants_observability(args)) {
@@ -285,10 +318,59 @@ int cmd_hybrid(const util::ArgParser& args) {
   const batching::MqlPolicy mql;
   const batching::FcfsPolicy fcfs;
   const bool use_fcfs = args.get_string("policy", "mql") == "fcfs";
-  const auto report = batching::evaluate_hybrid(
+  const auto& policy =
       use_fcfs ? static_cast<const batching::BatchingPolicy&>(fcfs)
-               : static_cast<const batching::BatchingPolicy&>(mql),
-      config);
+               : static_cast<const batching::BatchingPolicy&>(mql);
+  const auto reps = static_cast<std::size_t>(args.get_uint("reps", 1));
+  batching::HybridReport report;
+  if (reps > 1) {
+    if (sampler != nullptr) {
+      std::fprintf(stderr,
+                   "note: --series-out is ignored when --reps > 1\n");
+    }
+    // Same seed rule as sim::simulate_replicated: replication r runs with
+    // the (r+1)-th SplitMix64 output of --seed, merged in replication order.
+    util::SplitMix64 seed_stream(config.seed);
+    std::vector<std::uint64_t> seeds(reps);
+    for (auto& seed : seeds) {
+      seed = seed_stream.next();
+    }
+    std::vector<std::unique_ptr<obs::Sink>> rep_sinks(reps);
+    const auto pool = make_pool(args);
+    const auto reports = util::parallel_map<batching::HybridReport>(
+        pool.get(), reps, [&](std::size_t r) {
+          batching::HybridConfig rep_config = config;
+          rep_config.seed = seeds[r];
+          rep_config.sampler = nullptr;
+          rep_config.sink = nullptr;
+          if (config.sink != nullptr) {
+            rep_sinks[r] = std::make_unique<obs::Sink>(sink.trace.capacity());
+            rep_config.sink = rep_sinks[r].get();
+          }
+          return batching::evaluate_hybrid(policy, rep_config);
+        });
+    report = reports.front();
+    sim::Distribution combined_means;
+    combined_means.add(report.combined_mean_wait_minutes);
+    for (std::size_t r = 1; r < reps; ++r) {
+      report.multicast.wait_minutes.merge(reports[r].multicast.wait_minutes);
+      report.multicast.batch_size.merge(reports[r].multicast.batch_size);
+      report.multicast.served += reports[r].multicast.served;
+      report.multicast.reneged += reports[r].multicast.reneged;
+      report.multicast.streams_started += reports[r].multicast.streams_started;
+      combined_means.add(reports[r].combined_mean_wait_minutes);
+    }
+    report.combined_mean_wait_minutes = combined_means.mean();
+    if (config.sink != nullptr) {
+      for (std::size_t r = 0; r < reps; ++r) {
+        sink.metrics.merge_from(rep_sinks[r]->metrics);
+        sink.trace.merge_from(rep_sinks[r]->trace);
+      }
+    }
+    std::printf("replications      : %zu\n", reps);
+  } else {
+    report = batching::evaluate_hybrid(policy, config);
+  }
   std::printf("hot titles        : %zu (%.0f%% of demand)\n",
               report.hot_titles, 100.0 * report.hot_demand_fraction);
   std::printf("broadcast latency : %.3f min worst (guaranteed)\n",
@@ -309,9 +391,11 @@ int cmd_help() {
       "vodbcast — Skyscraper Broadcasting toolkit\n"
       "  design   --scheme <label> --bandwidth <Mb/s>   closed-form design\n"
       "  table    <1|2> [--bandwidth]                   the paper's tables\n"
-      "  figure   <5|6|7|8> [--csv]                     the paper's figures\n"
+      "  figure   <5|6|7|8> [--csv] [--threads T]       the paper's figures\n"
       "  plan     --scheme SB:W=n --phase t0            client plan detail\n"
       "  simulate --scheme <label> [--horizon ...]      discrete-event run\n"
+      "           [--reps R] [--threads T]  R seeded replications with a\n"
+      "           95% CI on the mean wait; identical output at any T\n"
       "           [--metrics-out m.json] [--trace-out run.json|run.jsonl]\n"
       "           [--trace-limit N] [--series-out s.jsonl]\n"
       "           [--series-interval MIN] [--series-limit N]\n"
