@@ -62,12 +62,12 @@ int main(int argc, char** argv) {
             params.loss_bad = 0.8;
             // Match the average rate: stationary bad fraction * loss_bad = p.
             params.p_good_to_bad = 0.25 * p / (0.8 - p);
-            net::GilbertElliottLoss model(params, util::Rng(seed));
+            net::GilbertElliottLoss model(params, seed);
             report = net::run_packet_session(
                 plan, 0, layout, static_cast<std::uint64_t>(s) % 24, model,
                 core::Mbits{10.0});
           } else {
-            net::BernoulliLoss model(p, util::Rng(seed));
+            net::BernoulliLoss model(p, seed);
             report = net::run_packet_session(
                 plan, 0, layout, static_cast<std::uint64_t>(s) % 24, model,
                 core::Mbits{10.0});

@@ -3,11 +3,15 @@
 // end-to-end simulator inner loop.
 #include <benchmark/benchmark.h>
 
+#include <array>
+#include <cstdint>
+
 #include "client/client_session.hpp"
 #include "client/reception_plan.hpp"
 #include "schemes/registry.hpp"
 #include "schemes/skyscraper.hpp"
 #include "series/broadcast_series.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/simulator.hpp"
 
 #include "harness/gbench_bridge.hpp"
@@ -58,6 +62,75 @@ void BM_ClientSessionSlotSim(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ClientSessionSlotSim)->Arg(8)->Arg(12);
+
+// Event-churn microbenchmarks for the discrete-event engine: schedule a
+// batch of small-capture events and drain it. The queue outlives the
+// iteration so the slab and heap vectors stay warm — steady state is
+// allocation-free.
+void BM_EventQueueChurn(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  sim::EventQueue q;
+  std::uint64_t acc = 0;
+  double t = 0.0;
+  for (auto _ : state) {
+    for (int i = 0; i < batch; ++i) {
+      q.schedule(t + 0.25 * static_cast<double>(i),
+                 [&acc, i] { acc += static_cast<std::uint64_t>(i); });
+    }
+    while (q.step()) {
+    }
+    t = q.now() + 1.0;
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_EventQueueChurn)->Arg(64)->Arg(4096);
+
+// Same churn with captures past the inline threshold: every event pays the
+// heap box, isolating the cost the SBO avoids.
+void BM_EventQueueChurnSpill(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  sim::EventQueue q;
+  std::uint64_t acc = 0;
+  double t = 0.0;
+  std::array<std::uint64_t, 8> payload{};  // 64 bytes: always boxed
+  for (auto _ : state) {
+    for (int i = 0; i < batch; ++i) {
+      payload[0] = static_cast<std::uint64_t>(i);
+      q.schedule(t + 0.25 * static_cast<double>(i),
+                 [&acc, payload] { acc += payload[0]; });
+    }
+    while (q.step()) {
+    }
+    t = q.now() + 1.0;
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_EventQueueChurnSpill)->Arg(64);
+
+// Self-scheduling cascade: each callback arms the next, the schedule-from-
+// inside-a-callback pattern of the batching server's channel-free events.
+void BM_EventQueueCascade(benchmark::State& state) {
+  sim::EventQueue q;
+  std::uint64_t fired = 0;
+  for (auto _ : state) {
+    struct Chain {
+      sim::EventQueue* q;
+      std::uint64_t* fired;
+      int left;
+      void operator()() const {
+        ++*fired;
+        if (left > 0) {
+          q->schedule(q->now() + 0.5, Chain{q, fired, left - 1});
+        }
+      }
+    };
+    q.schedule(q.now() + 0.5, Chain{&q, &fired, 511});
+    while (q.step()) {
+    }
+  }
+  benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_EventQueueCascade);
 
 void BM_SchemeEvaluation(benchmark::State& state) {
   const auto set = schemes::paper_figure_set();

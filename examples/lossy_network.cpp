@@ -23,7 +23,7 @@ int main() {
 
   std::puts("=== SB session over a lossy metropolitan network ===\n");
   for (const double p : {0.0, 0.001, 0.01}) {
-    net::BernoulliLoss loss(p, util::Rng(2026));
+    net::BernoulliLoss loss(p, 2026);
     const auto report = net::run_packet_session(plan, 0, layout, 3, loss,
                                                 core::Mbits{10.0});
     std::printf("loss %.3f: %zu/%zu packets lost, %zu segments with holes, "

@@ -1,18 +1,35 @@
 #!/usr/bin/env bash
-# Full verification chain: tier-1 build+tests, the ASan/UBSan sweep, and a
+# Full verification chain: tier-1 build+tests, the ASan/UBSan sweep, a
 # quick pass of the bench suite to prove every binary still writes a valid
-# BENCH_*.json that bench_diff can read back.
+# BENCH_*.json that bench_diff can read back, and (opt-in) the mechanical
+# perf gate against the committed trajectory.
 #
-#   scripts/verify_all.sh [--skip-sanitize]
+#   scripts/verify_all.sh [--skip-sanitize] [--perf-gate]
+#                         [--perf-threshold FRAC]
+#
+#   --perf-gate   run the full bench suite twice, interleaved with nothing
+#                 in between (A then B on the same build), diff A/B to
+#                 measure the machine's noise floor, then gate the A run
+#                 against the committed root BENCH_*.json via bench_diff.
+#                 Exits non-zero on any wall-p50 regression beyond the
+#                 threshold — the trajectory gate, made mechanical.
+#   --perf-threshold FRAC  relative band handed to bench_diff (default
+#                 0.05; raise on noisy machines).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 skip_sanitize=0
-for arg in "$@"; do
-  case "$arg" in
-    --skip-sanitize) skip_sanitize=1 ;;
+perf_gate=0
+perf_threshold=0.05
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --skip-sanitize) skip_sanitize=1; shift ;;
+    --perf-gate) perf_gate=1; shift ;;
+    --perf-threshold) perf_threshold=$2; shift 2 ;;
+    --perf-threshold=*) perf_threshold=${1#--perf-threshold=}; shift ;;
     *)
-      echo "usage: $0 [--skip-sanitize]" >&2
+      echo "usage: $0 [--skip-sanitize] [--perf-gate]" \
+           "[--perf-threshold FRAC]" >&2
       exit 2
       ;;
   esac
@@ -32,5 +49,19 @@ suite_dir=$(mktemp -d)
 trap 'rm -rf "$suite_dir"' EXIT
 scripts/run_bench_suite.sh --quick --out "$suite_dir"
 build/tools/bench_diff "$suite_dir" "$suite_dir"
+
+if [[ $perf_gate -eq 1 ]]; then
+  echo "== perf gate: committed trajectory vs fresh A/B pair =="
+  run_a="$suite_dir/a"
+  run_b="$suite_dir/b"
+  scripts/run_bench_suite.sh --out "$run_a"
+  scripts/run_bench_suite.sh --out "$run_b"
+  echo "-- noise floor (A vs B, same build, informational) --"
+  build/tools/bench_diff "$run_a" "$run_b" --threshold "$perf_threshold" || \
+    echo "perf gate: WARNING — machine noise exceeds the threshold;" \
+         "the gate below may be unreliable"
+  echo "-- gate (committed root vs fresh run) --"
+  build/tools/bench_diff . "$run_a" --threshold "$perf_threshold"
+fi
 
 echo "verify_all: OK"

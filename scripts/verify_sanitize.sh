@@ -1,32 +1,54 @@
 #!/usr/bin/env bash
 # Sanitizer build-and-test sweep, two passes in separate build trees so the
 # regular tier-1 build stays untouched:
-#   build-asan  ASan+UBSan over the observability subsystem + simulator;
-#   build-tsan  TSan over the TaskPool and its parallel adopters (the data
-#               races serial ctest cannot see).
+#   build-asan  ASan+UBSan over the observability subsystem, simulator,
+#               event-engine slab allocator, batching server and net
+#               reassembly/loss paths;
+#   build-tsan  TSan over the TaskPool and its parallel adopters, including
+#               a simulate_replicated run (the data races serial ctest
+#               cannot see).
+#
+#   scripts/verify_sanitize.sh [all|asan|thread]   (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build-asan -S . -DVODBCAST_SANITIZE=ON
-cmake --build build-asan -j "$(nproc)" \
-  --target test_obs_registry test_obs_trace test_obs_sampler \
-  test_util_json test_bench_harness test_simulator test_task_pool \
-  test_parallel
+mode=${1:-all}
+case "$mode" in
+  all|asan|thread) ;;
+  *)
+    echo "usage: $0 [all|asan|thread]" >&2
+    exit 2
+    ;;
+esac
 
-./build-asan/tests/test_obs_registry
-./build-asan/tests/test_obs_trace
-./build-asan/tests/test_obs_sampler
-./build-asan/tests/test_util_json
-./build-asan/tests/test_bench_harness
-./build-asan/tests/test_simulator
-./build-asan/tests/test_task_pool
-./build-asan/tests/test_parallel
+if [[ $mode == all || $mode == asan ]]; then
+  cmake -B build-asan -S . -DVODBCAST_SANITIZE=ON
+  cmake --build build-asan -j "$(nproc)" \
+    --target test_obs_registry test_obs_trace test_obs_sampler \
+    test_util_json test_bench_harness test_simulator test_task_pool \
+    test_parallel test_event_queue test_batching test_net
 
-cmake -B build-tsan -S . -DVODBCAST_SANITIZE=thread
-cmake --build build-tsan -j "$(nproc)" \
-  --target test_task_pool test_parallel
+  ./build-asan/tests/test_obs_registry
+  ./build-asan/tests/test_obs_trace
+  ./build-asan/tests/test_obs_sampler
+  ./build-asan/tests/test_util_json
+  ./build-asan/tests/test_bench_harness
+  ./build-asan/tests/test_simulator
+  ./build-asan/tests/test_task_pool
+  ./build-asan/tests/test_parallel
+  ./build-asan/tests/test_event_queue
+  ./build-asan/tests/test_batching
+  ./build-asan/tests/test_net
+fi
 
-./build-tsan/tests/test_task_pool
-./build-tsan/tests/test_parallel
+if [[ $mode == all || $mode == thread ]]; then
+  cmake -B build-tsan -S . -DVODBCAST_SANITIZE=thread
+  cmake --build build-tsan -j "$(nproc)" \
+    --target test_task_pool test_parallel test_simulator
 
-echo "sanitize verify: OK"
+  ./build-tsan/tests/test_task_pool
+  ./build-tsan/tests/test_parallel
+  ./build-tsan/tests/test_simulator
+fi
+
+echo "sanitize verify ($mode): OK"

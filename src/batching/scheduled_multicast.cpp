@@ -45,69 +45,38 @@ std::size_t total_pending(const WaitQueues& queues) {
   return total;
 }
 
-}  // namespace
-
-MulticastReport simulate_scheduled_multicast(
-    const BatchingPolicy& policy,
-    const std::vector<workload::Request>& requests, std::size_t num_videos,
-    const MulticastConfig& config) {
-  VB_EXPECTS(config.channels >= 1);
-  VB_EXPECTS(config.video_length.v > 0.0);
-  VB_EXPECTS(num_videos >= 1);
-
-  MulticastReport report;
-  report.policy = policy.name();
-
-  obs::Sink* sink = config.sink;
-  obs::Counter* batches_counter = nullptr;
-  obs::Counter* served_counter = nullptr;
-  obs::Counter* reneged_counter = nullptr;
-  obs::Gauge* depth_peak = nullptr;
-  obs::Histogram* dispatch_ns = nullptr;
-  obs::Histogram* batch_hist = nullptr;
-  if (sink != nullptr) {
-    batches_counter = &sink->metrics.counter("batching.streams_started");
-    served_counter = &sink->metrics.counter("batching.served");
-    reneged_counter = &sink->metrics.counter("batching.reneged");
-    depth_peak = &sink->metrics.gauge("batching.queue_depth_peak");
-    dispatch_ns = &sink->metrics.histogram("batching.dispatch_ns",
-                                           obs::default_time_bounds_ns());
-    batch_hist = &sink->metrics.histogram(
-        "batching.batch_size", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0});
-  }
-
-  WaitQueues queues(num_videos);
-  int free_channels = config.channels;
+/// The per-run simulation state, bundled so event callbacks capture one
+/// pointer (plus at most one Request) and stay inside the event engine's
+/// inline-capture budget — the hot path then never boxes a callback.
+struct MulticastSim {
+  const BatchingPolicy& policy;
+  const MulticastConfig& config;
+  MulticastReport& report;
+  WaitQueues& queues;
+  sim::EventQueue& events;
+  obs::ProbeScope& probes;
+  util::Rng& rng;
+  obs::Sink* sink;
+  obs::Counter* batches_counter;
+  obs::Counter* served_counter;
+  obs::Counter* reneged_counter;
+  obs::Gauge* depth_peak;
+  obs::Histogram* dispatch_ns;
+  obs::Histogram* batch_hist;
+  int free_channels;
   double busy_minutes = 0.0;
-  util::Rng rng(config.seed);
 
-  sim::EventQueue events;
-  events.attach_sink(sink);
-
-  // Time-series probes over the simulation locals; the ProbeScope
-  // unregisters them before the locals die. Advanced at each arrival (the
-  // only points where the clock moves past sampler ticks in bulk).
-  obs::ProbeScope probes(config.sampler);
-  probes.add("batching.queue_depth", [&queues] {
-    return static_cast<double>(total_pending(queues));
-  });
-  probes.add("batching.busy_channels", [&config, &free_channels] {
-    return static_cast<double>(config.channels - free_channels);
-  });
-  probes.add("batching.event_queue.pending",
-             [&events] { return static_cast<double>(events.pending()); });
-
-  // Drops expired waiters and keeps the report and metrics in step.
-  const auto clean = [&](double now) {
+  /// Drops expired waiters and keeps the report and metrics in step.
+  void clean(double now) {
     const auto expired = clean_expired(queues, now, sink);
     report.reneged += expired;
     if (reneged_counter != nullptr) {
       reneged_counter->add(expired);
     }
-  };
+  }
 
-  // Serves one batch if a channel and a non-empty queue are available.
-  const auto try_dispatch = [&](auto&& self) -> void {
+  /// Serves one batch if a channel and a non-empty queue are available.
+  void try_dispatch() {
     const obs::ScopedTimer timer(dispatch_ns);
     if (free_channels == 0) {
       return;
@@ -143,29 +112,103 @@ MulticastReport simulate_scheduled_multicast(
           .value = static_cast<double>(batch),
       });
     }
-    events.schedule(now + config.video_length.v, [&, self]() {
+    events.schedule(now + config.video_length.v, [this] {
       ++free_channels;
-      self(self);
+      try_dispatch();
     });
+  }
+
+  void arrival(const workload::Request& request) {
+    probes.advance(request.arrival.v);
+    PendingRequest pending{.arrival = request.arrival,
+                           .renege_at = core::Minutes{1e300}};
+    if (config.mean_patience.v > 0.0) {
+      pending.renege_at =
+          request.arrival +
+          core::Minutes{rng.next_exponential(1.0 / config.mean_patience.v)};
+    }
+    queues[request.video].push_back(pending);
+    if (depth_peak != nullptr) {
+      depth_peak->max_of(static_cast<double>(total_pending(queues)));
+    }
+    try_dispatch();
+  }
+};
+
+}  // namespace
+
+MulticastReport simulate_scheduled_multicast(
+    const BatchingPolicy& policy,
+    const std::vector<workload::Request>& requests, std::size_t num_videos,
+    const MulticastConfig& config) {
+  VB_EXPECTS(config.channels >= 1);
+  VB_EXPECTS(config.video_length.v > 0.0);
+  VB_EXPECTS(num_videos >= 1);
+
+  MulticastReport report;
+  report.policy = policy.name();
+
+  obs::Sink* sink = config.sink;
+  obs::Counter* batches_counter = nullptr;
+  obs::Counter* served_counter = nullptr;
+  obs::Counter* reneged_counter = nullptr;
+  obs::Gauge* depth_peak = nullptr;
+  obs::Histogram* dispatch_ns = nullptr;
+  obs::Histogram* batch_hist = nullptr;
+  if (sink != nullptr) {
+    batches_counter = &sink->metrics.counter("batching.streams_started");
+    served_counter = &sink->metrics.counter("batching.served");
+    reneged_counter = &sink->metrics.counter("batching.reneged");
+    depth_peak = &sink->metrics.gauge("batching.queue_depth_peak");
+    dispatch_ns = &sink->metrics.histogram("batching.dispatch_ns",
+                                           obs::default_time_bounds_ns());
+    batch_hist = &sink->metrics.histogram(
+        "batching.batch_size", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0});
+  }
+
+  WaitQueues queues(num_videos);
+  util::Rng rng(config.seed);
+
+  sim::EventQueue events;
+  events.attach_sink(sink);
+
+  // Time-series probes over the simulation locals; the ProbeScope
+  // unregisters them before the locals die. Advanced at each arrival (the
+  // only points where the clock moves past sampler ticks in bulk).
+  obs::ProbeScope probes(config.sampler);
+
+  MulticastSim state{
+      .policy = policy,
+      .config = config,
+      .report = report,
+      .queues = queues,
+      .events = events,
+      .probes = probes,
+      .rng = rng,
+      .sink = sink,
+      .batches_counter = batches_counter,
+      .served_counter = served_counter,
+      .reneged_counter = reneged_counter,
+      .depth_peak = depth_peak,
+      .dispatch_ns = dispatch_ns,
+      .batch_hist = batch_hist,
+      .free_channels = config.channels,
   };
+
+  probes.add("batching.queue_depth", [&queues] {
+    return static_cast<double>(total_pending(queues));
+  });
+  probes.add("batching.busy_channels", [&config, &state] {
+    return static_cast<double>(config.channels - state.free_channels);
+  });
+  probes.add("batching.event_queue.pending",
+             [&events] { return static_cast<double>(events.pending()); });
 
   for (const auto& request : requests) {
     VB_EXPECTS(request.video < num_videos);
-    events.schedule(request.arrival.v, [&, request]() {
-      probes.advance(request.arrival.v);
-      PendingRequest pending{.arrival = request.arrival,
-                             .renege_at = core::Minutes{1e300}};
-      if (config.mean_patience.v > 0.0) {
-        pending.renege_at =
-            request.arrival +
-            core::Minutes{rng.next_exponential(1.0 / config.mean_patience.v)};
-      }
-      queues[request.video].push_back(pending);
-      if (depth_peak != nullptr) {
-        depth_peak->max_of(static_cast<double>(total_pending(queues)));
-      }
-      try_dispatch(try_dispatch);
-    });
+    // 24-byte capture: stays in the engine's inline slot, no boxing.
+    events.schedule(request.arrival.v,
+                    [sim = &state, request] { sim->arrival(request); });
   }
 
   events.run_until(config.horizon.v);
@@ -173,7 +216,7 @@ MulticastReport simulate_scheduled_multicast(
 
   // Anything still queued at the horizon: expired entries reneged, the rest
   // simply remain unserved (neither served nor reneged).
-  clean(config.horizon.v);
+  state.clean(config.horizon.v);
   const auto unserved = total_pending(queues);
   if (unserved > 0) {
     obs::logf(obs::LogLevel::kWarn,
@@ -183,7 +226,7 @@ MulticastReport simulate_scheduled_multicast(
   }
 
   report.channel_utilization =
-      busy_minutes / (config.channels * config.horizon.v);
+      state.busy_minutes / (config.channels * config.horizon.v);
   obs::logf(obs::LogLevel::kDebug,
             "scheduled_multicast: policy=%s served=%llu reneged=%llu "
             "streams=%llu utilization=%.3f",

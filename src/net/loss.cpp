@@ -4,8 +4,8 @@
 
 namespace vodbcast::net {
 
-BernoulliLoss::BernoulliLoss(double probability, util::Rng rng)
-    : probability_(probability), rng_(rng) {
+BernoulliLoss::BernoulliLoss(double probability, std::uint64_t seed)
+    : probability_(probability), rng_(seed) {
   VB_EXPECTS(probability >= 0.0 && probability <= 1.0);
 }
 
@@ -13,8 +13,8 @@ bool BernoulliLoss::drop(const Packet&) {
   return rng_.next_double() < probability_;
 }
 
-GilbertElliottLoss::GilbertElliottLoss(Params params, util::Rng rng)
-    : params_(params), rng_(rng) {
+GilbertElliottLoss::GilbertElliottLoss(Params params, std::uint64_t seed)
+    : params_(params), rng_(seed) {
   VB_EXPECTS(params.p_good_to_bad >= 0.0 && params.p_good_to_bad <= 1.0);
   VB_EXPECTS(params.p_bad_to_good >= 0.0 && params.p_bad_to_good <= 1.0);
   VB_EXPECTS(params.loss_good >= 0.0 && params.loss_good <= 1.0);

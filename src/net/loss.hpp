@@ -28,9 +28,16 @@ class NoLoss final : public LossModel {
 };
 
 /// Independent loss with a fixed probability.
+///
+/// Constructed from an explicit seed: the model owns a private stream, so
+/// no caller-side `util::Rng` can accidentally share (and correlate) state
+/// with the model's draws.
 class BernoulliLoss final : public LossModel {
  public:
-  BernoulliLoss(double probability, util::Rng rng);
+  BernoulliLoss(double probability, std::uint64_t seed);
+  /// Passing an Rng by value silently copied the caller's stream — the
+  /// caller's subsequent draws replayed the model's. Seed explicitly.
+  BernoulliLoss(double probability, util::Rng rng) = delete;
   bool drop(const Packet&) override;
 
  private:
@@ -48,7 +55,9 @@ class GilbertElliottLoss final : public LossModel {
     double loss_good = 0.0;
     double loss_bad = 0.5;
   };
-  GilbertElliottLoss(Params params, util::Rng rng);
+  GilbertElliottLoss(Params params, std::uint64_t seed);
+  /// See BernoulliLoss: an Rng argument correlates caller and model.
+  GilbertElliottLoss(Params params, util::Rng rng) = delete;
   bool drop(const Packet&) override;
 
   [[nodiscard]] bool in_bad_state() const noexcept { return bad_; }

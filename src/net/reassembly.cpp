@@ -15,39 +15,71 @@ SegmentReassembler::SegmentReassembler(core::Mbits expected)
   VB_EXPECTS(expected.v > 0.0);
 }
 
+bool SegmentReassembler::covered_by(double begin, double end,
+                                    double by_time) const {
+  // Walk the (small, compacted) log, merging the ranges visible at
+  // `by_time` into a running prefix over [begin, end].
+  std::vector<Range> visible;
+  visible.reserve(packets_.size());
+  for (const auto& p : packets_) {
+    if (p.last_arrival <= by_time + kEps && p.end > begin - kEps &&
+        p.begin < end + kEps) {
+      visible.push_back(p);
+    }
+  }
+  std::sort(visible.begin(), visible.end(),
+            [](const Range& a, const Range& b) { return a.begin < b.begin; });
+  double cursor = begin;
+  for (const auto& r : visible) {
+    if (r.begin > cursor + kEps) {
+      return false;
+    }
+    cursor = std::max(cursor, r.end);
+    if (cursor + kEps >= end) {
+      return true;
+    }
+  }
+  return cursor + kEps >= end;
+}
+
+void SegmentReassembler::merge_range(double begin, double end, double at) {
+  // ranges_ is sorted by begin and disjoint; splice the new range in and
+  // absorb every neighbour it touches (within kEps slack).
+  auto it = std::lower_bound(
+      ranges_.begin(), ranges_.end(), begin,
+      [](const Range& r, double v) { return r.begin < v; });
+  if (it != ranges_.begin() && (it - 1)->end + kEps >= begin) {
+    --it;
+  }
+  Range merged{begin, end, at};
+  const auto first = it;
+  while (it != ranges_.end() && it->begin <= merged.end + kEps) {
+    merged.begin = std::min(merged.begin, it->begin);
+    merged.end = std::max(merged.end, it->end);
+    merged.last_arrival = std::max(merged.last_arrival, it->last_arrival);
+    ++it;
+  }
+  const auto pos = ranges_.erase(first, it);
+  ranges_.insert(pos, merged);
+}
+
 void SegmentReassembler::accept(const Packet& packet) {
   const double begin = packet.offset.v;
   const double end = packet.offset.v + packet.payload.v;
   VB_EXPECTS_MSG(begin >= -kEps && end <= expected_ + kEps,
                  "packet outside the segment");
   VB_EXPECTS(packet.payload.v > 0.0);
-  packets_.push_back(Range{begin, end, packet.send_time.v});
-  ranges_dirty_ = true;
-}
-
-void SegmentReassembler::coalesce() const {
-  if (!ranges_dirty_) {
+  // A packet whose bytes were already covered at its own send time can
+  // change neither the coverage nor any availability answer: drop it. This
+  // is what bounds the log under duplicate/retransmission storms.
+  if (covered_by(begin, end, packet.send_time.v)) {
     return;
   }
-  ranges_ = packets_;
-  std::sort(ranges_.begin(), ranges_.end(),
-            [](const Range& a, const Range& b) { return a.begin < b.begin; });
-  std::vector<Range> merged;
-  for (const auto& r : ranges_) {
-    if (!merged.empty() && r.begin <= merged.back().end + kEps) {
-      merged.back().end = std::max(merged.back().end, r.end);
-      merged.back().last_arrival =
-          std::max(merged.back().last_arrival, r.last_arrival);
-    } else {
-      merged.push_back(r);
-    }
-  }
-  ranges_ = std::move(merged);
-  ranges_dirty_ = false;
+  packets_.push_back(Range{begin, end, packet.send_time.v});
+  merge_range(begin, end, packet.send_time.v);
 }
 
 core::Mbits SegmentReassembler::contiguous_prefix() const {
-  coalesce();
   if (ranges_.empty() || ranges_.front().begin > kEps) {
     return core::Mbits{0.0};
   }
@@ -55,7 +87,6 @@ core::Mbits SegmentReassembler::contiguous_prefix() const {
 }
 
 core::Mbits SegmentReassembler::received() const {
-  coalesce();
   double total = 0.0;
   for (const auto& r : ranges_) {
     total += r.end - r.begin;
@@ -64,13 +95,11 @@ core::Mbits SegmentReassembler::received() const {
 }
 
 bool SegmentReassembler::complete() const {
-  coalesce();
   return ranges_.size() == 1 && ranges_.front().begin <= kEps &&
          ranges_.front().end >= expected_ - kEps;
 }
 
 std::vector<Gap> SegmentReassembler::gaps() const {
-  coalesce();
   std::vector<Gap> result;
   double cursor = 0.0;
   for (const auto& r : ranges_) {
@@ -94,10 +123,12 @@ std::optional<core::Minutes> SegmentReassembler::prefix_available_at(
   if (contiguous_prefix().v + kEps < point.v) {
     return std::nullopt;
   }
-  // Replay packets in arrival order; the prefix through `point` becomes
-  // readable at the send time of the packet that first closes it. Exact
-  // for any delivery order at O(n^2) over the packet log, which segment
-  // granularity keeps small.
+  // Replay the compacted log in send-time order; the prefix through
+  // `point` becomes readable at the send time of the packet that first
+  // closes it. The compaction in accept() only drops packets that were
+  // already covered at their own send time, so the coverage visible at
+  // every replay step — and therefore the answer — is exactly what the
+  // full log would give, at O(n^2) over a log the compaction keeps small.
   std::vector<Range> by_arrival = packets_;
   std::sort(by_arrival.begin(), by_arrival.end(),
             [](const Range& a, const Range& b) {

@@ -26,6 +26,10 @@ class SegmentReassembler {
 
   /// Accepts one packet; out-of-order and duplicate delivery are fine.
   /// Packets beyond the expected size are rejected (contract violation).
+  /// Coverage is coalesced incrementally (no deferred re-sort), and a
+  /// packet adding no coverage beyond what earlier-or-equal send times
+  /// already provide is dropped, keeping memory bounded under duplicate
+  /// or retransmission storms.
   void accept(const Packet& packet);
 
   /// Length of the contiguous prefix received so far.
@@ -46,18 +50,31 @@ class SegmentReassembler {
   [[nodiscard]] std::optional<core::Minutes> prefix_available_at(
       core::Mbits point) const;
 
+  /// Packets retained in the availability log. Duplicates and retransmits
+  /// whose range was already covered at their send time are dropped on
+  /// accept(), so this stays bounded by the distinct coverage — a
+  /// duplicate storm does not grow it.
+  [[nodiscard]] std::size_t retained_packets() const noexcept {
+    return packets_.size();
+  }
+
  private:
   struct Range {
     double begin;
     double end;
     double last_arrival;  ///< latest send_time contributing to this range
   };
-  void coalesce() const;
+
+  /// True when `[begin, end]` is covered by retained packets whose
+  /// send_time is at most `by_time`.
+  [[nodiscard]] bool covered_by(double begin, double end,
+                                double by_time) const;
+  /// Merges `[begin, end]` (send time `at`) into the coalesced range set.
+  void merge_range(double begin, double end, double at);
 
   double expected_;
-  std::vector<Range> packets_;  ///< raw accepted packets, arrival order
-  mutable std::vector<Range> ranges_;  ///< coalesced cache
-  mutable bool ranges_dirty_ = true;
+  std::vector<Range> packets_;  ///< compacted packet log, arrival order
+  std::vector<Range> ranges_;   ///< coverage: sorted, disjoint, coalesced
 };
 
 }  // namespace vodbcast::net

@@ -144,6 +144,75 @@ TEST(ReassemblerTest, PrefixUnavailableBeyondHole) {
       reassembler.prefix_available_at(core::Mbits{250.0}).has_value());
 }
 
+// Regression: the reassembler used to retain every accepted packet forever
+// and re-sort the whole log per query; a retransmission storm was unbounded
+// memory. Retransmitted bytes already covered at their send time must be
+// dropped on accept, keeping the log at the distinct-coverage size.
+TEST(ReassemblerTest, DuplicateStormKeepsTheLogCompact) {
+  const auto stream = sb_stream();
+  const auto first = packetize_transmission(stream, 0, core::Mbits{90.0});
+  SegmentReassembler reassembler(core::Mbits{720.0});
+  for (const auto& p : first) {
+    reassembler.accept(p);
+  }
+  const auto retained = reassembler.retained_packets();
+  EXPECT_EQ(retained, first.size());
+  // Storm: the same transmission repeated 50 times (later send times), plus
+  // exact same-time duplicates of the first one.
+  for (std::uint64_t rep = 1; rep <= 50; ++rep) {
+    for (const auto& p : packetize_transmission(stream, rep,
+                                                core::Mbits{90.0})) {
+      reassembler.accept(p);
+    }
+  }
+  for (const auto& p : first) {
+    reassembler.accept(p);
+  }
+  EXPECT_EQ(reassembler.retained_packets(), retained);
+  EXPECT_TRUE(reassembler.complete());
+  EXPECT_NEAR(reassembler.received().v, 720.0, 1e-9);
+  // Availability answers still come from the *first* transmission.
+  const auto at90 = reassembler.prefix_available_at(core::Mbits{90.0});
+  ASSERT_TRUE(at90.has_value());
+  EXPECT_NEAR(at90->v, 1.0, 1e-9);
+}
+
+// Out-of-order acceptance must not change availability: answers follow
+// send times, not acceptance order.
+TEST(ReassemblerTest, AvailabilityFollowsSendTimesNotAcceptOrder) {
+  auto packets = packetize_transmission(sb_stream(), 0, core::Mbits{90.0});
+  SegmentReassembler reassembler(core::Mbits{720.0});
+  for (auto it = packets.rbegin(); it != packets.rend(); ++it) {
+    reassembler.accept(*it);
+  }
+  const auto at90 = reassembler.prefix_available_at(core::Mbits{90.0});
+  ASSERT_TRUE(at90.has_value());
+  EXPECT_NEAR(at90->v, 1.0, 1e-9);  // packet 0's send time
+  const auto at720 = reassembler.prefix_available_at(core::Mbits{720.0});
+  ASSERT_TRUE(at720.has_value());
+  EXPECT_NEAR(at720->v, 8.0, 1e-9);
+}
+
+// A late retransmission that fills a real hole must still count: only
+// packets *already covered at their send time* are droppable.
+TEST(ReassemblerTest, RetransmissionFillingAHoleIsRetained) {
+  const auto stream = sb_stream();
+  const auto first = packetize_transmission(stream, 0, core::Mbits{90.0});
+  const auto second = packetize_transmission(stream, 1, core::Mbits{90.0});
+  SegmentReassembler reassembler(core::Mbits{720.0});
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    if (i != 3) {
+      reassembler.accept(first[i]);
+    }
+  }
+  EXPECT_FALSE(reassembler.complete());
+  reassembler.accept(second[3]);  // the hole, from the next repetition
+  EXPECT_TRUE(reassembler.complete());
+  const auto at720 = reassembler.prefix_available_at(core::Mbits{720.0});
+  ASSERT_TRUE(at720.has_value());
+  EXPECT_NEAR(at720->v, second[3].send_time.v, 1e-9);
+}
+
 TEST(ReassemblerTest, RejectsForeignBytes) {
   SegmentReassembler reassembler(core::Mbits{100.0});
   Packet bad{};
@@ -163,7 +232,7 @@ TEST(LossModelTest, BernoulliMatchesProbability) {
   const auto stream = sb_stream();
   std::size_t sent = 0;
   std::size_t kept = 0;
-  BernoulliLoss loss(0.3, util::Rng(5));
+  BernoulliLoss loss(0.3, 5);
   for (std::uint64_t rep = 0; rep < 200; ++rep) {
     const auto packets = packetize_transmission(stream, rep,
                                                 core::Mbits{10.0});
@@ -175,6 +244,41 @@ TEST(LossModelTest, BernoulliMatchesProbability) {
   EXPECT_NEAR(survival, 0.7, 0.02);
 }
 
+// Regression: the models used to take a util::Rng *by value*, so a caller
+// reusing its rng after construction replayed the model's stream (perfectly
+// correlated draws). Models now seed a private stream; two models from the
+// same seed are identical, different seeds are independent, and no caller
+// stream is involved at all.
+TEST(LossModelTest, ModelsOwnIndependentStreams) {
+  Packet p{};
+  p.payload = core::Mbits{1.0};
+
+  BernoulliLoss a(0.5, 77);
+  BernoulliLoss b(0.5, 77);
+  BernoulliLoss c(0.5, 78);
+  int agree_ab = 0;
+  int agree_ac = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const bool da = a.drop(p);
+    const bool db = b.drop(p);
+    const bool dc = c.drop(p);
+    agree_ab += da == db ? 1 : 0;
+    agree_ac += da == dc ? 1 : 0;
+  }
+  EXPECT_EQ(agree_ab, n);  // same seed -> same decisions
+  EXPECT_LT(agree_ac, n);  // different seed -> decorrelated
+  EXPECT_GT(agree_ac, 0);
+
+  GilbertElliottLoss::Params params;
+  params.loss_bad = 0.9;
+  GilbertElliottLoss ga(params, 99);
+  GilbertElliottLoss gb(params, 99);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(ga.drop(p), gb.drop(p));
+  }
+}
+
 TEST(LossModelTest, GilbertElliottBursts) {
   // Bad-state dwell makes losses cluster: the number of loss runs is far
   // below what independent loss at the same average rate would produce.
@@ -183,7 +287,7 @@ TEST(LossModelTest, GilbertElliottBursts) {
   params.p_bad_to_good = 0.1;
   params.loss_good = 0.0;
   params.loss_bad = 0.9;
-  GilbertElliottLoss ge(params, util::Rng(9));
+  GilbertElliottLoss ge(params, 9);
   Packet p{};
   p.payload = core::Mbits{1.0};
   int losses = 0;
@@ -240,7 +344,7 @@ TEST(DeliveryTest, PlaybackAheadOfBroadcastStalls) {
 }
 
 TEST(DeliveryTest, LossVoidsJitterFreedom) {
-  BernoulliLoss loss(0.5, util::Rng(13));
+  BernoulliLoss loss(0.5, 13);
   const auto report =
       deliver_segment(sb_stream(), 0, core::Mbits{16.0}, loss,
                       core::Minutes{0.0}, core::MbitPerSec{1.5});

@@ -54,7 +54,7 @@ TEST(PacketClientTest, PacketCountsMatchSegmentSizes) {
 TEST(PacketClientTest, LossCreatesStalledSegments) {
   const SbSetup setup;
   const auto layout = setup.layout();
-  BernoulliLoss loss(0.3, util::Rng(3));
+  BernoulliLoss loss(0.3, 3);
   const auto report = run_packet_session(setup.plan(), 0, layout, 2, loss,
                                          core::Mbits{50.0});
   EXPECT_GT(report.packets_lost, 0U);
@@ -84,8 +84,8 @@ TEST(PacketClientTest, BurstLossHurtsFewerSegmentsThanIndependent) {
     params.loss_good = 0.0;
     params.loss_bad = 0.8;
     // Stationary bad fraction 0.005/(0.005+0.25) ~ 0.0196 -> avg loss ~1.6%.
-    GilbertElliottLoss ge(params, util::Rng(seed * 2 + 1));
-    BernoulliLoss bern(0.016, util::Rng(seed * 2 + 2));
+    GilbertElliottLoss ge(params, seed * 2 + 1);
+    BernoulliLoss bern(0.016, seed * 2 + 2);
     bursty_segments +=
         run_packet_session(plan, 0, layout, 4, ge, core::Mbits{10.0})
             .segments_with_gaps;
