@@ -3,6 +3,7 @@
 #include <ctime>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 #include <cstdlib>
 #include <cstring>
@@ -161,6 +162,8 @@ void Session::write_result() {
   result.build_flags = VODBCAST_BUILD_FLAGS;
   result.sanitize = VODBCAST_SANITIZE_BUILD != 0;
   result.threads = threads_;
+  result.host_threads =
+      static_cast<int>(std::thread::hardware_concurrency());
   result.wall_ms =
       static_cast<double>(std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - start_)

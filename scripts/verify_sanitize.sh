@@ -2,11 +2,11 @@
 # Sanitizer build-and-test sweep, two passes in separate build trees so the
 # regular tier-1 build stays untouched:
 #   build-asan  ASan+UBSan over the observability subsystem, simulator,
-#               event-engine slab allocator, batching server and net
-#               reassembly/loss paths;
+#               event-engine slab allocator, batching server, net
+#               reassembly/loss paths and the adaptive control plane;
 #   build-tsan  TSan over the TaskPool and its parallel adopters, including
-#               a simulate_replicated run (the data races serial ctest
-#               cannot see).
+#               simulate_replicated and simulate_adaptive_replicated runs
+#               (the data races serial ctest cannot see).
 #
 #   scripts/verify_sanitize.sh [all|asan|thread]   (default: all)
 set -euo pipefail
@@ -26,7 +26,7 @@ if [[ $mode == all || $mode == asan ]]; then
   cmake --build build-asan -j "$(nproc)" \
     --target test_obs_registry test_obs_trace test_obs_sampler \
     test_util_json test_bench_harness test_simulator test_task_pool \
-    test_parallel test_event_queue test_batching test_net
+    test_parallel test_event_queue test_batching test_net test_ctrl
 
   ./build-asan/tests/test_obs_registry
   ./build-asan/tests/test_obs_trace
@@ -39,16 +39,18 @@ if [[ $mode == all || $mode == asan ]]; then
   ./build-asan/tests/test_event_queue
   ./build-asan/tests/test_batching
   ./build-asan/tests/test_net
+  ./build-asan/tests/test_ctrl
 fi
 
 if [[ $mode == all || $mode == thread ]]; then
   cmake -B build-tsan -S . -DVODBCAST_SANITIZE=thread
   cmake --build build-tsan -j "$(nproc)" \
-    --target test_task_pool test_parallel test_simulator
+    --target test_task_pool test_parallel test_simulator test_ctrl
 
   ./build-tsan/tests/test_task_pool
   ./build-tsan/tests/test_parallel
   ./build-tsan/tests/test_simulator
+  ./build-tsan/tests/test_ctrl
 fi
 
 echo "sanitize verify ($mode): OK"

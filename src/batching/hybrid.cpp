@@ -1,6 +1,8 @@
 #include "batching/hybrid.hpp"
 
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "obs/log.hpp"
 #include "util/contracts.hpp"
@@ -13,8 +15,16 @@ namespace vodbcast::batching {
 HybridReport evaluate_hybrid(const BatchingPolicy& policy,
                              const HybridConfig& config) {
   VB_EXPECTS(config.hot_titles >= 1);
-  VB_EXPECTS(config.hot_titles <= config.catalog_size);
   VB_EXPECTS(config.broadcast_channels_per_video >= 1);
+  // Caller-facing input validation (not programming-error contracts): these
+  // bounds depend on runtime configuration, so violations throw
+  // std::invalid_argument carrying the violated bound.
+  if (config.hot_titles > config.catalog_size) {
+    throw std::invalid_argument(
+        "evaluate_hybrid: hot_titles (" + std::to_string(config.hot_titles) +
+        ") exceeds catalog_size (" + std::to_string(config.catalog_size) +
+        "); the hot set must be a subset of the catalog");
+  }
 
   const double b = config.video.display_rate.v;
   const double broadcast_bw = b * config.broadcast_channels_per_video *
@@ -22,8 +32,14 @@ HybridReport evaluate_hybrid(const BatchingPolicy& policy,
   const double remaining_bw = config.total_bandwidth.v - broadcast_bw;
   const int multicast_channels =
       static_cast<int>(util::robust_floor(remaining_bw / b));
-  VB_EXPECTS_MSG(multicast_channels >= 1,
-                 "broadcast side leaves no channels for the tail");
+  if (multicast_channels < 1) {
+    throw std::invalid_argument(
+        "evaluate_hybrid: broadcast side needs " +
+        std::to_string(broadcast_bw) + " Mb/s of the " +
+        std::to_string(config.total_bandwidth.v) +
+        " Mb/s budget, leaving no whole " + std::to_string(b) +
+        " Mb/s channel for the scheduled-multicast tail (>= 1 required)");
+  }
 
   // Broadcast side: SB over the hot titles with K channels each.
   const schemes::SkyscraperScheme sb(config.sb_width);
@@ -77,8 +93,12 @@ HybridReport evaluate_hybrid(const BatchingPolicy& policy,
       .sampler = config.sampler,
   };
   HybridReport report;
-  report.multicast = simulate_scheduled_multicast(
-      policy, cold, config.catalog_size - config.hot_titles, mc);
+  if (config.catalog_size > config.hot_titles) {
+    report.multicast = simulate_scheduled_multicast(
+        policy, cold, config.catalog_size - config.hot_titles, mc);
+  }
+  // else: the whole catalog is broadcast; the tail channel idles and the
+  // default (empty) multicast report stands.
 
   report.hot_titles = config.hot_titles;
   double mass = 0.0;

@@ -50,8 +50,9 @@ struct HybridReport {
 };
 
 /// Runs the hybrid allocation end to end.
-/// Preconditions: hot_titles <= catalog_size; the broadcast side must fit in
-/// the total bandwidth with at least one channel left for the tail.
+/// Throws std::invalid_argument (naming the violated bound) when
+/// hot_titles > catalog_size or when the broadcast side does not leave at
+/// least one whole channel of bandwidth for the scheduled-multicast tail.
 [[nodiscard]] HybridReport evaluate_hybrid(const BatchingPolicy& policy,
                                            const HybridConfig& config);
 

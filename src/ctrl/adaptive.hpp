@@ -1,0 +1,144 @@
+// The adaptive control plane run end to end: an online hybrid server inside
+// the discrete-event simulation.
+//
+// batching::evaluate_hybrid answers the paper's static question — given the
+// Zipf ranks, split the bandwidth once between SB broadcast (hot titles) and
+// scheduled multicast (the tail). This module answers the *online* question:
+// demand is non-stationary, so a ctrl::PopularityEstimator tracks per-title
+// request rates from the live stream, and a ctrl::ChannelAllocator re-solves
+// the split at every control epoch. Transitions obey the SB plan contract:
+//
+//   * a promoted title starts a fresh broadcast plan at the epoch boundary
+//     and immediately absorbs its pending tail queue (those subscribers tune
+//     to the first Segment-1 slot);
+//   * a demoted title keeps its channels until every tuned-in client has
+//     finished receiving on the old plan ("drain"); only then is the
+//     bandwidth handed to the tail. New arrivals during the drain are routed
+//     to the tail, so every client always sees one consistent plan and no
+//     loader ever spans a channel retune (tools/trace_check --realloc
+//     verifies this from the trace);
+//   * when the budget cannot cover the hot set, the allocator degrades
+//     (fewer channels per title, then fewer hot titles) instead of rejecting
+//     requests; the "ctrl.degraded" gauge records the choice.
+//
+// The non-stationary scenario is a mid-run Zipf rank shuffle ("popularity
+// flip"): at flip_at the rank->title permutation is re-drawn from the run
+// seed, so yesterday's tail carries today's demand. The report tracks how
+// many epochs the controller needs to re-converge its hot set onto the new
+// ranks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "batching/queue_policies.hpp"
+#include "core/video.hpp"
+#include "ctrl/allocator.hpp"
+#include "ctrl/popularity.hpp"
+#include "obs/sampler.hpp"
+#include "obs/sink.hpp"
+#include "sim/stats.hpp"
+#include "util/task_pool.hpp"
+#include "workload/zipf.hpp"
+
+namespace vodbcast::ctrl {
+
+struct AdaptiveConfig {
+  core::MbitPerSec total_bandwidth{600.0};
+  std::size_t catalog_size = 100;
+  /// Target hot-set size (shrunk only under overload degradation).
+  std::size_t hot_titles = 10;
+  /// Preferred SB channels per hot title (shrunk first under overload).
+  int broadcast_channels_per_video = 6;
+  std::uint64_t sb_width = 52;
+  core::VideoParams video{};
+  double arrivals_per_minute = 10.0;
+  double zipf_theta = workload::kPaperSkew;
+  core::Minutes horizon{2000.0};
+
+  /// Control-plane knobs. epoch <= 0 disables re-allocation entirely: the
+  /// initial (prior-rank) allocation is frozen, which is exactly the static
+  /// evaluate_hybrid baseline run on the same request stream.
+  core::Minutes epoch{60.0};
+  core::Minutes half_life{60.0};
+  double promote_ratio = 1.2;
+  double demote_ratio = 0.8;
+  int min_tail_channels = 1;
+  /// Hot set counts as re-converged after the flip when it carries at least
+  /// this fraction of the demand mass of the ideal (oracle) hot set.
+  double convergence_fraction = 0.9;
+
+  /// Simulation time of the popularity flip; < 0 disables the scenario.
+  core::Minutes flip_at{-1.0};
+
+  std::uint64_t seed = 11;
+  /// Optional observability attachment (not owned): "ctrl.*" metrics and
+  /// realloc/promote/demote/drain_complete trace events, plus the client
+  /// arrival/tune-in/download events trace_check replays.
+  obs::Sink* sink = nullptr;
+  /// Optional time-series sampler (not owned): "ctrl.hot_titles",
+  /// "ctrl.tail_channels", "ctrl.draining_titles", "ctrl.queue_depth".
+  obs::Sampler* sampler = nullptr;
+};
+
+struct AdaptiveReport {
+  /// Demand-weighted wait of every served request, both sides.
+  sim::Distribution wait_minutes;
+  sim::Distribution hot_wait_minutes;   ///< served by periodic broadcast
+  sim::Distribution tail_wait_minutes;  ///< served by scheduled multicast
+  std::uint64_t served_hot = 0;
+  std::uint64_t served_tail = 0;
+  /// Requests still queued on the tail at the horizon (never rejected,
+  /// simply not yet served when observation stopped).
+  std::uint64_t unserved = 0;
+
+  std::uint64_t epochs = 0;
+  std::uint64_t reallocs = 0;      ///< epochs that changed the allocation
+  std::uint64_t promotions = 0;
+  std::uint64_t demotions = 0;
+  std::uint64_t drains_completed = 0;
+  std::uint64_t deferred_promotions = 0;
+  std::uint64_t degraded_epochs = 0;
+
+  int channels_per_video = 0;      ///< after any overload degradation
+  /// Guaranteed worst-case wait of a hot title at channels_per_video (the
+  /// SB access latency D1); degradation raises it but never unbounds it.
+  core::Minutes broadcast_worst_latency{0.0};
+  bool degraded = false;
+  std::vector<std::size_t> final_hot;  ///< sorted title ids at the horizon
+
+  /// Epochs after flip_at until the hot set first carried
+  /// convergence_fraction of the oracle hot set's demand mass; -1 when a
+  /// flip happened but the controller never re-converged (or no flip ran).
+  std::int64_t converged_epochs_after_flip = -1;
+
+  [[nodiscard]] double mean_wait_minutes() const {
+    return wait_minutes.empty() ? 0.0 : wait_minutes.mean();
+  }
+};
+
+/// Runs the adaptive hybrid end to end on one seeded request stream.
+/// Preconditions (std::invalid_argument, from the allocator): a budget that
+/// carries the tail floor, differing hysteresis thresholds.
+[[nodiscard]] AdaptiveReport simulate_adaptive(const batching::BatchingPolicy& policy,
+                                               const AdaptiveConfig& config);
+
+/// R replications with the simulate_replicated determinism contract:
+/// replication r's seed is the (r+1)-th SplitMix64 output of config.seed,
+/// per-replication sinks fold into config.sink after the join in replication
+/// order, and the result is bit-identical at any thread count (null pool =
+/// serial). config.sampler is not forwarded to replications.
+struct ReplicatedAdaptiveReport {
+  AdaptiveReport merged;
+  std::size_t replications = 0;
+  /// Per-replication overall mean wait, in replication order.
+  sim::Distribution replication_mean_wait;
+  /// 1.96 * s / sqrt(R) over the replication means; 0 when R < 2.
+  double wait_mean_ci95 = 0.0;
+};
+
+[[nodiscard]] ReplicatedAdaptiveReport simulate_adaptive_replicated(
+    const batching::BatchingPolicy& policy, const AdaptiveConfig& config,
+    std::size_t reps, util::TaskPool* pool = nullptr);
+
+}  // namespace vodbcast::ctrl

@@ -1,0 +1,117 @@
+// Epoch-based channel reallocation with hysteresis and bounded degradation.
+//
+// At every control epoch the allocator re-solves the hybrid split: which
+// titles deserve SB periodic broadcast, at how many channels each, and how
+// much bandwidth is left for the scheduled-multicast tail. It is a pure
+// function of (estimator weights, current hot set, draining set, reserved
+// bandwidth) so it unit-tests in isolation and stays deterministic under
+// replication.
+//
+// Three rules shape the solution:
+//
+//   * Hysteresis — promote/demote thresholds differ, so rank noise cannot
+//     flap a title across the broadcast boundary. An outsider displaces the
+//     weakest incumbent only when BOTH
+//       weight(outsider)  >= promote_ratio * weight(incumbent)   (ratio > 1)
+//       weight(incumbent) <= demote_ratio  * weight(outsider)    (ratio <= 1)
+//     hold; a swap strictly raises the hot set's minimum weight, so the
+//     swap loop terminates in at most catalog_size steps.
+//
+//   * Drain-before-retune — a demoted title's channels stay allocated until
+//     its in-flight clients finish on the old plan (the SB guarantee that
+//     clients only tune to broadcast *beginnings* makes the old plan valid
+//     until then). Draining titles are excluded from promotion and their
+//     bandwidth is passed in as `reserved_bandwidth`; promotions that do not
+//     fit next to the reserve are deferred to a later epoch instead of
+//     violating the tail floor.
+//
+//   * Bounded degradation — when the steady-state budget cannot cover the
+//     target hot set at the preferred per-title channel count, the allocator
+//     first shrinks channels-per-title (raising the bounded worst-case
+//     latency), then the hot-set size, and reports the choice; it never
+//     rejects requests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/units.hpp"
+
+namespace vodbcast::ctrl {
+
+struct AllocatorConfig {
+  core::MbitPerSec total_bandwidth{600.0};
+  /// Display rate b of one channel (Mb/s).
+  double channel_rate = 1.5;
+  /// Desired hot-set size; shrunk only under overload.
+  std::size_t target_hot_titles = 10;
+  /// Preferred SB channels per hot title (K); shrunk first under overload.
+  int channels_per_video = 6;
+  /// The tail must always keep at least this many channels.
+  int min_tail_channels = 1;
+  /// An outsider must out-weigh the weakest incumbent by this factor to be
+  /// promoted into a full hot set. Must be > 1 and > demote_ratio.
+  double promote_ratio = 1.2;
+  /// The incumbent must have fallen to this fraction of the challenger's
+  /// weight before it is demoted. Must be in (0, 1].
+  double demote_ratio = 0.8;
+};
+
+/// One epoch's re-solve, expressed as a diff against the current state so
+/// the simulation can apply transitions (and drains) explicitly.
+struct Allocation {
+  /// The hot set after this epoch (sorted by title id). Excludes titles
+  /// still draining from an earlier demotion.
+  std::vector<std::size_t> hot;
+  /// Titles entering the hot set this epoch (subset of `hot`).
+  std::vector<std::size_t> promoted;
+  /// Titles leaving the hot set this epoch; their channels must drain
+  /// before the bandwidth moves. Includes retune-demotions (see below).
+  std::vector<std::size_t> demoted;
+  /// Channels per hot title after degradation (<= config value).
+  int channels_per_video = 0;
+  /// Desired promotions deferred because draining titles still hold the
+  /// bandwidth; they stay on the tail until a later epoch.
+  std::size_t deferred_promotions = 0;
+  /// True when the steady-state budget forced fewer channels per title or a
+  /// smaller hot set than configured (overload degradation).
+  bool degraded = false;
+  /// Tail channels implied by this allocation while the reserve drains.
+  int tail_channels = 0;
+};
+
+class ChannelAllocator {
+ public:
+  /// Preconditions (std::invalid_argument): thresholds must differ with
+  /// promote_ratio > 1 >= demote_ratio > 0; positive rates and counts; the
+  /// budget must fit at least one tail channel.
+  explicit ChannelAllocator(AllocatorConfig config);
+
+  /// Re-solves the split. `weights` is the estimator's per-title weight
+  /// vector; `current_hot` the active hot set; `draining` titles still
+  /// holding channels from an earlier demotion; `reserved_bandwidth` the
+  /// bandwidth those drains hold (Mb/s).
+  [[nodiscard]] Allocation reallocate(const std::vector<double>& weights,
+                                      const std::vector<std::size_t>& current_hot,
+                                      const std::vector<std::size_t>& draining,
+                                      double reserved_bandwidth) const;
+
+  /// The steady-state degraded (K, H) pair for the configured budget:
+  /// channels per title first, then hot-set size. Exposed for tests and for
+  /// sizing the initial allocation.
+  struct SteadyCapacity {
+    int channels_per_video = 0;
+    std::size_t hot_titles = 0;
+    bool degraded = false;
+  };
+  [[nodiscard]] SteadyCapacity steady_capacity() const;
+
+  [[nodiscard]] const AllocatorConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  AllocatorConfig config_;
+};
+
+}  // namespace vodbcast::ctrl

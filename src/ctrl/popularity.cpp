@@ -1,0 +1,80 @@
+#include "ctrl/popularity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/contracts.hpp"
+
+namespace vodbcast::ctrl {
+
+namespace {
+constexpr double kLn2 = 0.6931471805599453;
+}  // namespace
+
+PopularityEstimator::PopularityEstimator(std::size_t catalog_size,
+                                         core::Minutes half_life)
+    : titles_(catalog_size), half_life_(half_life) {
+  VB_EXPECTS(catalog_size >= 1);
+  VB_EXPECTS(half_life.v > 0.0);
+}
+
+void PopularityEstimator::seed_prior(const std::vector<double>& popularity,
+                                     double arrivals_per_minute) {
+  VB_EXPECTS(popularity.size() == titles_.size());
+  VB_EXPECTS(arrivals_per_minute >= 0.0);
+  for (std::size_t v = 0; v < titles_.size(); ++v) {
+    VB_EXPECTS(popularity[v] >= 0.0);
+    titles_[v].weight =
+        popularity[v] * arrivals_per_minute * half_life_.v / kLn2;
+    titles_[v].last_update = 0.0;
+  }
+}
+
+double PopularityEstimator::decay(double from, double to) const {
+  return to == from ? 1.0 : std::exp2(-(to - from) / half_life_.v);
+}
+
+void PopularityEstimator::observe(core::VideoId video, core::Minutes at) {
+  VB_EXPECTS(video < titles_.size());
+  Title& title = titles_[video];
+  VB_EXPECTS_MSG(at.v >= title.last_update,
+                 "estimator observations must be time-ordered per title");
+  title.weight = title.weight * decay(title.last_update, at.v) + 1.0;
+  title.last_update = at.v;
+}
+
+double PopularityEstimator::weight(core::VideoId video,
+                                   core::Minutes at) const {
+  VB_EXPECTS(video < titles_.size());
+  const Title& title = titles_[video];
+  VB_EXPECTS_MSG(at.v >= title.last_update,
+                 "cannot read an estimator weight in the past");
+  return title.weight * decay(title.last_update, at.v);
+}
+
+std::vector<double> PopularityEstimator::weights_at(core::Minutes at) const {
+  std::vector<double> out(titles_.size());
+  for (std::size_t v = 0; v < titles_.size(); ++v) {
+    out[v] = weight(static_cast<core::VideoId>(v), at);
+  }
+  return out;
+}
+
+double PopularityEstimator::estimated_rate_per_minute(core::VideoId video,
+                                                      core::Minutes at) const {
+  return weight(video, at) * kLn2 / half_life_.v;
+}
+
+std::vector<std::size_t> PopularityEstimator::ranking(core::Minutes at) const {
+  const auto weights = weights_at(at);
+  std::vector<std::size_t> order(titles_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&weights](std::size_t a, std::size_t b) {
+                     return weights[a] > weights[b];
+                   });
+  return order;
+}
+
+}  // namespace vodbcast::ctrl

@@ -79,6 +79,7 @@ std::string BenchRunResult::to_json() const {
      << ",\"flags\":" << util::json::quote(build_flags)
      << ",\"sanitize\":" << (sanitize ? "true" : "false") << '}'
      << ",\"threads\":" << threads
+     << ",\"host_threads\":" << host_threads
      << ",\"wall_ms\":" << fmt(wall_ms) << ",\"cases\":[";
   for (std::size_t i = 0; i < cases.size(); ++i) {
     const auto& c = cases[i];
@@ -116,6 +117,7 @@ BenchRunResult parse_bench_result(const std::string& text) {
                       sanitize->as_bool();
   }
   result.threads = static_cast<int>(doc.number_or("threads", 1.0));
+  result.host_threads = static_cast<int>(doc.number_or("host_threads", 0.0));
   result.wall_ms = doc.number_or("wall_ms", 0.0);
   if (const auto* cases = doc.find("cases")) {
     for (const auto& entry : cases->as_array()) {

@@ -69,6 +69,11 @@ struct BenchRunResult {
   std::string build_flags;
   bool sanitize = false;
   int threads = 1;         ///< TaskPool workers the run was given (1 = serial)
+  /// std::thread::hardware_concurrency() of the host that produced the run;
+  /// 0 when the result predates the field (or the host could not tell).
+  /// Diffing runs from differently-sized hosts is a noise source worth
+  /// seeing in the provenance block.
+  int host_threads = 0;
   double wall_ms = 0.0;    ///< whole-process wall time
   std::vector<BenchCaseResult> cases;
   std::uint64_t trace_recorded = 0;

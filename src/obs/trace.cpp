@@ -40,6 +40,14 @@ const char* to_string(EventKind kind) noexcept {
       return "batch_fire";
     case EventKind::kRenege:
       return "renege";
+    case EventKind::kRealloc:
+      return "realloc";
+    case EventKind::kPromote:
+      return "promote";
+    case EventKind::kDemote:
+      return "demote";
+    case EventKind::kDrainComplete:
+      return "drain_complete";
   }
   return "unknown";
 }

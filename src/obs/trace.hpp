@@ -31,6 +31,10 @@ enum class EventKind : std::uint8_t {
   kChannelSlotStart,       ///< a periodic broadcast transmission began
   kBatchFire,              ///< scheduled multicast dispatched; value = batch size
   kRenege,                 ///< a waiting subscriber abandoned the queue
+  kRealloc,                ///< control epoch re-solved; value = hot-set size
+  kPromote,                ///< title entered periodic broadcast
+  kDemote,                 ///< title left broadcast; its channels start draining
+  kDrainComplete,          ///< drained channels handed to the tail; value = drain minutes
 };
 
 [[nodiscard]] const char* to_string(EventKind kind) noexcept;

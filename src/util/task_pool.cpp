@@ -95,10 +95,18 @@ void TaskPool::run_indexed(std::size_t n,
       }
     });
   }
-  std::unique_lock lock(state->mutex);
-  state->done.wait(lock, [&state] { return state->remaining == 0; });
-  if (state->error != nullptr) {
-    std::rethrow_exception(state->error);
+  // Move the error out under the lock: the last task lambda to be destroyed
+  // releases the final BatchState reference on a *worker* thread, and that
+  // teardown must not also release the exception object the caller is busy
+  // rethrowing — the exception's lifetime has to end on this thread.
+  std::exception_ptr error;
+  {
+    std::unique_lock lock(state->mutex);
+    state->done.wait(lock, [&state] { return state->remaining == 0; });
+    error = std::move(state->error);
+  }
+  if (error != nullptr) {
+    std::rethrow_exception(error);
   }
 }
 

@@ -68,6 +68,7 @@ obs::BenchRunResult make_run(const std::string& bench,
   run.build_type = "RelWithDebInfo";
   run.compiler = "GNU 12.2.0";
   run.build_flags = "-O2 -g -DNDEBUG";
+  run.host_threads = 16;
   run.wall_ms = 12.5;
   run.cases = std::move(cases);
   run.trace_capacity = 65536;
@@ -85,6 +86,7 @@ TEST(BenchResultTest, JsonRoundTrip) {
   EXPECT_EQ(parsed.compiler, original.compiler);
   EXPECT_EQ(parsed.build_flags, original.build_flags);
   EXPECT_EQ(parsed.sanitize, original.sanitize);
+  EXPECT_EQ(parsed.host_threads, 16);
   EXPECT_DOUBLE_EQ(parsed.wall_ms, original.wall_ms);
   ASSERT_EQ(parsed.cases.size(), 1U);
   EXPECT_EQ(parsed.cases[0].name, "figure7");
@@ -156,6 +158,8 @@ TEST_F(SessionFileTest, WritesParsableResultWithRecordedCases) {
   const auto parsed = obs::parse_bench_result(text.str());
   EXPECT_EQ(parsed.bench, "harness_selftest");
   EXPECT_FALSE(parsed.timestamp.empty());
+  // Provenance: the harness stamps the host's hardware concurrency.
+  EXPECT_GE(parsed.host_threads, 1);
   ASSERT_EQ(parsed.cases.size(), 2U);
   EXPECT_EQ(parsed.cases[0].name, "returns_value");
   EXPECT_EQ(parsed.cases[0].reps, 3);

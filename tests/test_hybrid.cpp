@@ -3,8 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
-
-#include "util/contracts.hpp"
+#include <stdexcept>
+#include <string>
 
 namespace vodbcast::batching {
 namespace {
@@ -71,15 +71,39 @@ TEST(HybridTest, MoreBroadcastChannelsCutHotLatency) {
 TEST(HybridTest, RejectsOversubscribedBroadcastSide) {
   auto config = base_config();
   config.broadcast_channels_per_video = 40;  // 600 Mb/s all for broadcast
-  EXPECT_THROW((void)evaluate_hybrid(MqlPolicy(), config),
-               util::ContractViolation);
+  // Invalid runtime configuration, not a programming error: the exception
+  // is std::invalid_argument and names the violated bound.
+  try {
+    (void)evaluate_hybrid(MqlPolicy(), config);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("tail"), std::string::npos) << what;
+    EXPECT_NE(what.find(">= 1"), std::string::npos) << what;
+  }
 }
 
 TEST(HybridTest, RejectsMoreHotTitlesThanCatalog) {
   auto config = base_config();
   config.hot_titles = 200;
-  EXPECT_THROW((void)evaluate_hybrid(MqlPolicy(), config),
-               util::ContractViolation);
+  try {
+    (void)evaluate_hybrid(MqlPolicy(), config);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("hot_titles (200)"), std::string::npos) << what;
+    EXPECT_NE(what.find("catalog_size (100)"), std::string::npos) << what;
+  }
+}
+
+TEST(HybridTest, HotSetEqualToCatalogIsStillValid) {
+  auto config = base_config();
+  // Boundary: hot_titles == catalog_size passes validation (the tail then
+  // serves nothing, but one multicast channel must still exist).
+  config.catalog_size = 10;
+  config.hot_titles = 10;
+  const auto report = evaluate_hybrid(MqlPolicy(), config);
+  EXPECT_EQ(report.hot_titles, 10u);
 }
 
 }  // namespace

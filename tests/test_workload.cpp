@@ -29,6 +29,40 @@ TEST(ZipfTest, MonotoneDecreasing) {
   }
 }
 
+TEST(ZipfTest, PropertiesHoldAcrossThetaGrid) {
+  // The two structural properties the whole workload substrate leans on —
+  // normalization and strict rank ordering — must hold for every skew the
+  // API admits, not just the paper's 0.271.
+  for (const double theta : {0.0, 0.1, 0.271, 0.5, 0.75, 1.0}) {
+    for (const std::size_t n : {1UL, 2UL, 17UL, 100UL, 1000UL}) {
+      const auto p = zipf_probabilities(n, theta);
+      ASSERT_EQ(p.size(), n);
+      double total = 0.0;
+      for (const double x : p) {
+        total += x;
+      }
+      EXPECT_NEAR(total, 1.0, 1e-12) << "n=" << n << " theta=" << theta;
+      for (std::size_t i = 1; i < n; ++i) {
+        EXPECT_GT(p[i - 1], p[i]) << "n=" << n << " theta=" << theta
+                                  << " rank=" << i;
+      }
+    }
+  }
+}
+
+TEST(ZipfTest, TitlesForMassBoundaries) {
+  const auto p = zipf_probabilities(100, kPaperSkew);
+  // Zero mass is covered by the single most popular title (the smallest
+  // non-empty prefix); full mass needs the whole catalog.
+  EXPECT_EQ(titles_for_mass(p, 0.0), 1U);
+  EXPECT_EQ(titles_for_mass(p, 1.0), 100U);
+  // A one-title catalog answers 1 for every mass.
+  const auto solo = zipf_probabilities(1, kPaperSkew);
+  EXPECT_EQ(titles_for_mass(solo, 0.0), 1U);
+  EXPECT_EQ(titles_for_mass(solo, 0.5), 1U);
+  EXPECT_EQ(titles_for_mass(solo, 1.0), 1U);
+}
+
 TEST(ZipfTest, PaperSkewConcentratesDemand) {
   // Paper Section 1: with skew 0.271, "most of the demand (80%) is for a few
   // (10 to 20) very popular movies" out of a typical store of ~100.

@@ -7,9 +7,14 @@
 //   3. each client's disk buffer (content fetched minus content played,
 //      in units of the segment-1 slot D1) never goes negative and, when
 //      --max-units is given, never exceeds it (the W-capped bound
-//      60*b*D1*(W-1) stated in units).
+//      60*b*D1*(W-1) stated in units);
+//   4. with --realloc, the adaptive control plane's drain contract: no
+//      download of a title spans that title's drain_complete instant — a
+//      demoted title's channels must fully drain (every tuned-in client
+//      finished on the old plan) before the bandwidth is retuned.
 //
-//   trace_check TRACE.jsonl [--max-loaders 2] [--max-units N] [--verbose]
+//   trace_check TRACE.jsonl [--max-loaders 2] [--max-units N] [--realloc]
+//               [--verbose]
 //
 // D1 is inferred as the shortest download in the trace (a segment-1 fetch
 // lasts exactly one slot). Download intervals are reconstructed from
@@ -35,6 +40,7 @@ using vodbcast::util::json::Value;
 struct Download {
   double start = 0.0;
   double length = 0.0;
+  std::uint64_t video = 0;
 };
 
 struct ClientTrack {
@@ -51,6 +57,8 @@ int usage() {
       "  --max-loaders N   concurrent-download cap per client (default 2)\n"
       "  --max-units N     peak buffer cap in units of D1 (default: only\n"
       "                    check the buffer never goes negative)\n"
+      "  --realloc         also check the adaptive drain contract: no\n"
+      "                    download spans its title's drain_complete\n"
       "  --verbose         print per-client peaks, not just violations\n",
       stderr);
   return 2;
@@ -64,7 +72,8 @@ int main(int argc, char** argv) {
     return usage();
   }
   for (const auto& [flag, _] : args.flags()) {
-    if (flag != "max-loaders" && flag != "max-units" && flag != "verbose") {
+    if (flag != "max-loaders" && flag != "max-units" && flag != "verbose" &&
+        flag != "realloc") {
       std::fprintf(stderr, "trace_check: unknown flag --%s\n", flag.c_str());
       return usage();
     }
@@ -72,6 +81,7 @@ int main(int argc, char** argv) {
   const auto max_loaders = args.get_int("max-loaders", 2);
   const bool has_unit_cap = args.has("max-units");
   const auto max_units = args.get_int("max-units", 0);
+  const bool check_realloc = args.has("realloc");
   const bool verbose = args.has("verbose");
 
   const auto& path = args.positional(0);
@@ -97,17 +107,25 @@ int main(int argc, char** argv) {
 
   std::map<std::uint64_t, ClientTrack> clients;
   std::map<std::string, std::uint64_t> kind_counts;
+  // --realloc bookkeeping: per-video drain instants and download intervals.
+  std::map<std::uint64_t, std::vector<double>> drains;
+  std::map<std::uint64_t, std::vector<Download>> video_downloads;
   double d1 = 0.0;  // inferred below: shortest download in the trace
   for (const auto& line : lines) {
     const auto event = line.at("event").as_string();
     ++kind_counts[event];
     const auto client =
         static_cast<std::uint64_t>(line.number_or("client", 0.0));
+    const double t = line.number_or("t", 0.0);
+    const auto video =
+        static_cast<std::uint64_t>(line.number_or("video", 0.0));
+    if (check_realloc && event == "drain_complete") {
+      drains[video].push_back(t);
+    }
     if (client == 0) {
       continue;  // server-side events (channel slots, batch fires)
     }
     auto& track = clients[client];
-    const double t = line.number_or("t", 0.0);
     if (event == "tune_in") {
       track.tuned = true;
       track.tune_time = t;
@@ -115,7 +133,10 @@ int main(int argc, char** argv) {
       ++track.jitter_events;
     } else if (event == "segment_download_start") {
       const double length = line.number_or("value", 0.0);
-      track.downloads.push_back({t, length});
+      track.downloads.push_back({t, length, video});
+      if (check_realloc) {
+        video_downloads[video].push_back({t, length, video});
+      }
       if (length > 0.0 && (d1 == 0.0 || length < d1)) {
         d1 = length;
       }
@@ -228,6 +249,40 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(id),
                   track.downloads.size(), peak_loaders, peak_units);
     }
+  }
+
+  // Invariant 4 (--realloc): a demoted title's channels drain before the
+  // bandwidth is retuned, so every download of that title either finishes
+  // by the drain_complete instant or starts on the title's next plan after
+  // it. A download spanning the handoff means a client's loader survived a
+  // channel retune — exactly what the drain protocol forbids.
+  std::uint64_t drain_handoffs = 0;
+  if (check_realloc) {
+    constexpr double kTimeEps = 1e-5;
+    for (const auto& [video, handoffs] : drains) {
+      drain_handoffs += handoffs.size();
+      const auto it = video_downloads.find(video);
+      if (it == video_downloads.end()) {
+        continue;
+      }
+      for (const double handoff : handoffs) {
+        for (const auto& d : it->second) {
+          if (d.start < handoff - kTimeEps &&
+              d.start + d.length > handoff + kTimeEps) {
+            ++violations;
+            std::printf(
+                "VIOLATION video %llu: download [%.5f, %.5f] spans the "
+                "drain handoff at %.5f\n",
+                static_cast<unsigned long long>(video), d.start,
+                d.start + d.length, handoff);
+          }
+        }
+      }
+    }
+    std::printf("trace_check: drain contract checked over %llu handoff(s) "
+                "on %zu video(s)\n",
+                static_cast<unsigned long long>(drain_handoffs),
+                drains.size());
   }
 
   std::printf("trace_check: %zu events, %zu clients; "

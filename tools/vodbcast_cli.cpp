@@ -13,6 +13,9 @@
 //                     [--series-limit N]
 //   vodbcast width    --bandwidth 400 --latency 0.25
 //   vodbcast hybrid   [--hot 10] [--channels 6] [--bandwidth 600]
+//                     [--adaptive] [--epoch-minutes 60] [--half-life 60]
+//                     [--promote-ratio 1.2] [--demote-ratio 0.8]
+//                     [--min-tail 1] [--popularity-flip] [--flip-at MIN]
 //   vodbcast help
 #include <cstdio>
 #include <memory>
@@ -23,6 +26,7 @@
 #include "batching/hybrid.hpp"
 #include "channel/timetable.hpp"
 #include "client/reception_plan.hpp"
+#include "ctrl/adaptive.hpp"
 #include "obs/sampler.hpp"
 #include "obs/sink.hpp"
 #include "schemes/registry.hpp"
@@ -295,7 +299,123 @@ int cmd_width(const util::ArgParser& args) {
   return 0;
 }
 
+/// `vodbcast hybrid --adaptive`: the online controller instead of the static
+/// split. --popularity-flip shuffles the Zipf rank->title map mid-run (at
+/// --flip-at, default half the horizon) so the re-convergence machinery has
+/// something to chase.
+int cmd_hybrid_adaptive(const util::ArgParser& args) {
+  ctrl::AdaptiveConfig config;
+  config.total_bandwidth =
+      core::MbitPerSec{args.get_double("bandwidth", 600.0)};
+  config.catalog_size =
+      static_cast<std::size_t>(args.get_int("catalog", 100));
+  config.hot_titles = static_cast<std::size_t>(args.get_int("hot", 10));
+  config.broadcast_channels_per_video =
+      static_cast<int>(args.get_int("channels", 6));
+  config.sb_width = args.get_uint("width", 52);
+  config.video =
+      core::VideoParams{core::Minutes{args.get_double("duration", 120.0)},
+                        core::MbitPerSec{args.get_double("rate", 1.5)}};
+  config.arrivals_per_minute = args.get_double("arrivals", 3.0);
+  config.horizon = core::Minutes{args.get_double("horizon", 1500.0)};
+  config.epoch = core::Minutes{args.get_double("epoch-minutes", 60.0)};
+  config.half_life = core::Minutes{args.get_double("half-life", 60.0)};
+  config.promote_ratio = args.get_double("promote-ratio", 1.2);
+  config.demote_ratio = args.get_double("demote-ratio", 0.8);
+  config.min_tail_channels =
+      static_cast<int>(args.get_int("min-tail", 1));
+  config.seed = args.get_uint("seed", 11);
+  if (args.has("popularity-flip") || args.has("flip-at")) {
+    config.flip_at =
+        core::Minutes{args.get_double("flip-at", config.horizon.v / 2.0)};
+  }
+
+  obs::Sink sink(static_cast<std::size_t>(
+      args.get_uint("trace-limit", 65536)));
+  if (wants_observability(args)) {
+    config.sink = &sink;
+  }
+  const auto sampler = make_sampler(args);
+  config.sampler = sampler.get();
+
+  const batching::MqlPolicy mql;
+  const batching::FcfsPolicy fcfs;
+  const bool use_fcfs = args.get_string("policy", "mql") == "fcfs";
+  const auto& policy =
+      use_fcfs ? static_cast<const batching::BatchingPolicy&>(fcfs)
+               : static_cast<const batching::BatchingPolicy&>(mql);
+
+  const auto reps = static_cast<std::size_t>(args.get_uint("reps", 1));
+  ctrl::AdaptiveReport report;
+  double ci95 = 0.0;
+  if (reps > 1) {
+    if (sampler != nullptr) {
+      std::fprintf(stderr,
+                   "note: --series-out is ignored when --reps > 1\n");
+    }
+    const auto pool = make_pool(args);
+    const auto replicated =
+        ctrl::simulate_adaptive_replicated(policy, config, reps, pool.get());
+    report = replicated.merged;
+    ci95 = replicated.wait_mean_ci95;
+    std::printf("replications      : %zu\n", reps);
+  } else {
+    report = ctrl::simulate_adaptive(policy, config);
+  }
+
+  std::printf("mode              : adaptive (epoch %.1f min, half-life %.1f"
+              " min, hysteresis %.2f/%.2f)\n",
+              config.epoch.v, config.half_life.v, config.promote_ratio,
+              config.demote_ratio);
+  std::printf("hot set           : %zu titles x %d channels%s\n",
+              report.final_hot.size(), report.channels_per_video,
+              report.degraded ? " (degraded)" : "");
+  std::printf("broadcast latency : %.3f min worst (guaranteed)\n",
+              report.broadcast_worst_latency.v);
+  std::printf("epochs            : %llu (%llu realloc, %llu promote, %llu"
+              " demote, %llu drains)\n",
+              static_cast<unsigned long long>(report.epochs),
+              static_cast<unsigned long long>(report.reallocs),
+              static_cast<unsigned long long>(report.promotions),
+              static_cast<unsigned long long>(report.demotions),
+              static_cast<unsigned long long>(report.drains_completed));
+  if (config.flip_at.v >= 0.0) {
+    if (report.converged_epochs_after_flip >= 0) {
+      std::printf("flip at %.0f min   : re-converged after %lld epoch(s)\n",
+                  config.flip_at.v,
+                  static_cast<long long>(report.converged_epochs_after_flip));
+    } else {
+      std::printf("flip at %.0f min   : NOT re-converged by the horizon\n",
+                  config.flip_at.v);
+    }
+  }
+  std::printf("served            : %llu hot, %llu tail, %llu still queued\n",
+              static_cast<unsigned long long>(report.served_hot),
+              static_cast<unsigned long long>(report.served_tail),
+              static_cast<unsigned long long>(report.unserved));
+  std::printf("hot waits         : %s\n",
+              report.hot_wait_minutes.empty()
+                  ? "n=0"
+                  : report.hot_wait_minutes.summary().c_str());
+  std::printf("tail waits        : %s\n",
+              report.tail_wait_minutes.empty()
+                  ? "n=0"
+                  : report.tail_wait_minutes.summary().c_str());
+  if (reps > 1) {
+    std::printf("mean wait         : %.3f min (+/- %.3f at 95%%)\n",
+                report.mean_wait_minutes(), ci95);
+  } else {
+    std::printf("mean wait         : %.3f min\n", report.mean_wait_minutes());
+  }
+  export_observability(args, sink);
+  export_series(args, sampler.get());
+  return 0;
+}
+
 int cmd_hybrid(const util::ArgParser& args) {
+  if (args.has("adaptive")) {
+    return cmd_hybrid_adaptive(args);
+  }
   batching::HybridConfig config;
   config.total_bandwidth =
       core::MbitPerSec{args.get_double("bandwidth", 600.0)};
@@ -403,6 +523,10 @@ int cmd_help() {
       "  width    --bandwidth B --latency L             width for a target\n"
       "  guide    --scheme <label> [--from --until]     emission timetable\n"
       "  hybrid   [--hot N --channels K --policy mql]   hybrid server\n"
+      "           [--adaptive] online controller: EWMA popularity +\n"
+      "           epoch reallocation ([--epoch-minutes 60] [--half-life 60]\n"
+      "           [--promote-ratio 1.2] [--demote-ratio 0.8] [--min-tail 1])\n"
+      "           [--popularity-flip] [--flip-at MIN]  mid-run rank shuffle\n"
       "scheme labels: SB:W=<n|inf>, SB(fast|flat):W=<n>, PB:a, PB:b, PPB:a,\n"
       "               PPB:b, FB, HB, staggered");
   return 0;
