@@ -171,6 +171,7 @@ void Session::write_result() {
       1e3;
   result.cases = cases_;
   auto& sink = reporter_.sink();
+  obs::publish_drop_metrics(sink);
   result.trace_recorded = sink.trace.recorded();
   result.trace_dropped = sink.trace.dropped();
   result.trace_capacity = sink.trace.capacity();

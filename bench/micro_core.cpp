@@ -5,9 +5,12 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "client/client_session.hpp"
 #include "client/reception_plan.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
 #include "schemes/registry.hpp"
 #include "schemes/skyscraper.hpp"
 #include "series/broadcast_series.hpp"
@@ -156,9 +159,11 @@ void BM_EndToEndSimulation(benchmark::State& state) {
 BENCHMARK(BM_EndToEndSimulation);
 
 // A/B partner of BM_EndToEndSimulation: identical run with a live obs::Sink
-// attached. The no-sink variant must stay within noise of its pre-obs
-// baseline (the null-sink path is one pointer test); the delta between the
-// two *is* the cost of full metrics + tracing.
+// attached — which now wires the labeled families too (per-title wait
+// sketches, per-channel utilization gauges). The no-sink variant must stay
+// within noise of its pre-obs baseline (the null-sink path is one pointer
+// test); the delta between the two *is* the cost of full metrics + tracing
+// + label families, and the ≤2% overhead bar covers it.
 void BM_EndToEndSimulationWithSink(benchmark::State& state) {
   const schemes::SkyscraperScheme sb(52);
   const schemes::DesignInput input{core::MbitPerSec{300.0}, 10, kVideo};
@@ -172,6 +177,38 @@ void BM_EndToEndSimulationWithSink(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EndToEndSimulationWithSink);
+
+// The family hot path in isolation. Per request, sim::simulate's labeled
+// wiring adds one cached-pointer indirection plus one sketch observe on top
+// of the unlabeled sketch it already fed; family resolution itself happened
+// once, cold, at setup. A/B of these two pins that the label *dimension*
+// costs nothing measurable per observation — only the resolve is dear.
+void BM_SketchObserveUnlabeled(benchmark::State& state) {
+  obs::Registry registry;
+  auto& sketch = registry.sketch("bench.wait");
+  double v = 0.01;
+  for (auto _ : state) {
+    sketch.observe(v);
+    v = v < 30.0 ? v * 1.01 : 0.01;
+  }
+}
+BENCHMARK(BM_SketchObserveUnlabeled);
+
+void BM_SketchObserveLabeledHot(benchmark::State& state) {
+  obs::Registry registry;
+  auto& family = registry.sketch_family("bench.wait", {"title"}, {}, 16);
+  std::vector<obs::QuantileSketch*> hot;
+  for (std::uint64_t title = 0; title < 8; ++title) {
+    hot.push_back(&family.with_ids({title}));
+  }
+  double v = 0.01;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    hot[i++ & 7]->observe(v);
+    v = v < 30.0 ? v * 1.01 : 0.01;
+  }
+}
+BENCHMARK(BM_SketchObserveLabeledHot);
 
 }  // namespace
 

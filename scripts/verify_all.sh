@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
-# Full verification chain: tier-1 build+tests, the ASan/UBSan sweep, a
-# quick pass of the bench suite to prove every binary still writes a valid
-# BENCH_*.json that bench_diff can read back, and (opt-in) the mechanical
-# perf gate against the committed trajectory.
+# Full verification chain: tier-1 build+tests, the ASan/UBSan sweep, an
+# OpenMetrics exposition self-check (simulate --metrics-format openmetrics
+# must lint clean under tools/metrics_check, including the per-title wait
+# sketch vs clients-served invariant), a quick pass of the bench suite to
+# prove every binary still writes a valid BENCH_*.json that bench_diff can
+# read back, and (opt-in) the mechanical perf gate against the committed
+# trajectory.
 #
 #   scripts/verify_all.sh [--skip-sanitize] [--perf-gate]
 #                         [--perf-threshold FRAC]
@@ -44,9 +47,20 @@ if [[ $skip_sanitize -eq 0 ]]; then
   scripts/verify_sanitize.sh
 fi
 
+echo "== openmetrics exposition self-check =="
+om_dir=$(mktemp -d)
+trap 'rm -rf "$om_dir"' EXIT
+build/tools/vodbcast simulate --scheme SB:W=52 --bandwidth 300 \
+  --horizon 120 --arrivals 4 --seed 42 \
+  --metrics-format openmetrics --metrics-out "$om_dir/metrics.txt"
+build/tools/metrics_check "$om_dir/metrics.txt" \
+  'sum(sb_client_wait_count{title=*}) == sim_clients_served_total' \
+  'sim_tune_wait_sketch_min_count == sim_clients_served_total' \
+  --verbose
+
 echo "== bench suite (quick) + self-diff =="
 suite_dir=$(mktemp -d)
-trap 'rm -rf "$suite_dir"' EXIT
+trap 'rm -rf "$om_dir" "$suite_dir"' EXIT
 scripts/run_bench_suite.sh --quick --out "$suite_dir"
 build/tools/bench_diff "$suite_dir" "$suite_dir"
 

@@ -25,12 +25,16 @@ if [[ $mode == all || $mode == asan ]]; then
   cmake -B build-asan -S . -DVODBCAST_SANITIZE=ON
   cmake --build build-asan -j "$(nproc)" \
     --target test_obs_registry test_obs_trace test_obs_sampler \
+    test_obs_family test_obs_sketch test_obs_openmetrics \
     test_util_json test_bench_harness test_simulator test_task_pool \
     test_parallel test_event_queue test_batching test_net test_ctrl
 
   ./build-asan/tests/test_obs_registry
   ./build-asan/tests/test_obs_trace
   ./build-asan/tests/test_obs_sampler
+  ./build-asan/tests/test_obs_family
+  ./build-asan/tests/test_obs_sketch
+  ./build-asan/tests/test_obs_openmetrics
   ./build-asan/tests/test_util_json
   ./build-asan/tests/test_bench_harness
   ./build-asan/tests/test_simulator

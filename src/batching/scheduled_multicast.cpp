@@ -12,7 +12,10 @@ namespace vodbcast::batching {
 namespace {
 
 /// Drops pending requests whose patience expired before `now`.
-std::uint64_t clean_expired(WaitQueues& queues, double now, obs::Sink* sink) {
+/// `renege_by_title` (empty when unobserved) holds one pre-resolved counter
+/// per video id.
+std::uint64_t clean_expired(WaitQueues& queues, double now, obs::Sink* sink,
+                            const std::vector<obs::Counter*>& renege_by_title) {
   std::uint64_t reneged = 0;
   for (std::size_t video = 0; video < queues.size(); ++video) {
     auto& queue = queues[video];
@@ -21,15 +24,20 @@ std::uint64_t clean_expired(WaitQueues& queues, double now, obs::Sink* sink) {
           return r.renege_at.v < now;
         });
     const auto lost = static_cast<std::uint64_t>(queue.end() - kept);
-    if (lost > 0 && sink != nullptr) {
-      sink->trace.record(obs::TraceEvent{
-          .sim_time_min = now,
-          .kind = obs::EventKind::kRenege,
-          .channel = 0,
-          .video = video,
-          .client = 0,
-          .value = static_cast<double>(lost),
-      });
+    if (lost > 0) {
+      if (!renege_by_title.empty()) {
+        renege_by_title[video]->add(lost);
+      }
+      if (sink != nullptr) {
+        sink->trace.record(obs::TraceEvent{
+            .sim_time_min = now,
+            .kind = obs::EventKind::kRenege,
+            .channel = 0,
+            .video = video,
+            .client = 0,
+            .value = static_cast<double>(lost),
+        });
+      }
     }
     reneged += lost;
     queue.erase(kept, queue.end());
@@ -63,12 +71,20 @@ struct MulticastSim {
   obs::Gauge* depth_peak;
   obs::Histogram* dispatch_ns;
   obs::Histogram* batch_hist;
+  /// Pre-resolved per-title instruments (empty when no sink): one slot per
+  /// video id so the dispatch loop never does a label lookup.
+  std::vector<obs::QuantileSketch*> wait_by_title;
+  std::vector<obs::Counter*> renege_by_title;
   int free_channels;
   double busy_minutes = 0.0;
+  /// Per-channel accounting under lowest-free-index assignment — the
+  /// deterministic stand-in for "which physical channel carried the batch".
+  std::vector<char> channel_busy;
+  std::vector<double> channel_busy_minutes;
 
   /// Drops expired waiters and keeps the report and metrics in step.
   void clean(double now) {
-    const auto expired = clean_expired(queues, now, sink);
+    const auto expired = clean_expired(queues, now, sink, renege_by_title);
     report.reneged += expired;
     if (reneged_counter != nullptr) {
       reneged_counter->add(expired);
@@ -89,8 +105,14 @@ struct MulticastSim {
     }
     auto& queue = queues[*video];
     VB_ASSERT(!queue.empty());
+    obs::QuantileSketch* wait_sketch =
+        wait_by_title.empty() ? nullptr : wait_by_title[*video];
     for (const auto& r : queue) {
-      report.wait_minutes.add(now - r.arrival.v);
+      const double wait = now - r.arrival.v;
+      report.wait_minutes.add(wait);
+      if (wait_sketch != nullptr) {
+        wait_sketch->observe(wait);
+      }
     }
     const auto batch = queue.size();
     report.batch_size.add(static_cast<double>(batch));
@@ -99,6 +121,13 @@ struct MulticastSim {
     ++report.streams_started;
     --free_channels;
     busy_minutes += config.video_length.v;
+    // Lowest free channel index carries this stream.
+    const auto channel = static_cast<std::size_t>(
+        std::find(channel_busy.begin(), channel_busy.end(), 0) -
+        channel_busy.begin());
+    VB_ASSERT(channel < channel_busy.size());
+    channel_busy[channel] = 1;
+    channel_busy_minutes[channel] += config.video_length.v;
     if (sink != nullptr) {
       batches_counter->add();
       served_counter->add(batch);
@@ -112,8 +141,9 @@ struct MulticastSim {
           .value = static_cast<double>(batch),
       });
     }
-    events.schedule(now + config.video_length.v, [this] {
+    events.schedule(now + config.video_length.v, [this, channel] {
       ++free_channels;
+      channel_busy[channel] = 0;
       try_dispatch();
     });
   }
@@ -155,6 +185,8 @@ MulticastReport simulate_scheduled_multicast(
   obs::Gauge* depth_peak = nullptr;
   obs::Histogram* dispatch_ns = nullptr;
   obs::Histogram* batch_hist = nullptr;
+  std::vector<obs::QuantileSketch*> wait_by_title;
+  std::vector<obs::Counter*> renege_by_title;
   if (sink != nullptr) {
     batches_counter = &sink->metrics.counter("batching.streams_started");
     served_counter = &sink->metrics.counter("batching.served");
@@ -164,6 +196,18 @@ MulticastReport simulate_scheduled_multicast(
                                            obs::default_time_bounds_ns());
     batch_hist = &sink->metrics.histogram(
         "batching.batch_size", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0});
+    // Per-title series resolved once; the dispatch/clean hot paths index by
+    // video id. Sized to the catalog so no title folds into overflow.
+    auto& wait_family = sink->metrics.sketch_family(
+        "batching.client.wait", {"title"}, {}, num_videos + 1);
+    auto& renege_family = sink->metrics.counter_family(
+        "batching.client.reneged", {"title"}, num_videos + 1);
+    wait_by_title.resize(num_videos);
+    renege_by_title.resize(num_videos);
+    for (std::size_t video = 0; video < num_videos; ++video) {
+      wait_by_title[video] = &wait_family.with_ids({video});
+      renege_by_title[video] = &renege_family.with_ids({video});
+    }
   }
 
   WaitQueues queues(num_videos);
@@ -192,7 +236,13 @@ MulticastReport simulate_scheduled_multicast(
       .depth_peak = depth_peak,
       .dispatch_ns = dispatch_ns,
       .batch_hist = batch_hist,
+      .wait_by_title = std::move(wait_by_title),
+      .renege_by_title = std::move(renege_by_title),
       .free_channels = config.channels,
+      .channel_busy =
+          std::vector<char>(static_cast<std::size_t>(config.channels), 0),
+      .channel_busy_minutes = std::vector<double>(
+          static_cast<std::size_t>(config.channels), 0.0),
   };
 
   probes.add("batching.queue_depth", [&queues] {
@@ -227,6 +277,16 @@ MulticastReport simulate_scheduled_multicast(
 
   report.channel_utilization =
       state.busy_minutes / (config.channels * config.horizon.v);
+  if (sink != nullptr) {
+    auto& util_family = sink->metrics.gauge_family(
+        "batching.channel.utilization", {"channel"},
+        static_cast<std::size_t>(config.channels) + 1);
+    for (std::size_t channel = 0; channel < state.channel_busy_minutes.size();
+         ++channel) {
+      util_family.with_ids({channel}).max_of(
+          state.channel_busy_minutes[channel] / config.horizon.v);
+    }
+  }
   obs::logf(obs::LogLevel::kDebug,
             "scheduled_multicast: policy=%s served=%llu reneged=%llu "
             "streams=%llu utilization=%.3f",

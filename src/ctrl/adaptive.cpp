@@ -81,6 +81,11 @@ struct AdaptiveSim {
   obs::Gauge* tail_gauge = nullptr;
   obs::Gauge* degraded_gauge = nullptr;
   obs::Gauge* channels_gauge = nullptr;
+  // Per-title mode-transition counters (empty without a sink), indexed by
+  // video id — which titles churn is the control plane's key diagnostic.
+  std::vector<obs::Counter*> promote_by_title{};
+  std::vector<obs::Counter*> demote_by_title{};
+  std::vector<obs::Counter*> drain_by_title{};
 
   [[nodiscard]] double channel_rate() const {
     return config.video.display_rate.v;
@@ -188,6 +193,9 @@ struct AdaptiveSim {
     };
     hot_bandwidth += channel_rate() * channels_per_video;
     ++report.promotions;
+    if (!promote_by_title.empty()) {
+      promote_by_title[video]->add();
+    }
     trace(obs::EventKind::kPromote, now, video, 0,
           static_cast<double>(channels_per_video));
     auto& queue = queues[video];
@@ -217,6 +225,9 @@ struct AdaptiveSim {
     reserved_bandwidth += held;
     const double drain_at = std::max(hot[video].active_until, now);
     ++report.demotions;
+    if (!demote_by_title.empty()) {
+      demote_by_title[video]->add();
+    }
     trace(obs::EventKind::kDemote, now, video, 0, drain_at - now);
     events.schedule(drain_at, [this, video, now] {
       finish_drain(video, now);
@@ -232,6 +243,9 @@ struct AdaptiveSim {
     ++report.drains_completed;
     if (drain_counter != nullptr) {
       drain_counter->add();
+    }
+    if (!drain_by_title.empty()) {
+      drain_by_title[video]->add();
     }
     trace(obs::EventKind::kDrainComplete, now, video, 0, now - demoted_at);
     refresh_tail_capacity();
@@ -427,6 +441,22 @@ AdaptiveReport simulate_adaptive(const batching::BatchingPolicy& policy,
     state.tail_gauge = &metrics.gauge("ctrl.tail_channels");
     state.degraded_gauge = &metrics.gauge("ctrl.degraded");
     state.channels_gauge = &metrics.gauge("ctrl.channels_per_title");
+    // Per-title transition counters, resolved once and indexed by video id
+    // inside the control loop. Families sized to the catalog: no overflow.
+    auto& promote_family = metrics.counter_family(
+        "ctrl.title.promotions", {"title"}, config.catalog_size + 1);
+    auto& demote_family = metrics.counter_family(
+        "ctrl.title.demotions", {"title"}, config.catalog_size + 1);
+    auto& drain_family = metrics.counter_family(
+        "ctrl.title.drains", {"title"}, config.catalog_size + 1);
+    state.promote_by_title.resize(config.catalog_size);
+    state.demote_by_title.resize(config.catalog_size);
+    state.drain_by_title.resize(config.catalog_size);
+    for (std::size_t video = 0; video < config.catalog_size; ++video) {
+      state.promote_by_title[video] = &promote_family.with_ids({video});
+      state.demote_by_title[video] = &demote_family.with_ids({video});
+      state.drain_by_title[video] = &drain_family.with_ids({video});
+    }
   }
 
   probes.add("ctrl.hot_titles", [&state] {

@@ -8,7 +8,8 @@ namespace vodbcast::net {
 DeliveryReport deliver_segment(const channel::PeriodicBroadcast& stream,
                                std::uint64_t index, core::Mbits mtu,
                                LossModel& loss, core::Minutes playback_start,
-                               core::MbitPerSec display_rate) {
+                               core::MbitPerSec display_rate,
+                               obs::Sink* sink) {
   VB_EXPECTS(display_rate.v > 0.0);
   const auto sent = packetize_transmission(stream, index, mtu);
   const auto survivors = apply_loss(sent, loss);
@@ -40,6 +41,26 @@ DeliveryReport deliver_segment(const channel::PeriodicBroadcast& stream,
         report.jitter_free = false;
         break;
       }
+    }
+  }
+
+  if (sink != nullptr) {
+    // Per-channel damage accounting: loss models differ per receiver, so
+    // which logical channel eats the loss is the dimension that matters.
+    const std::vector<std::uint64_t> channel = {
+        static_cast<std::uint64_t>(stream.logical_channel)};
+    sink->metrics.counter_family("net.packets_sent", {"channel"})
+        .with_ids(channel)
+        .add(report.packets_sent);
+    if (report.packets_lost > 0) {
+      sink->metrics.counter_family("net.packets_lost", {"channel"})
+          .with_ids(channel)
+          .add(report.packets_lost);
+    }
+    if (report.gap_count > 0) {
+      sink->metrics.counter_family("net.delivery_gaps", {"channel"})
+          .with_ids(channel)
+          .add(report.gap_count);
     }
   }
   return report;

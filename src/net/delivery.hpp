@@ -7,6 +7,7 @@
 #include "channel/schedule.hpp"
 #include "net/loss.hpp"
 #include "net/reassembly.hpp"
+#include "obs/sink.hpp"
 
 namespace vodbcast::net {
 
@@ -23,10 +24,12 @@ struct DeliveryReport {
 
 /// Delivers the `index`-th transmission of `stream` through `loss` and
 /// grades it against a playback that starts at `playback_start` and
-/// consumes at `display_rate`.
+/// consumes at `display_rate`. With a sink, per-channel counter families
+/// (`net.packets_sent` / `net.packets_lost` / `net.delivery_gaps`, keyed by
+/// the stream's logical channel) record where the damage lands.
 [[nodiscard]] DeliveryReport deliver_segment(
     const channel::PeriodicBroadcast& stream, std::uint64_t index,
     core::Mbits mtu, LossModel& loss, core::Minutes playback_start,
-    core::MbitPerSec display_rate);
+    core::MbitPerSec display_rate, obs::Sink* sink = nullptr);
 
 }  // namespace vodbcast::net

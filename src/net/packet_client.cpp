@@ -9,7 +9,7 @@ PacketSessionReport run_packet_session(const channel::ChannelPlan& plan,
                                        core::VideoId video,
                                        const series::SegmentLayout& layout,
                                        std::uint64_t t0, LossModel& loss,
-                                       core::Mbits mtu) {
+                                       core::Mbits mtu, obs::Sink* sink) {
   const client::ReceptionPlan reception =
       client::plan_reception(layout, t0);
   const double d1 = layout.unit_duration().v;
@@ -34,7 +34,7 @@ PacketSessionReport run_packet_session(const channel::ChannelPlan& plan,
                                        d1};
     const DeliveryReport delivered =
         deliver_segment(*stream, index, mtu, loss, playback_start,
-                        layout.video().display_rate);
+                        layout.video().display_rate, sink);
     report.packets_sent += delivered.packets_sent;
     report.packets_lost += delivered.packets_lost;
     if (delivered.gap_count > 0) {

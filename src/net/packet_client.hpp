@@ -13,6 +13,7 @@
 #include "channel/schedule.hpp"
 #include "client/reception_plan.hpp"
 #include "net/loss.hpp"
+#include "obs/sink.hpp"
 #include "series/segmentation.hpp"
 
 namespace vodbcast::net {
@@ -32,9 +33,11 @@ struct PacketSessionReport {
 /// client playback starting at slot `t0`.
 /// Preconditions: the plan carries every (video, segment) of the layout at
 /// phase 0 with period == transmission (the SB channel shape).
+/// `sink` (optional) receives the per-channel delivery counter families of
+/// net::deliver_segment.
 [[nodiscard]] PacketSessionReport run_packet_session(
     const channel::ChannelPlan& plan, core::VideoId video,
     const series::SegmentLayout& layout, std::uint64_t t0, LossModel& loss,
-    core::Mbits mtu);
+    core::Mbits mtu, obs::Sink* sink = nullptr);
 
 }  // namespace vodbcast::net

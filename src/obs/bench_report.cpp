@@ -2,12 +2,15 @@
 
 #include <cstdio>
 
+#include "obs/sink.hpp"
+
 namespace vodbcast::obs {
 
 BenchReporter::BenchReporter(std::string name)
     : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
 
 BenchReporter::~BenchReporter() {
+  publish_drop_metrics(sink_);
   const auto elapsed = std::chrono::steady_clock::now() - start_;
   const double wall_ms =
       static_cast<double>(std::chrono::duration_cast<std::chrono::microseconds>(

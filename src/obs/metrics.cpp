@@ -1,8 +1,10 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
+#include <stdexcept>
 
 #include "util/contracts.hpp"
 #include "util/csv.hpp"
@@ -10,6 +12,8 @@
 namespace vodbcast::obs {
 
 namespace {
+
+constexpr const char* kLabelsDroppedName = "obs.labels_dropped";
 
 // CAS update helper for atomic doubles: GCC's fetch_add on atomic<double>
 // is fine in C++20 but a CAS loop keeps us portable to older libstdc++.
@@ -34,7 +38,102 @@ std::string json_number(double v) {
   return s;
 }
 
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+Snapshot::Labels make_labels(const std::vector<std::string>& keys,
+                             const std::vector<std::string>& values) {
+  Snapshot::Labels labels;
+  labels.reserve(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    labels.emplace_back(keys[i], values[i]);
+  }
+  return labels;
+}
+
+/// `name{k=v,...}` — the flattened series key used by to_json / to_csv.
+std::string series_key(const std::string& name,
+                       const Snapshot::Labels& labels) {
+  if (labels.empty()) {
+    return name;
+  }
+  std::string key = name + "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) {
+      key += ',';
+    }
+    key += labels[i].first + "=" + labels[i].second;
+  }
+  key += '}';
+  return key;
+}
+
+Snapshot::HistogramView make_histogram_view(const std::string& name,
+                                            const Histogram& h,
+                                            Snapshot::Labels labels) {
+  Snapshot::HistogramView view;
+  view.name = name;
+  view.labels = std::move(labels);
+  view.bounds = h.bounds();
+  view.buckets.resize(h.bucket_count());
+  for (std::size_t i = 0; i < h.bucket_count(); ++i) {
+    view.buckets[i] = h.bucket(i);
+  }
+  view.count = h.count();
+  view.sum = h.sum();
+  view.p50 = view.quantile(0.50);
+  view.p95 = view.quantile(0.95);
+  view.p99 = view.quantile(0.99);
+  return view;
+}
+
+Snapshot::SketchView make_sketch_view(const std::string& name,
+                                      const QuantileSketch& s,
+                                      Snapshot::Labels labels) {
+  Snapshot::SketchView view;
+  view.name = name;
+  view.labels = std::move(labels);
+  view.relative_accuracy = s.relative_accuracy();
+  view.gamma = s.gamma();
+  view.zero_count = s.zero_count();
+  view.buckets = s.buckets();
+  view.count = s.count();
+  view.sum = s.sum();
+  view.min = s.min();
+  view.max = s.max();
+  view.collapsed = s.collapsed();
+  view.p50 = view.quantile(0.50);
+  view.p95 = view.quantile(0.95);
+  view.p99 = view.quantile(0.99);
+  view.p999 = view.quantile(0.999);
+  return view;
+}
+
+[[noreturn]] void rethrow_with_metric(const std::string& name,
+                                      const std::invalid_argument& e) {
+  throw std::invalid_argument("metric '" + name + "': " + e.what());
+}
+
 }  // namespace
+
+void increment_drop_counter(Counter* counter) noexcept {
+  if (counter != nullptr) {
+    counter->add();
+  }
+}
 
 void Gauge::add(double delta) noexcept {
   update_double(value_, [delta](double cur) { return cur + delta; });
@@ -70,8 +169,11 @@ double Histogram::mean() const noexcept {
 }
 
 void Histogram::merge_from(const Histogram& other) {
-  VB_EXPECTS_MSG(bounds_ == other.bounds_,
-                 "histogram merge requires identical bounds");
+  if (bounds_ != other.bounds_) {
+    throw std::invalid_argument(
+        "histogram merge: bucket bounds mismatch; adding buckets "
+        "positionally across different grids would silently mis-fold");
+  }
   for (std::size_t i = 0; i < bucket_count(); ++i) {
     buckets_[i].fetch_add(other.buckets_[i].load(std::memory_order_relaxed),
                           std::memory_order_relaxed);
@@ -118,8 +220,37 @@ double Snapshot::HistogramView::quantile(double q) const {
   return bounds.back();
 }
 
-Counter& Registry::counter(const std::string& name) {
-  const std::scoped_lock lock(mutex_);
+double Snapshot::SketchView::quantile(double q) const {
+  VB_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (count == 0) {
+    return 0.0;
+  }
+  const auto rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(count - 1));
+  if (rank < zero_count) {
+    return 0.0;
+  }
+  std::uint64_t cum = zero_count;
+  for (const auto& [index, n] : buckets) {
+    cum += n;
+    if (cum > rank) {
+      return 2.0 * std::pow(gamma, index) / (gamma + 1.0);
+    }
+  }
+  return max;
+}
+
+void Registry::claim(const std::string& name, Kind kind) {
+  const auto [it, inserted] = kinds_.emplace(name, kind);
+  if (!inserted && it->second != kind) {
+    throw std::invalid_argument(
+        "metric '" + name +
+        "' is already registered as a different instrument kind");
+  }
+}
+
+Counter& Registry::counter_locked(const std::string& name) {
+  claim(name, Kind::kCounter);
   auto& slot = counters_[name];
   if (slot == nullptr) {
     slot = std::make_unique<Counter>();
@@ -127,8 +258,14 @@ Counter& Registry::counter(const std::string& name) {
   return *slot;
 }
 
+Counter& Registry::counter(const std::string& name) {
+  const std::scoped_lock lock(mutex_);
+  return counter_locked(name);
+}
+
 Gauge& Registry::gauge(const std::string& name) {
   const std::scoped_lock lock(mutex_);
+  claim(name, Kind::kGauge);
   auto& slot = gauges_[name];
   if (slot == nullptr) {
     slot = std::make_unique<Gauge>();
@@ -139,6 +276,7 @@ Gauge& Registry::gauge(const std::string& name) {
 Histogram& Registry::histogram(const std::string& name,
                                std::vector<double> bounds) {
   const std::scoped_lock lock(mutex_);
+  claim(name, Kind::kHistogram);
   auto& slot = histograms_[name];
   if (slot == nullptr) {
     slot = std::make_unique<Histogram>(std::move(bounds));
@@ -146,9 +284,86 @@ Histogram& Registry::histogram(const std::string& name,
   return *slot;
 }
 
+QuantileSketch& Registry::sketch(const std::string& name,
+                                 QuantileSketch::Options options) {
+  const std::scoped_lock lock(mutex_);
+  claim(name, Kind::kSketch);
+  auto& slot = sketches_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<QuantileSketch>(options);
+  }
+  return *slot;
+}
+
+Family<Counter>& Registry::counter_family(const std::string& name,
+                                          std::vector<std::string> label_keys,
+                                          std::size_t max_series) {
+  const std::scoped_lock lock(mutex_);
+  claim(name, Kind::kCounterFamily);
+  auto& slot = counter_families_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Family<Counter>>(
+        std::move(label_keys), max_series,
+        [] { return std::make_unique<Counter>(); },
+        &counter_locked(kLabelsDroppedName));
+  }
+  return *slot;
+}
+
+Family<Gauge>& Registry::gauge_family(const std::string& name,
+                                      std::vector<std::string> label_keys,
+                                      std::size_t max_series) {
+  const std::scoped_lock lock(mutex_);
+  claim(name, Kind::kGaugeFamily);
+  auto& slot = gauge_families_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Family<Gauge>>(
+        std::move(label_keys), max_series,
+        [] { return std::make_unique<Gauge>(); },
+        &counter_locked(kLabelsDroppedName));
+  }
+  return *slot;
+}
+
+Family<Histogram>& Registry::histogram_family(
+    const std::string& name, std::vector<std::string> label_keys,
+    std::vector<double> bounds, std::size_t max_series) {
+  const std::scoped_lock lock(mutex_);
+  claim(name, Kind::kHistogramFamily);
+  auto& slot = histogram_families_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Family<Histogram>>(
+        std::move(label_keys), max_series,
+        [bounds = std::move(bounds)] {
+          return std::make_unique<Histogram>(bounds);
+        },
+        &counter_locked(kLabelsDroppedName));
+  }
+  return *slot;
+}
+
+Family<QuantileSketch>& Registry::sketch_family(
+    const std::string& name, std::vector<std::string> label_keys,
+    QuantileSketch::Options options, std::size_t max_series) {
+  const std::scoped_lock lock(mutex_);
+  claim(name, Kind::kSketchFamily);
+  auto& slot = sketch_families_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Family<QuantileSketch>>(
+        std::move(label_keys), max_series,
+        [options] { return std::make_unique<QuantileSketch>(options); },
+        &counter_locked(kLabelsDroppedName));
+  }
+  return *slot;
+}
+
 void Registry::merge_from(const Registry& other) {
   VB_EXPECTS(&other != this);
   const std::scoped_lock lock(mutex_, other.mutex_);
+  // Kind clashes surface before any state changes.
+  for (const auto& [name, kind] : other.kinds_) {
+    claim(name, kind);
+  }
   for (const auto& [name, c] : other.counters_) {
     auto& slot = counters_[name];
     if (slot == nullptr) {
@@ -168,7 +383,75 @@ void Registry::merge_from(const Registry& other) {
     if (slot == nullptr) {
       slot = std::make_unique<Histogram>(h->bounds());
     }
-    slot->merge_from(*h);
+    try {
+      slot->merge_from(*h);
+    } catch (const std::invalid_argument& e) {
+      rethrow_with_metric(name, e);
+    }
+  }
+  for (const auto& [name, s] : other.sketches_) {
+    auto& slot = sketches_[name];
+    if (slot == nullptr) {
+      slot = std::make_unique<QuantileSketch>(s->options());
+    }
+    try {
+      slot->merge_from(*s);
+    } catch (const std::invalid_argument& e) {
+      rethrow_with_metric(name, e);
+    }
+  }
+  for (const auto& [name, f] : other.counter_families_) {
+    auto& slot = counter_families_[name];
+    if (slot == nullptr) {
+      slot = std::make_unique<Family<Counter>>(
+          f->label_keys(), f->max_series(), f->factory(),
+          &counter_locked(kLabelsDroppedName));
+    }
+    slot->merge_from(*f, [](Counter& dst, const Counter& src) {
+      dst.add(src.value());
+    });
+  }
+  for (const auto& [name, f] : other.gauge_families_) {
+    auto& slot = gauge_families_[name];
+    if (slot == nullptr) {
+      slot = std::make_unique<Family<Gauge>>(
+          f->label_keys(), f->max_series(), f->factory(),
+          &counter_locked(kLabelsDroppedName));
+    }
+    slot->merge_from(*f, [](Gauge& dst, const Gauge& src) {
+      dst.max_of(src.value());
+    });
+  }
+  for (const auto& [name, f] : other.histogram_families_) {
+    auto& slot = histogram_families_[name];
+    if (slot == nullptr) {
+      slot = std::make_unique<Family<Histogram>>(
+          f->label_keys(), f->max_series(), f->factory(),
+          &counter_locked(kLabelsDroppedName));
+    }
+    try {
+      slot->merge_from(*f, [](Histogram& dst, const Histogram& src) {
+        dst.merge_from(src);
+      });
+    } catch (const std::invalid_argument& e) {
+      rethrow_with_metric(name, e);
+    }
+  }
+  for (const auto& [name, f] : other.sketch_families_) {
+    auto& slot = sketch_families_[name];
+    if (slot == nullptr) {
+      slot = std::make_unique<Family<QuantileSketch>>(
+          f->label_keys(), f->max_series(), f->factory(),
+          &counter_locked(kLabelsDroppedName));
+    }
+    try {
+      slot->merge_from(*f,
+                       [](QuantileSketch& dst, const QuantileSketch& src) {
+                         dst.merge_from(src);
+                       });
+    } catch (const std::invalid_argument& e) {
+      rethrow_with_metric(name, e);
+    }
   }
 }
 
@@ -185,19 +468,43 @@ Snapshot Registry::snapshot() const {
   }
   snap.histograms.reserve(histograms_.size());
   for (const auto& [name, h] : histograms_) {
-    Snapshot::HistogramView view;
-    view.name = name;
-    view.bounds = h->bounds();
-    view.buckets.resize(h->bucket_count());
-    for (std::size_t i = 0; i < h->bucket_count(); ++i) {
-      view.buckets[i] = h->bucket(i);
-    }
-    view.count = h->count();
-    view.sum = h->sum();
-    view.p50 = view.quantile(0.50);
-    view.p95 = view.quantile(0.95);
-    view.p99 = view.quantile(0.99);
-    snap.histograms.push_back(std::move(view));
+    snap.histograms.push_back(make_histogram_view(name, *h, {}));
+  }
+  for (const auto& [name, s] : sketches_) {
+    snap.sketches.push_back(make_sketch_view(name, *s, {}));
+  }
+  for (const auto& [name, f] : counter_families_) {
+    f->for_each([&](const std::vector<std::string>& values,
+                    const Counter& c) {
+      Snapshot::CounterView view;
+      view.name = name;
+      view.labels = make_labels(f->label_keys(), values);
+      view.value = c.value();
+      snap.family_counters.push_back(std::move(view));
+    });
+  }
+  for (const auto& [name, f] : gauge_families_) {
+    f->for_each([&](const std::vector<std::string>& values, const Gauge& g) {
+      Snapshot::GaugeView view;
+      view.name = name;
+      view.labels = make_labels(f->label_keys(), values);
+      view.value = g.value();
+      snap.family_gauges.push_back(std::move(view));
+    });
+  }
+  for (const auto& [name, f] : histogram_families_) {
+    f->for_each([&](const std::vector<std::string>& values,
+                    const Histogram& h) {
+      snap.histograms.push_back(make_histogram_view(
+          name, h, make_labels(f->label_keys(), values)));
+    });
+  }
+  for (const auto& [name, f] : sketch_families_) {
+    f->for_each([&](const std::vector<std::string>& values,
+                    const QuantileSketch& s) {
+      snap.sketches.push_back(make_sketch_view(
+          name, s, make_labels(f->label_keys(), values)));
+    });
   }
   return snap;
 }
@@ -206,19 +513,34 @@ std::string Registry::to_json() const {
   const Snapshot snap = snapshot();
   std::ostringstream os;
   os << "{\"counters\":{";
-  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
-    os << (i ? "," : "") << '"' << snap.counters[i].first << "\":"
-       << snap.counters[i].second;
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    os << (first ? "" : ",") << '"' << json_escape(name) << "\":" << value;
+    first = false;
+  }
+  for (const auto& c : snap.family_counters) {
+    os << (first ? "" : ",") << '"'
+       << json_escape(series_key(c.name, c.labels)) << "\":" << c.value;
+    first = false;
   }
   os << "},\"gauges\":{";
-  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
-    os << (i ? "," : "") << '"' << snap.gauges[i].first << "\":"
-       << json_number(snap.gauges[i].second);
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    os << (first ? "" : ",") << '"' << json_escape(name)
+       << "\":" << json_number(value);
+    first = false;
+  }
+  for (const auto& g : snap.family_gauges) {
+    os << (first ? "" : ",") << '"'
+       << json_escape(series_key(g.name, g.labels))
+       << "\":" << json_number(g.value);
+    first = false;
   }
   os << "},\"histograms\":{";
   for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
     const auto& h = snap.histograms[i];
-    os << (i ? "," : "") << '"' << h.name << "\":{\"bounds\":[";
+    os << (i ? "," : "") << '"' << json_escape(series_key(h.name, h.labels))
+       << "\":{\"bounds\":[";
     for (std::size_t j = 0; j < h.bounds.size(); ++j) {
       os << (j ? "," : "") << json_number(h.bounds[j]);
     }
@@ -229,6 +551,19 @@ std::string Registry::to_json() const {
     os << "],\"count\":" << h.count << ",\"sum\":" << json_number(h.sum)
        << ",\"p50\":" << json_number(h.p50) << ",\"p95\":"
        << json_number(h.p95) << ",\"p99\":" << json_number(h.p99) << '}';
+  }
+  os << "},\"sketches\":{";
+  for (std::size_t i = 0; i < snap.sketches.size(); ++i) {
+    const auto& s = snap.sketches[i];
+    os << (i ? "," : "") << '"' << json_escape(series_key(s.name, s.labels))
+       << "\":{\"relative_accuracy\":" << json_number(s.relative_accuracy)
+       << ",\"count\":" << s.count << ",\"sum\":" << json_number(s.sum)
+       << ",\"min\":" << json_number(s.min) << ",\"max\":"
+       << json_number(s.max) << ",\"zero_count\":" << s.zero_count
+       << ",\"tracked_buckets\":" << s.buckets.size() << ",\"collapsed\":"
+       << s.collapsed << ",\"p50\":" << json_number(s.p50) << ",\"p95\":"
+       << json_number(s.p95) << ",\"p99\":" << json_number(s.p99)
+       << ",\"p999\":" << json_number(s.p999) << '}';
   }
   os << "}}";
   return os.str();
@@ -242,24 +577,45 @@ std::string Registry::to_csv() const {
     csv.row({"counter", name, "value", util::CsvWriter::cell(
         static_cast<unsigned long long>(v))});
   }
+  for (const auto& c : snap.family_counters) {
+    csv.row({"counter", series_key(c.name, c.labels), "value",
+             util::CsvWriter::cell(static_cast<unsigned long long>(c.value))});
+  }
   for (const auto& [name, v] : snap.gauges) {
     csv.row({"gauge", name, "value", util::CsvWriter::cell(v)});
   }
+  for (const auto& g : snap.family_gauges) {
+    csv.row({"gauge", series_key(g.name, g.labels), "value",
+             util::CsvWriter::cell(g.value)});
+  }
   for (const auto& h : snap.histograms) {
-    csv.row({"histogram", h.name, "count", util::CsvWriter::cell(
+    const std::string key = series_key(h.name, h.labels);
+    csv.row({"histogram", key, "count", util::CsvWriter::cell(
         static_cast<unsigned long long>(h.count))});
-    csv.row({"histogram", h.name, "sum", util::CsvWriter::cell(h.sum)});
-    csv.row({"histogram", h.name, "p50", util::CsvWriter::cell(h.p50)});
-    csv.row({"histogram", h.name, "p95", util::CsvWriter::cell(h.p95)});
-    csv.row({"histogram", h.name, "p99", util::CsvWriter::cell(h.p99)});
+    csv.row({"histogram", key, "sum", util::CsvWriter::cell(h.sum)});
+    csv.row({"histogram", key, "p50", util::CsvWriter::cell(h.p50)});
+    csv.row({"histogram", key, "p95", util::CsvWriter::cell(h.p95)});
+    csv.row({"histogram", key, "p99", util::CsvWriter::cell(h.p99)});
     for (std::size_t j = 0; j < h.buckets.size(); ++j) {
       const std::string field =
           j < h.bounds.size()
               ? "le=" + util::CsvWriter::cell(h.bounds[j])
               : std::string("le=+inf");
-      csv.row({"histogram", h.name, field, util::CsvWriter::cell(
+      csv.row({"histogram", key, field, util::CsvWriter::cell(
           static_cast<unsigned long long>(h.buckets[j]))});
     }
+  }
+  for (const auto& s : snap.sketches) {
+    const std::string key = series_key(s.name, s.labels);
+    csv.row({"sketch", key, "count", util::CsvWriter::cell(
+        static_cast<unsigned long long>(s.count))});
+    csv.row({"sketch", key, "sum", util::CsvWriter::cell(s.sum)});
+    csv.row({"sketch", key, "min", util::CsvWriter::cell(s.min)});
+    csv.row({"sketch", key, "max", util::CsvWriter::cell(s.max)});
+    csv.row({"sketch", key, "p50", util::CsvWriter::cell(s.p50)});
+    csv.row({"sketch", key, "p95", util::CsvWriter::cell(s.p95)});
+    csv.row({"sketch", key, "p99", util::CsvWriter::cell(s.p99)});
+    csv.row({"sketch", key, "p999", util::CsvWriter::cell(s.p999)});
   }
   return os.str();
 }

@@ -20,6 +20,9 @@
 #include <string>
 #include <vector>
 
+#include "obs/family.hpp"
+#include "obs/quantile_sketch.hpp"
+
 namespace vodbcast::obs {
 
 /// Monotonic event count. Lock-free; relaxed ordering (metrics tolerate
@@ -82,7 +85,8 @@ class Histogram {
   [[nodiscard]] double mean() const noexcept;
 
   /// Folds `other`'s buckets, count and sum into this histogram.
-  /// Precondition: identical bounds.
+  /// Throws std::invalid_argument when the bounds differ — adding buckets
+  /// positionally across different grids would silently mis-fold.
   void merge_from(const Histogram& other);
 
  private:
@@ -99,6 +103,10 @@ class Histogram {
 
 /// Point-in-time copy of every instrument, detached from the registry.
 struct Snapshot {
+  /// (key, value) pairs in the family's key order; empty for unlabeled
+  /// instruments.
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+
   struct HistogramView {
     std::string name;
     std::vector<double> bounds;            ///< upper bounds per bucket
@@ -108,6 +116,7 @@ struct Snapshot {
     double p50 = 0.0;                      ///< interpolated; see quantile()
     double p95 = 0.0;
     double p99 = 0.0;
+    Labels labels;
 
     /// Interpolated quantile estimate (Prometheus histogram_quantile
     /// semantics): linear within the bucket that crosses rank q*count; the
@@ -115,9 +124,52 @@ struct Snapshot {
     /// bucket clamp to the last finite bound. q in [0, 1]; 0 when empty.
     [[nodiscard]] double quantile(double q) const;
   };
+
+  struct SketchView {
+    std::string name;
+    Labels labels;
+    double relative_accuracy = 0.0;
+    double gamma = 1.0;
+    std::uint64_t zero_count = 0;
+    /// Sorted (log-bucket index, count) pairs — the full mergeable state.
+    std::vector<std::pair<std::int32_t, std::uint64_t>> buckets;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::uint64_t collapsed = 0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double p999 = 0.0;
+
+    /// Same estimate as QuantileSketch::quantile, recomputed from the
+    /// captured buckets (usable after merges). q in [0, 1]; 0 when empty.
+    [[nodiscard]] double quantile(double q) const;
+  };
+
+  struct CounterView {
+    std::string name;
+    Labels labels;
+    std::uint64_t value = 0;
+  };
+  struct GaugeView {
+    std::string name;
+    Labels labels;
+    double value = 0.0;
+  };
+
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, double>> gauges;
+  /// Unlabeled histograms first, then family series in (name, label-tuple)
+  /// order.
   std::vector<HistogramView> histograms;
+  /// Unlabeled sketches first, then family series in (name, label-tuple)
+  /// order.
+  std::vector<SketchView> sketches;
+  /// Family counter/gauge series in (name, label-tuple) order.
+  std::vector<CounterView> family_counters;
+  std::vector<GaugeView> family_gauges;
 };
 
 /// Owns the instruments. Lookup/creation takes a mutex (cold path);
@@ -129,13 +181,37 @@ class Registry {
   Registry& operator=(const Registry&) = delete;
 
   /// Finds or creates. Names are conventionally dotted lowercase paths,
-  /// e.g. "sim.clients_served" (see docs/OBSERVABILITY.md).
+  /// e.g. "sim.clients_served" (see docs/OBSERVABILITY.md). A name is bound
+  /// to one instrument kind for the registry's lifetime; re-registering it
+  /// as another kind throws std::invalid_argument (two kinds under one name
+  /// would emit duplicate series in exposition).
   [[nodiscard]] Counter& counter(const std::string& name);
   [[nodiscard]] Gauge& gauge(const std::string& name);
   /// `bounds` is used only on first creation; later calls with the same
   /// name return the existing histogram unchanged.
   [[nodiscard]] Histogram& histogram(const std::string& name,
                                      std::vector<double> bounds);
+  /// `options` is used only on first creation, like histogram bounds.
+  [[nodiscard]] QuantileSketch& sketch(const std::string& name,
+                                       QuantileSketch::Options options = {});
+
+  /// Labeled families. `label_keys` / `max_series` (and bounds / options)
+  /// are used only on first creation; the cardinality-cap overflow of every
+  /// family increments the registry's "obs.labels_dropped" counter.
+  [[nodiscard]] Family<Counter>& counter_family(
+      const std::string& name, std::vector<std::string> label_keys,
+      std::size_t max_series = kDefaultMaxSeries);
+  [[nodiscard]] Family<Gauge>& gauge_family(
+      const std::string& name, std::vector<std::string> label_keys,
+      std::size_t max_series = kDefaultMaxSeries);
+  [[nodiscard]] Family<Histogram>& histogram_family(
+      const std::string& name, std::vector<std::string> label_keys,
+      std::vector<double> bounds,
+      std::size_t max_series = kDefaultMaxSeries);
+  [[nodiscard]] Family<QuantileSketch>& sketch_family(
+      const std::string& name, std::vector<std::string> label_keys,
+      QuantileSketch::Options options = {},
+      std::size_t max_series = kDefaultMaxSeries);
 
   [[nodiscard]] Snapshot snapshot() const;
 
@@ -143,22 +219,55 @@ class Registry {
   /// runs where each worker records into a private sink and the results are
   /// combined after the join. Semantics per kind: counters add; gauges take
   /// the maximum (every current gauge is a peak: peak rate, deepest queue);
-  /// histograms add bucket-wise, adopting `other`'s bounds when the
-  /// instrument is new here and contract-checking that existing bounds
-  /// match. Merging in a fixed shard order yields identical registries at
-  /// any thread count.
+  /// histograms add bucket-wise; sketches add log-bucket-wise; families
+  /// fold label-wise (per-series, by the same kind rules, subject to this
+  /// registry's cardinality cap). Instruments new here are adopted with
+  /// `other`'s shape. A histogram-bounds or sketch-accuracy mismatch throws
+  /// std::invalid_argument naming the instrument. Merging in a fixed shard
+  /// order yields identical registries at any thread count.
   void merge_from(const Registry& other);
 
-  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...},
+  /// "sketches":{...}}. Family series flatten into their section under
+  /// 'name{key=value,...}' keys.
   [[nodiscard]] std::string to_json() const;
   /// Flat CSV: kind,name,field,value — one row per scalar / bucket.
   [[nodiscard]] std::string to_csv() const;
+  /// OpenMetrics text exposition (# TYPE/# HELP/# EOF, escaped labels,
+  /// _bucket/_sum/_count histogram series, summary quantiles for sketches).
+  /// Dotted names are sanitized to underscore form; # HELP preserves the
+  /// original dotted name. Lintable by tools/metrics_check.
+  [[nodiscard]] std::string to_openmetrics() const;
 
  private:
+  enum class Kind : std::uint8_t {
+    kCounter,
+    kGauge,
+    kHistogram,
+    kSketch,
+    kCounterFamily,
+    kGaugeFamily,
+    kHistogramFamily,
+    kSketchFamily,
+  };
+  /// Binds `name` to `kind`; throws std::invalid_argument on a kind clash.
+  /// Requires mutex_ held.
+  void claim(const std::string& name, Kind kind);
+  /// Requires mutex_ held.
+  [[nodiscard]] Counter& counter_locked(const std::string& name);
+
   mutable std::mutex mutex_;
+  std::map<std::string, Kind> kinds_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<QuantileSketch>> sketches_;
+  std::map<std::string, std::unique_ptr<Family<Counter>>> counter_families_;
+  std::map<std::string, std::unique_ptr<Family<Gauge>>> gauge_families_;
+  std::map<std::string, std::unique_ptr<Family<Histogram>>>
+      histogram_families_;
+  std::map<std::string, std::unique_ptr<Family<QuantileSketch>>>
+      sketch_families_;
 };
 
 }  // namespace vodbcast::obs

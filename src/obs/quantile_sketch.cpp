@@ -1,0 +1,173 @@
+#include "obs/quantile_sketch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "util/contracts.hpp"
+
+namespace vodbcast::obs {
+
+QuantileSketch::QuantileSketch(Options options) : options_(options) {
+  VB_EXPECTS(options_.relative_accuracy > 0.0 &&
+             options_.relative_accuracy < 1.0);
+  VB_EXPECTS(options_.max_buckets >= 2);
+  gamma_ = (1.0 + options_.relative_accuracy) /
+           (1.0 - options_.relative_accuracy);
+  log_gamma_ = std::log(gamma_);
+}
+
+std::int32_t QuantileSketch::index_of(double sample) const noexcept {
+  // sample in (gamma^(i-1), gamma^i] -> bucket i. ceil() puts an exact
+  // power on its own boundary; the +/- noise of log() stays within the
+  // accuracy budget.
+  return static_cast<std::int32_t>(std::ceil(std::log(sample) / log_gamma_));
+}
+
+void QuantileSketch::observe(double sample) noexcept {
+  const std::scoped_lock lock(mutex_);
+  if (count_ == 0) {
+    min_ = sample;
+    max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+  ++count_;
+  sum_ += sample;
+  if (sample <= kMinTrackable) {
+    ++zero_count_;
+    return;
+  }
+  ++buckets_[index_of(sample)];
+  if (buckets_.size() > options_.max_buckets) {
+    collapse_to_budget();
+  }
+}
+
+void QuantileSketch::collapse_to_budget() {
+  // Collapse the two lowest buckets until within budget: low-end resolution
+  // degrades first, tail quantiles stay exact to the accuracy bound.
+  while (buckets_.size() > options_.max_buckets) {
+    auto lowest = buckets_.begin();
+    auto second = std::next(lowest);
+    second->second += lowest->second;
+    buckets_.erase(lowest);
+    ++collapsed_;
+  }
+}
+
+void QuantileSketch::merge_from(const QuantileSketch& other) {
+  VB_EXPECTS(&other != this);
+  if (options_.relative_accuracy != other.options_.relative_accuracy) {
+    throw std::invalid_argument(
+        "quantile sketch merge: relative accuracy mismatch (" +
+        std::to_string(options_.relative_accuracy) + " vs " +
+        std::to_string(other.options_.relative_accuracy) +
+        "); the bucket grids do not line up");
+  }
+  const std::scoped_lock lock(mutex_, other.mutex_);
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  zero_count_ += other.zero_count_;
+  collapsed_ += other.collapsed_;
+  for (const auto& [index, n] : other.buckets_) {
+    buckets_[index] += n;
+  }
+  if (buckets_.size() > options_.max_buckets) {
+    collapse_to_budget();
+  }
+}
+
+double QuantileSketch::quantile(double q) const {
+  VB_EXPECTS(q >= 0.0 && q <= 1.0);
+  const std::scoped_lock lock(mutex_);
+  if (count_ == 0) {
+    return 0.0;
+  }
+  // Rank of the q-th order statistic over count_ samples (0-based).
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(count_ - 1));
+  if (rank < zero_count_) {
+    return 0.0;
+  }
+  std::uint64_t cum = zero_count_;
+  for (const auto& [index, n] : buckets_) {
+    cum += n;
+    if (cum > rank) {
+      // Midpoint of (gamma^(i-1), gamma^i]: relative error <= a at either
+      // edge.
+      return 2.0 * std::pow(gamma_, index) / (gamma_ + 1.0);
+    }
+  }
+  return max_;  // unreachable unless counts desynced; clamp to the max
+}
+
+std::uint64_t QuantileSketch::count() const {
+  const std::scoped_lock lock(mutex_);
+  return count_;
+}
+
+double QuantileSketch::sum() const {
+  const std::scoped_lock lock(mutex_);
+  return sum_;
+}
+
+double QuantileSketch::min() const {
+  const std::scoped_lock lock(mutex_);
+  return count_ == 0 ? 0.0 : min_;
+}
+
+double QuantileSketch::max() const {
+  const std::scoped_lock lock(mutex_);
+  return count_ == 0 ? 0.0 : max_;
+}
+
+std::uint64_t QuantileSketch::zero_count() const {
+  const std::scoped_lock lock(mutex_);
+  return zero_count_;
+}
+
+std::size_t QuantileSketch::bucket_count() const {
+  const std::scoped_lock lock(mutex_);
+  return buckets_.size();
+}
+
+std::uint64_t QuantileSketch::collapsed() const {
+  const std::scoped_lock lock(mutex_);
+  return collapsed_;
+}
+
+std::vector<std::pair<std::int32_t, std::uint64_t>> QuantileSketch::buckets()
+    const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<std::pair<std::int32_t, std::uint64_t>> out;
+  out.reserve(buckets_.size());
+  for (const auto& [index, n] : buckets_) {
+    out.emplace_back(index, n);
+  }
+  return out;
+}
+
+void QuantileSketch::clear() {
+  const std::scoped_lock lock(mutex_);
+  buckets_.clear();
+  zero_count_ = 0;
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+  collapsed_ = 0;
+}
+
+}  // namespace vodbcast::obs

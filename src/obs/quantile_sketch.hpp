@@ -1,0 +1,105 @@
+// Mergeable quantile sketch with a relative-error guarantee (DDSketch-style
+// log-bucketed counts).
+//
+// Fixed-bin histograms need bounds chosen before the run and clamp every
+// tail quantile to the last finite bound — the p99.9 of a distribution that
+// outgrew its bounds is a lie. The sketch instead buckets samples by
+// logarithm: bucket i holds values in (gamma^(i-1), gamma^i] with
+// gamma = (1 + a) / (1 - a), so any reported quantile is within relative
+// accuracy `a` of a true sample value, with no pre-chosen bounds.
+//
+// Contracts that the rest of obs relies on:
+//   * deterministic — bucket indices are a pure function of the sample, and
+//     iteration order is the sorted bucket index;
+//   * mergeable — merge_from adds counts bucket-wise; merging the same
+//     multiset of samples in any grouping yields identical bucket contents
+//     (the shard-merge contract of Registry::merge_from);
+//   * bounded — at most `max_buckets` tracked buckets. On overflow the two
+//     lowest buckets collapse into one (the low end loses resolution first;
+//     tails — the reason the sketch exists — keep full accuracy), and
+//     collapsed() counts how many times that happened;
+//   * non-negative domain — waits, gaps and durations are >= 0. Samples
+//     below the minimum trackable value (including any negative input)
+//     land in a dedicated zero bucket whose estimate is exactly 0.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace vodbcast::obs {
+
+class QuantileSketch {
+ public:
+  struct Options {
+    /// Relative accuracy `a`: quantile estimates are within a factor
+    /// [1 - a, 1 + a] of a true sample. Preconditions: 0 < a < 1.
+    double relative_accuracy = 0.01;
+    /// Bucket budget; on overflow the lowest buckets collapse.
+    /// Preconditions: >= 2.
+    std::size_t max_buckets = 512;
+  };
+
+  /// Values at or below this threshold count in the zero bucket.
+  static constexpr double kMinTrackable = 1e-9;
+
+  QuantileSketch() : QuantileSketch(Options{}) {}
+  explicit QuantileSketch(Options options);
+
+  QuantileSketch(const QuantileSketch&) = delete;
+  QuantileSketch& operator=(const QuantileSketch&) = delete;
+
+  void observe(double sample) noexcept;
+
+  /// Folds `other` bucket-wise into this sketch, then re-applies the bucket
+  /// budget. Throws std::invalid_argument when the relative accuracies
+  /// differ (the bucket grids would not line up).
+  void merge_from(const QuantileSketch& other);
+
+  /// Quantile estimate for q in [0, 1]; 0 when empty. Within
+  /// relative_accuracy() of a true sample value (exact 0 for zero-bucket
+  /// mass; collapsed low buckets degrade only the low quantiles).
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] double sum() const;
+  [[nodiscard]] double min() const;  ///< 0 when empty
+  [[nodiscard]] double max() const;  ///< 0 when empty
+  [[nodiscard]] std::uint64_t zero_count() const;
+  /// Number of tracked (non-zero) buckets, <= max_buckets.
+  [[nodiscard]] std::size_t bucket_count() const;
+  /// Times the bucket budget forced a collapse of the lowest buckets.
+  [[nodiscard]] std::uint64_t collapsed() const;
+
+  [[nodiscard]] double relative_accuracy() const noexcept {
+    return options_.relative_accuracy;
+  }
+  [[nodiscard]] double gamma() const noexcept { return gamma_; }
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+  /// Sorted (bucket index, count) pairs — the full mergeable state, used by
+  /// snapshots and the bit-identity tests.
+  [[nodiscard]] std::vector<std::pair<std::int32_t, std::uint64_t>> buckets()
+      const;
+
+  void clear();
+
+ private:
+  [[nodiscard]] std::int32_t index_of(double sample) const noexcept;
+  void collapse_to_budget();
+
+  Options options_;
+  double gamma_;
+  double log_gamma_;
+  mutable std::mutex mutex_;
+  std::map<std::int32_t, std::uint64_t> buckets_;
+  std::uint64_t zero_count_ = 0;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::uint64_t collapsed_ = 0;
+};
+
+}  // namespace vodbcast::obs

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "obs/sink.hpp"
 #include "util/contracts.hpp"
 
 namespace vodbcast::obs {
@@ -113,6 +114,21 @@ void Sampler::clear() noexcept {
   recorded_ = 0;
   skipped_ = 0;
   next_tick_ = 0.0;
+}
+
+void publish_drop_metrics(Sink& sink, const Sampler* sampler) {
+  // Top the counters up to the sidecars' current totals instead of adding,
+  // so repeated export points (footer + file dump) never double count.
+  const auto top_up = [](Counter& counter, std::uint64_t total) {
+    const auto seen = counter.value();
+    if (total > seen) {
+      counter.add(total - seen);
+    }
+  };
+  top_up(sink.metrics.counter("obs.trace.dropped"), sink.trace.dropped());
+  if (sampler != nullptr) {
+    top_up(sink.metrics.counter("obs.series.dropped"), sampler->dropped());
+  }
 }
 
 }  // namespace vodbcast::obs

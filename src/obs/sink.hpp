@@ -23,4 +23,14 @@ struct Sink {
   Tracer trace;
 };
 
+class Sampler;
+
+/// Folds the sidecar drop counts — Tracer ring overwrites and (optionally)
+/// Sampler row drops — into first-class registry counters
+/// (`obs.trace.dropped`, `obs.series.dropped`), so exposition dumps and
+/// tools/metrics_check can gate on silent truncation. Monotone top-up:
+/// callable repeatedly at any export point without double counting.
+/// Defined in sampler.cpp.
+void publish_drop_metrics(Sink& sink, const Sampler* sampler = nullptr);
+
 }  // namespace vodbcast::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 
 #include "client/reception_plan.hpp"
 #include "obs/log.hpp"
@@ -93,6 +94,20 @@ SimulationReport simulate(const schemes::BroadcastScheme& scheme,
     sink->metrics.gauge("sim.peak_server_rate_mbps")
         .max_of(report.peak_server_rate.v);
     trace_channel_slots(*sink, server.plan(), config.horizon);
+    // Per-channel duty cycle of the periodic schedule: each stream occupies
+    // its logical channel for transmission/period of the time, and
+    // subchannels of one channel add up.
+    auto& util_family = sink->metrics.gauge_family(
+        "sim.channel.utilization", {"channel"},
+        server.plan().streams().size() + 1);
+    std::map<int, double> duty;
+    for (const auto& stream : server.plan().streams()) {
+      duty[stream.logical_channel] += stream.transmission.v / stream.period.v;
+    }
+    for (const auto& [channel, utilization] : duty) {
+      util_family.with_ids({static_cast<std::uint64_t>(channel)})
+          .max_of(std::min(utilization, 1.0));
+    }
   }
 
   // The simulated population requests only the M broadcast videos; within
@@ -132,11 +147,25 @@ SimulationReport simulate(const schemes::BroadcastScheme& scheme,
   obs::Counter* jitter_counter = nullptr;
   obs::Histogram* wait_hist = nullptr;
   obs::Histogram* plan_ns = nullptr;
+  obs::QuantileSketch* wait_sketch = nullptr;
+  // Per-title wait sketches, indexed by video id. The family is sized to
+  // the catalog so no title folds into overflow; handles resolve here,
+  // once, and the arrival hot path only touches the sketch.
+  std::vector<obs::QuantileSketch*> title_wait;
   if (sink != nullptr) {
     clients_counter = &sink->metrics.counter("sim.clients_served");
     jitter_counter = &sink->metrics.counter("sim.jitter_events");
     wait_hist = &sink->metrics.histogram("sim.tune_wait_min",
                                          obs::default_latency_bounds_min());
+    wait_sketch = &sink->metrics.sketch("sim.tune_wait_sketch_min");
+    auto& wait_family = sink->metrics.sketch_family(
+        "sb.client.wait", {"title"}, {},
+        static_cast<std::size_t>(input.num_videos) + 1);
+    // Video ids are 0-based Zipf ranks (0 = hottest).
+    title_wait.resize(static_cast<std::size_t>(input.num_videos), nullptr);
+    for (std::size_t v = 0; v < title_wait.size(); ++v) {
+      title_wait[v] = &wait_family.with_ids({v});
+    }
     if (layout.has_value()) {
       plan_ns = &sink->metrics.histogram("client.plan_reception_ns",
                                          obs::default_time_bounds_ns());
@@ -159,6 +188,8 @@ SimulationReport simulate(const schemes::BroadcastScheme& scheme,
     if (sink != nullptr) {
       clients_counter->add();
       wait_hist->observe(wait);
+      wait_sketch->observe(wait);
+      title_wait[static_cast<std::size_t>(request.video)]->observe(wait);
       sink->trace.record(obs::TraceEvent{
           .sim_time_min = request.arrival.v,
           .kind = obs::EventKind::kClientArrival,

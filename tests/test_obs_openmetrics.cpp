@@ -1,0 +1,166 @@
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace vodbcast::obs {
+namespace {
+
+using testing::HasSubstr;
+
+TEST(OpenMetricsTest, EmptyRegistryIsJustEof) {
+  Registry reg;
+  EXPECT_EQ(reg.to_openmetrics(), "# EOF\n");
+}
+
+TEST(OpenMetricsTest, CounterSanitizesNameAndAppendsTotal) {
+  Registry reg;
+  reg.counter("sim.clients_served").add(42);
+  const std::string out = reg.to_openmetrics();
+  EXPECT_THAT(out, HasSubstr("# TYPE sim_clients_served counter\n"));
+  EXPECT_THAT(out, HasSubstr("(source metric: sim.clients_served)"));
+  EXPECT_THAT(out, HasSubstr("sim_clients_served_total 42\n"));
+  EXPECT_THAT(out, testing::EndsWith("# EOF\n"));
+}
+
+TEST(OpenMetricsTest, LabeledCounterRendersLabelBlock) {
+  Registry reg;
+  reg.counter_family("net.loss", {"channel"}).with({"3"}).add(5);
+  EXPECT_THAT(reg.to_openmetrics(),
+              HasSubstr("net_loss_total{channel=\"3\"} 5\n"));
+}
+
+TEST(OpenMetricsTest, LabelValuesAreEscaped) {
+  Registry reg;
+  reg.counter_family("m", {"k"}).with({"a\"b\\c\nd"}).add(1);
+  EXPECT_THAT(reg.to_openmetrics(),
+              HasSubstr("m_total{k=\"a\\\"b\\\\c\\nd\"} 1\n"));
+}
+
+TEST(OpenMetricsTest, HistogramBucketsAreCumulativeAndEndInInf) {
+  Registry reg;
+  auto& h = reg.histogram("wait", {1.0, 2.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(99.0);
+  const std::string out = reg.to_openmetrics();
+  EXPECT_THAT(out, HasSubstr("# TYPE wait histogram\n"));
+  EXPECT_THAT(out, HasSubstr("wait_bucket{le=\"1\"} 1\n"));
+  EXPECT_THAT(out, HasSubstr("wait_bucket{le=\"2\"} 2\n"));
+  EXPECT_THAT(out, HasSubstr("wait_bucket{le=\"+Inf\"} 3\n"));
+  EXPECT_THAT(out, HasSubstr("wait_count 3\n"));
+  EXPECT_THAT(out, HasSubstr("wait_sum 101\n"));
+}
+
+TEST(OpenMetricsTest, LabeledHistogramPutsLeAfterFamilyLabels) {
+  Registry reg;
+  reg.histogram_family("w", {"title"}, {1.0}).with({"7"}).observe(0.5);
+  const std::string out = reg.to_openmetrics();
+  EXPECT_THAT(out, HasSubstr("w_bucket{title=\"7\",le=\"1\"} 1\n"));
+  EXPECT_THAT(out, HasSubstr("w_bucket{title=\"7\",le=\"+Inf\"} 1\n"));
+  EXPECT_THAT(out, HasSubstr("w_count{title=\"7\"} 1\n"));
+}
+
+TEST(OpenMetricsTest, SketchRendersAsSummaryWithQuantiles) {
+  Registry reg;
+  auto& s = reg.sketch("sb.client.wait");
+  for (int i = 1; i <= 100; ++i) {
+    s.observe(static_cast<double>(i));
+  }
+  const std::string out = reg.to_openmetrics();
+  EXPECT_THAT(out, HasSubstr("# TYPE sb_client_wait summary\n"));
+  EXPECT_THAT(out, HasSubstr("sb_client_wait{quantile=\"0.5\"}"));
+  EXPECT_THAT(out, HasSubstr("sb_client_wait{quantile=\"0.99\"}"));
+  EXPECT_THAT(out, HasSubstr("sb_client_wait{quantile=\"0.999\"}"));
+  EXPECT_THAT(out, HasSubstr("sb_client_wait_count 100\n"));
+  EXPECT_THAT(out, HasSubstr("sb_client_wait_sum 5050\n"));
+}
+
+TEST(OpenMetricsTest, FamilySeriesShareOneTypeHeader) {
+  Registry reg;
+  auto& family = reg.counter_family("m", {"title"});
+  family.with({"1"}).add(1);
+  family.with({"2"}).add(1);
+  const std::string out = reg.to_openmetrics();
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while ((pos = out.find("# TYPE m counter", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, 1U);
+}
+
+TEST(HistogramViewQuantileTest, EmptyHistogramReturnsZero) {
+  Registry reg;
+  (void)reg.histogram("h", {1.0, 2.0});
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1U);
+  EXPECT_DOUBLE_EQ(snap.histograms[0].quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(snap.histograms[0].quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(snap.histograms[0].quantile(1.0), 0.0);
+}
+
+TEST(HistogramViewQuantileTest, SingleSampleInterpolatesWithinItsBucket) {
+  Registry reg;
+  reg.histogram("h", {1.0, 2.0}).observe(1.5);
+  const auto view = reg.snapshot().histograms[0];
+  // All mass sits in (1, 2]; estimates stay inside that bucket.
+  for (const double q : {0.0, 0.5, 1.0}) {
+    const double est = view.quantile(q);
+    EXPECT_GE(est, 1.0) << "q=" << q;
+    EXPECT_LE(est, 2.0) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(view.quantile(1.0), 2.0);  // q=1 hits the upper edge
+}
+
+TEST(HistogramViewQuantileTest, ExtremeQsHitBucketEdges) {
+  Registry reg;
+  auto& h = reg.histogram("h", {1.0, 2.0, 3.0});
+  h.observe(0.5);   // bucket (<=1)
+  h.observe(2.5);   // bucket (2, 3]
+  const auto view = reg.snapshot().histograms[0];
+  EXPECT_DOUBLE_EQ(view.quantile(0.0), 0.0);  // lower edge of first bucket
+  EXPECT_DOUBLE_EQ(view.quantile(1.0), 3.0);  // upper edge of last hit
+}
+
+TEST(HistogramViewQuantileTest, AllMassInOverflowClampsToLastBound) {
+  Registry reg;
+  auto& h = reg.histogram("h", {1.0, 2.0});
+  h.observe(50.0);
+  h.observe(99.0);
+  const auto view = reg.snapshot().histograms[0];
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(view.quantile(q), 2.0) << "q=" << q;
+  }
+}
+
+TEST(OpenMetricsTest, MergedRegistriesExposeIdentically) {
+  // The serial-vs-sharded contract at the exposition level: folding shards
+  // in a fixed order must render byte-identical output to one registry that
+  // saw all samples.
+  Registry whole;
+  Registry shard1;
+  Registry shard2;
+  Registry merged;
+  for (int i = 0; i < 100; ++i) {
+    // Integer-valued samples keep the sums exact, so the comparison is not
+    // at the mercy of float addition order across the two groupings.
+    const double v = static_cast<double>(i + 1);
+    const std::string title = std::to_string(i % 3);
+    whole.sketch_family("w", {"title"}).with({title}).observe(v);
+    whole.counter_family("c", {"title"}).with({title}).add(1);
+    auto& shard = (i % 2 == 0) ? shard1 : shard2;
+    shard.sketch_family("w", {"title"}).with({title}).observe(v);
+    shard.counter_family("c", {"title"}).with({title}).add(1);
+  }
+  merged.merge_from(shard1);
+  merged.merge_from(shard2);
+  EXPECT_EQ(merged.to_openmetrics(), whole.to_openmetrics());
+}
+
+}  // namespace
+}  // namespace vodbcast::obs

@@ -1,8 +1,10 @@
 #include "obs/metrics.hpp"
 
+#include <gmock/gmock.h>
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -211,8 +213,38 @@ TEST(RegistryMergeTest, RejectsMismatchedHistogramBounds) {
   a.histogram("h", {1.0, 2.0}).observe(0.5);
   Registry b;
   b.histogram("h", {1.0, 3.0}).observe(0.5);
-  EXPECT_THROW(a.merge_from(b), util::ContractViolation);
+  // Caller-facing validation, not a programming-contract check: the message
+  // names the metric and the reason.
+  try {
+    a.merge_from(b);
+    FAIL() << "mismatched bounds must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_THAT(e.what(), testing::HasSubstr("metric 'h'"));
+    EXPECT_THAT(e.what(), testing::HasSubstr("bucket bounds mismatch"));
+  }
   EXPECT_THROW(a.merge_from(a), util::ContractViolation);  // self-merge
+}
+
+TEST(RegistryMergeTest, RejectsMismatchedSketchAccuracy) {
+  Registry a;
+  a.sketch("s", {.relative_accuracy = 0.01}).observe(1.0);
+  Registry b;
+  b.sketch("s", {.relative_accuracy = 0.05}).observe(1.0);
+  try {
+    a.merge_from(b);
+    FAIL() << "mismatched accuracy must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_THAT(e.what(), testing::HasSubstr("metric 's'"));
+    EXPECT_THAT(e.what(), testing::HasSubstr("relative accuracy mismatch"));
+  }
+}
+
+TEST(RegistryMergeTest, RejectsKindClashAcrossRegistries) {
+  Registry a;
+  a.counter("m").add(1);
+  Registry b;
+  b.gauge("m").set(2.0);
+  EXPECT_THROW(a.merge_from(b), std::invalid_argument);
 }
 
 TEST(RegistryMergeTest, ShardOrderFoldIsDeterministic) {

@@ -1,0 +1,195 @@
+#include "obs/quantile_sketch.hpp"
+
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace vodbcast::obs {
+namespace {
+
+TEST(QuantileSketchTest, EmptySketchReportsZeros) {
+  QuantileSketch s;
+  EXPECT_EQ(s.count(), 0U);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 0.0);
+  EXPECT_EQ(s.bucket_count(), 0U);
+}
+
+TEST(QuantileSketchTest, RejectsBadOptions) {
+  EXPECT_THROW(QuantileSketch({.relative_accuracy = 0.0}),
+               util::ContractViolation);
+  EXPECT_THROW(QuantileSketch({.relative_accuracy = 1.0}),
+               util::ContractViolation);
+  EXPECT_THROW(
+      QuantileSketch({.relative_accuracy = 0.01, .max_buckets = 1}),
+      util::ContractViolation);
+}
+
+// Known-answer test: with a = 1/3, gamma ~= 2, buckets are roughly
+// (2^(i-1), 2^i]. Samples sit well inside their buckets (a boundary value
+// like exactly 2.0 would be at the mercy of the last bit of log()).
+TEST(QuantileSketchTest, KnownAnswerBucketIndices) {
+  QuantileSketch s({.relative_accuracy = 1.0 / 3.0});
+  EXPECT_NEAR(s.gamma(), 2.0, 1e-12);
+  s.observe(1.0);  // log(1) = 0 exactly  -> index 0
+  s.observe(1.4);  // (1, 2]              -> index 1
+  s.observe(3.0);  // (2, 4]              -> index 2
+  s.observe(3.5);  // (2, 4]              -> index 2
+  s.observe(5.0);  // (4, 8]              -> index 3
+  s.observe(0.2);  // (1/8, 1/4]          -> index -2
+  const std::vector<std::pair<std::int32_t, std::uint64_t>> expected = {
+      {-2, 1}, {0, 1}, {1, 1}, {2, 2}, {3, 1}};
+  EXPECT_EQ(s.buckets(), expected);
+  EXPECT_EQ(s.count(), 6U);
+  EXPECT_NEAR(s.sum(), 14.1, 1e-9);
+  EXPECT_DOUBLE_EQ(s.min(), 0.2);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(QuantileSketchTest, SingleSampleAllQuantilesAgree) {
+  QuantileSketch s;
+  s.observe(42.0);
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_NEAR(s.quantile(q), 42.0, 42.0 * s.relative_accuracy());
+  }
+}
+
+TEST(QuantileSketchTest, ZeroAndNegativeSamplesLandInZeroBucket) {
+  QuantileSketch s;
+  s.observe(0.0);
+  s.observe(-3.0);
+  s.observe(1e-12);
+  EXPECT_EQ(s.zero_count(), 3U);
+  EXPECT_EQ(s.bucket_count(), 0U);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 0.0);  // all mass is exactly zero
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+}
+
+TEST(QuantileSketchTest, RelativeErrorBoundAcrossSeeds) {
+  // Property test: for random (log-uniform) samples, every reported
+  // quantile stays within the advertised relative accuracy of the true
+  // order statistic.
+  for (const std::uint64_t seed : {1ULL, 7ULL, 1997ULL, 424242ULL}) {
+    util::Rng rng(seed);
+    QuantileSketch s({.relative_accuracy = 0.02});
+    std::vector<double> samples;
+    for (int i = 0; i < 4000; ++i) {
+      // Spread over ~6 decades so no fixed-bin grid could cover it.
+      const double v = std::exp(rng.next_double() * 14.0 - 7.0);
+      samples.push_back(v);
+      s.observe(v);
+    }
+    std::sort(samples.begin(), samples.end());
+    for (const double q : {0.01, 0.25, 0.5, 0.9, 0.99, 0.999}) {
+      const auto rank = static_cast<std::size_t>(
+          q * static_cast<double>(samples.size() - 1));
+      const double truth = samples[rank];
+      const double est = s.quantile(q);
+      EXPECT_LE(std::abs(est - truth), truth * 0.02 * 1.0001)
+          << "seed=" << seed << " q=" << q;
+    }
+  }
+}
+
+TEST(QuantileSketchTest, MergeIsCommutative) {
+  // merge(a, b) and merge(b, a) must hold identical bucket state — the
+  // shard-merge bit-identity contract.
+  util::Rng rng(99);
+  QuantileSketch a;
+  QuantileSketch b;
+  QuantileSketch ab;
+  QuantileSketch ba;
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.next_exponential(0.1);
+    if (i % 2 == 0) {
+      a.observe(v);
+    } else {
+      b.observe(v);
+    }
+  }
+  ab.merge_from(a);
+  ab.merge_from(b);
+  ba.merge_from(b);
+  ba.merge_from(a);
+  EXPECT_EQ(ab.buckets(), ba.buckets());
+  EXPECT_EQ(ab.count(), ba.count());
+  EXPECT_EQ(ab.zero_count(), ba.zero_count());
+  EXPECT_DOUBLE_EQ(ab.min(), ba.min());
+  EXPECT_DOUBLE_EQ(ab.max(), ba.max());
+  for (const double q : {0.5, 0.99, 0.999}) {
+    EXPECT_DOUBLE_EQ(ab.quantile(q), ba.quantile(q));
+  }
+}
+
+TEST(QuantileSketchTest, MergeMatchesSingleSketchOverSameSamples) {
+  // Any grouping of the same multiset of samples yields identical state.
+  util::Rng rng(3);
+  QuantileSketch whole;
+  QuantileSketch part1;
+  QuantileSketch part2;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double() * 100.0;
+    whole.observe(v);
+    (i < 300 ? part1 : part2).observe(v);
+  }
+  part1.merge_from(part2);
+  EXPECT_EQ(whole.buckets(), part1.buckets());
+  EXPECT_EQ(whole.count(), part1.count());
+  EXPECT_DOUBLE_EQ(whole.sum(), part1.sum());
+}
+
+TEST(QuantileSketchTest, MergeRejectsMismatchedAccuracy) {
+  QuantileSketch a({.relative_accuracy = 0.01});
+  QuantileSketch b({.relative_accuracy = 0.02});
+  try {
+    a.merge_from(b);
+    FAIL() << "mismatched accuracy must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_THAT(e.what(), testing::HasSubstr("relative accuracy mismatch"));
+  }
+}
+
+TEST(QuantileSketchTest, BucketBudgetCollapsesLowestFirst) {
+  QuantileSketch s({.relative_accuracy = 0.01, .max_buckets = 8});
+  // 32 distinct decades -> far more than 8 buckets before collapsing.
+  for (int i = 0; i < 32; ++i) {
+    s.observe(std::pow(1.5, i));
+  }
+  EXPECT_LE(s.bucket_count(), 8U);
+  EXPECT_GT(s.collapsed(), 0U);
+  EXPECT_EQ(s.count(), 32U);
+  // Tail quantiles keep full accuracy: the max sample is 1.5^31.
+  const double top = std::pow(1.5, 31);
+  EXPECT_NEAR(s.quantile(1.0), top, top * 0.011);
+  // Total mass is preserved across collapses.
+  std::uint64_t total = 0;
+  for (const auto& [index, n] : s.buckets()) {
+    total += n;
+  }
+  EXPECT_EQ(total, 32U);
+}
+
+TEST(QuantileSketchTest, ClearResetsEverything) {
+  QuantileSketch s;
+  s.observe(5.0);
+  s.observe(0.0);
+  s.clear();
+  EXPECT_EQ(s.count(), 0U);
+  EXPECT_EQ(s.zero_count(), 0U);
+  EXPECT_EQ(s.bucket_count(), 0U);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace vodbcast::obs

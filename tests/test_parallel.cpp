@@ -127,6 +127,74 @@ TEST(ReplicatedSimTest, MergedReportBitIdenticalAtAnyThreadCount) {
   EXPECT_EQ(sink_serial.trace.to_jsonl(), sink_pooled.trace.to_jsonl());
 }
 
+TEST(ReplicatedSimTest, MergedFamiliesAndSketchesBitIdenticalAtAnyThreadCount) {
+  const auto scheme = schemes::make_scheme("SB:W=52");
+  const auto input = analysis::paper_design_input(300.0);
+
+  obs::Sink sink_serial(4096);
+  const auto serial = sim::simulate_replicated(
+      *scheme, input, replication_config(&sink_serial), 6, nullptr);
+
+  obs::Sink sink_pooled(4096);
+  util::TaskPool pool(4);
+  const auto pooled = sim::simulate_replicated(
+      *scheme, input, replication_config(&sink_pooled), 6, &pool);
+  ASSERT_EQ(serial.merged.clients_served, pooled.merged.clients_served);
+
+  const auto ms = sink_serial.metrics.snapshot();
+  const auto mp = sink_pooled.metrics.snapshot();
+
+  const auto series_id = [](const std::string& name,
+                            const obs::Snapshot::Labels& labels) {
+    std::string id = name + "{";
+    for (const auto& [k, v] : labels) {
+      id += k + "=" + v + ";";
+    }
+    return id + "}";
+  };
+
+  // Labeled counters and gauges fold label-wise in fixed replication
+  // order; both the series sets and the values must match bit for bit.
+  std::vector<std::pair<std::string, std::uint64_t>> cs;
+  std::vector<std::pair<std::string, std::uint64_t>> cp;
+  for (const auto& v : ms.family_counters) {
+    cs.emplace_back(series_id(v.name, v.labels), v.value);
+  }
+  for (const auto& v : mp.family_counters) {
+    cp.emplace_back(series_id(v.name, v.labels), v.value);
+  }
+  EXPECT_EQ(cs, cp);
+
+  std::vector<std::pair<std::string, double>> gs;
+  std::vector<std::pair<std::string, double>> gp;
+  for (const auto& v : ms.family_gauges) {
+    gs.emplace_back(series_id(v.name, v.labels), v.value);
+  }
+  for (const auto& v : mp.family_gauges) {
+    gp.emplace_back(series_id(v.name, v.labels), v.value);
+  }
+  EXPECT_FALSE(gs.empty());  // per-channel utilization must be present
+  EXPECT_EQ(gs, gp);
+
+  // Sketches merge bucket-wise; every per-title wait sketch must carry
+  // identical bucket maps, tail stats, and quantile estimates.
+  ASSERT_EQ(ms.sketches.size(), mp.sketches.size());
+  ASSERT_FALSE(ms.sketches.empty());
+  for (std::size_t i = 0; i < ms.sketches.size(); ++i) {
+    const auto& a = ms.sketches[i];
+    const auto& b = mp.sketches[i];
+    ASSERT_EQ(series_id(a.name, a.labels), series_id(b.name, b.labels));
+    EXPECT_EQ(a.buckets, b.buckets) << a.name;
+    EXPECT_EQ(a.zero_count, b.zero_count) << a.name;
+    EXPECT_EQ(a.count, b.count) << a.name;
+    EXPECT_EQ(a.sum, b.sum) << a.name;
+    EXPECT_EQ(a.min, b.min) << a.name;
+    EXPECT_EQ(a.max, b.max) << a.name;
+    EXPECT_EQ(a.p99, b.p99) << a.name;
+    EXPECT_EQ(a.p999, b.p999) << a.name;
+  }
+}
+
 TEST(ReplicatedSimTest, SeedRuleIsTheSplitMixStream) {
   // Replication r consumes the (r+1)-th SplitMix64 output of config.seed;
   // a single replication therefore reproduces simulate() run with that

@@ -7,7 +7,7 @@
 //   vodbcast plan     --scheme SB:W=52 --bandwidth 300 --phase 4
 //   vodbcast simulate --scheme SB:W=52 --bandwidth 300 [--horizon 240]
 //                     [--arrivals 4] [--seed 42] [--reps R] [--threads T]
-//                     [--metrics-out m.json]
+//                     [--metrics-out m.json] [--metrics-format json|openmetrics]
 //                     [--trace-out run.json|run.jsonl] [--trace-limit N]
 //                     [--series-out s.jsonl] [--series-interval MIN]
 //                     [--series-limit N]
@@ -19,6 +19,7 @@
 //   vodbcast help
 #include <cstdio>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -53,13 +54,30 @@ bool ends_with(const std::string& s, const std::string& suffix) {
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
-/// Dumps the sink's collected state per the --metrics-out/--trace-out flags.
-/// A ".jsonl" trace path selects JSONL; anything else gets Chrome
-/// trace-event JSON for chrome://tracing / Perfetto.
-void export_observability(const util::ArgParser& args, obs::Sink& sink) {
+/// Dumps the sink's collected state per the --metrics-out/--trace-out
+/// flags. --metrics-format selects json (default) or openmetrics for the
+/// metrics dump; openmetrics without --metrics-out prints the exposition to
+/// stdout (pipe it into tools/metrics_check). A ".jsonl" trace path selects
+/// JSONL; anything else gets Chrome trace-event JSON for chrome://tracing /
+/// Perfetto.
+void export_observability(const util::ArgParser& args, obs::Sink& sink,
+                          const obs::Sampler* sampler = nullptr) {
+  obs::publish_drop_metrics(sink, sampler);
+  const std::string format = args.get_string("metrics-format", "json");
+  if (format != "json" && format != "openmetrics") {
+    throw std::invalid_argument(
+        "--metrics-format must be 'json' or 'openmetrics', got '" + format +
+        "'");
+  }
+  const std::string rendered = format == "openmetrics"
+                                   ? sink.metrics.to_openmetrics()
+                                   : sink.metrics.to_json() + "\n";
   if (const auto path = args.get("metrics-out")) {
-    write_file(*path, sink.metrics.to_json() + "\n");
-    std::fprintf(stderr, "metrics written to %s\n", path->c_str());
+    write_file(*path, rendered);
+    std::fprintf(stderr, "metrics written to %s (%s)\n", path->c_str(),
+                 format.c_str());
+  } else if (args.has("metrics-format")) {
+    std::fputs(rendered.c_str(), stdout);
   }
   if (const auto path = args.get("trace-out")) {
     const bool jsonl = ends_with(*path, ".jsonl");
@@ -73,7 +91,8 @@ void export_observability(const util::ArgParser& args, obs::Sink& sink) {
 
 /// True if the run should carry a sink at all.
 bool wants_observability(const util::ArgParser& args) {
-  return args.has("metrics-out") || args.has("trace-out");
+  return args.has("metrics-out") || args.has("trace-out") ||
+         args.has("metrics-format");
 }
 
 /// Builds the --series-out sampler (null when the flag is absent).
@@ -247,7 +266,7 @@ int cmd_simulate(const util::ArgParser& args) {
   } else {
     report = sim::simulate(*scheme, input, config);
   }
-  export_observability(args, sink);
+  export_observability(args, sink, sampler.get());
   export_series(args, sampler.get());
   std::printf("scheme        : %s\n", report.scheme.c_str());
   std::printf("clients served: %llu\n",
@@ -407,7 +426,7 @@ int cmd_hybrid_adaptive(const util::ArgParser& args) {
   } else {
     std::printf("mean wait         : %.3f min\n", report.mean_wait_minutes());
   }
-  export_observability(args, sink);
+  export_observability(args, sink, sampler.get());
   export_series(args, sampler.get());
   return 0;
 }
@@ -501,7 +520,7 @@ int cmd_hybrid(const util::ArgParser& args) {
               report.multicast.wait_minutes.summary().c_str());
   std::printf("combined mean wait: %.3f min\n",
               report.combined_mean_wait_minutes);
-  export_observability(args, sink);
+  export_observability(args, sink, sampler.get());
   export_series(args, sampler.get());
   return 0;
 }
@@ -516,7 +535,9 @@ int cmd_help() {
       "  simulate --scheme <label> [--horizon ...]      discrete-event run\n"
       "           [--reps R] [--threads T]  R seeded replications with a\n"
       "           95% CI on the mean wait; identical output at any T\n"
-      "           [--metrics-out m.json] [--trace-out run.json|run.jsonl]\n"
+      "           [--metrics-out m.json] [--metrics-format json|openmetrics]\n"
+      "           (openmetrics without --metrics-out prints to stdout)\n"
+      "           [--trace-out run.json|run.jsonl]\n"
       "           [--trace-limit N] [--series-out s.jsonl]\n"
       "           [--series-interval MIN] [--series-limit N]\n"
       "           (hybrid accepts the same flags)\n"
