@@ -178,6 +178,27 @@ void BM_EndToEndSimulationWithSink(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndSimulationWithSink);
 
+// Third leg of the A/B: the sink again, plus per-client reception planning
+// (plan_clients) so the full span taxonomy fires — a session/tune/playback
+// tree per client and a segment_download span per planned download into the
+// bounded SpanTracer ring. The delta over BM_EndToEndSimulationWithSink is
+// the causal-span capture cost; the no-sink variant stays the ≤2% bar.
+void BM_EndToEndSimulationWithSpans(benchmark::State& state) {
+  const schemes::SkyscraperScheme sb(52);
+  const schemes::DesignInput input{core::MbitPerSec{300.0}, 10, kVideo};
+  obs::Sink sink;
+  for (auto _ : state) {
+    sim::SimulationConfig config;
+    config.horizon = core::Minutes{30.0};
+    config.arrivals_per_minute = 2.0;
+    config.plan_clients = true;
+    config.sink = &sink;
+    benchmark::DoNotOptimize(sim::simulate(sb, input, config));
+  }
+  benchmark::DoNotOptimize(sink.spans.recorded());
+}
+BENCHMARK(BM_EndToEndSimulationWithSpans);
+
 // The family hot path in isolation. Per request, sim::simulate's labeled
 // wiring adds one cached-pointer indirection plus one sketch observe on top
 // of the unlabeled sketch it already fed; family resolution itself happened

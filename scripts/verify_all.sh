@@ -2,7 +2,9 @@
 # Full verification chain: tier-1 build+tests, the ASan/UBSan sweep, an
 # OpenMetrics exposition self-check (simulate --metrics-format openmetrics
 # must lint clean under tools/metrics_check, including the per-title wait
-# sketch vs clients-served invariant), a quick pass of the bench suite to
+# sketch vs clients-served invariant), a span capture self-check (a seeded
+# simulate --spans-out run must reconcile against its own --metrics-out dump
+# under tools/trace_analyze --check), a quick pass of the bench suite to
 # prove every binary still writes a valid BENCH_*.json that bench_diff can
 # read back, and (opt-in) the mechanical perf gate against the committed
 # trajectory.
@@ -57,6 +59,14 @@ build/tools/metrics_check "$om_dir/metrics.txt" \
   'sum(sb_client_wait_count{title=*}) == sim_clients_served_total' \
   'sim_tune_wait_sketch_min_count == sim_clients_served_total' \
   --verbose
+
+echo "== span capture self-check =="
+build/tools/vodbcast simulate --scheme SB:W=52 --bandwidth 300 \
+  --horizon 120 --arrivals 4 --seed 42 \
+  --metrics-out "$om_dir/metrics.json" \
+  --spans-out "$om_dir/spans.jsonl" --spans-limit 131072
+build/tools/trace_analyze "$om_dir/spans.jsonl" \
+  --check --metrics "$om_dir/metrics.json"
 
 echo "== bench suite (quick) + self-diff =="
 suite_dir=$(mktemp -d)

@@ -24,13 +24,14 @@ esac
 if [[ $mode == all || $mode == asan ]]; then
   cmake -B build-asan -S . -DVODBCAST_SANITIZE=ON
   cmake --build build-asan -j "$(nproc)" \
-    --target test_obs_registry test_obs_trace test_obs_sampler \
-    test_obs_family test_obs_sketch test_obs_openmetrics \
+    --target test_obs_registry test_obs_trace test_obs_span \
+    test_obs_sampler test_obs_family test_obs_sketch test_obs_openmetrics \
     test_util_json test_bench_harness test_simulator test_task_pool \
     test_parallel test_event_queue test_batching test_net test_ctrl
 
   ./build-asan/tests/test_obs_registry
   ./build-asan/tests/test_obs_trace
+  ./build-asan/tests/test_obs_span
   ./build-asan/tests/test_obs_sampler
   ./build-asan/tests/test_obs_family
   ./build-asan/tests/test_obs_sketch

@@ -13,12 +13,46 @@ namespace {
 
 /// Drops pending requests whose patience expired before `now`.
 /// `renege_by_title` (empty when unobserved) holds one pre-resolved counter
-/// per video id.
+/// per video id. `span_client` numbers the abandoned sessions' spans; it is
+/// only touched when a sink is attached.
 std::uint64_t clean_expired(WaitQueues& queues, double now, obs::Sink* sink,
-                            const std::vector<obs::Counter*>& renege_by_title) {
+                            const std::vector<obs::Counter*>& renege_by_title,
+                            std::uint64_t* span_client) {
   std::uint64_t reneged = 0;
   for (std::size_t video = 0; video < queues.size(); ++video) {
     auto& queue = queues[video];
+    if (sink != nullptr) {
+      // An abandoned session is all queue_wait: the span tree is the
+      // session with one queue_wait child covering arrival → renege.
+      for (const auto& r : queue) {
+        if (r.renege_at.v >= now) {
+          continue;
+        }
+        const auto client = ++*span_client;
+        const double waited = r.renege_at.v - r.arrival.v;
+        const auto session = sink->spans.record(obs::Span{
+            .start_min = r.arrival.v,
+            .end_min = r.renege_at.v,
+            .phase = obs::SpanPhase::kSession,
+            .channel = 0,
+            .video = video,
+            .client = client,
+            .value = waited,
+            .label = {},
+        });
+        sink->spans.record(obs::Span{
+            .parent = session,
+            .start_min = r.arrival.v,
+            .end_min = r.renege_at.v,
+            .phase = obs::SpanPhase::kQueueWait,
+            .channel = 0,
+            .video = video,
+            .client = client,
+            .value = waited,
+            .label = {},
+        });
+      }
+    }
     const auto kept = std::remove_if(
         queue.begin(), queue.end(), [now](const PendingRequest& r) {
           return r.renege_at.v < now;
@@ -76,6 +110,8 @@ struct MulticastSim {
   std::vector<obs::QuantileSketch*> wait_by_title;
   std::vector<obs::Counter*> renege_by_title;
   int free_channels;
+  /// Client ordinal for span emission (sink-attached runs only).
+  std::uint64_t next_span_client = 0;
   double busy_minutes = 0.0;
   /// Per-channel accounting under lowest-free-index assignment — the
   /// deterministic stand-in for "which physical channel carried the batch".
@@ -84,7 +120,8 @@ struct MulticastSim {
 
   /// Drops expired waiters and keeps the report and metrics in step.
   void clean(double now) {
-    const auto expired = clean_expired(queues, now, sink, renege_by_title);
+    const auto expired = clean_expired(queues, now, sink, renege_by_title,
+                                       &next_span_client);
     report.reneged += expired;
     if (reneged_counter != nullptr) {
       reneged_counter->add(expired);
@@ -105,6 +142,12 @@ struct MulticastSim {
     }
     auto& queue = queues[*video];
     VB_ASSERT(!queue.empty());
+    // Lowest free channel index carries this stream (resolved before the
+    // serve loop so the batch's playback spans can name their channel).
+    const auto channel = static_cast<std::size_t>(
+        std::find(channel_busy.begin(), channel_busy.end(), 0) -
+        channel_busy.begin());
+    VB_ASSERT(channel < channel_busy.size());
     obs::QuantileSketch* wait_sketch =
         wait_by_title.empty() ? nullptr : wait_by_title[*video];
     for (const auto& r : queue) {
@@ -112,6 +155,45 @@ struct MulticastSim {
       report.wait_minutes.add(wait);
       if (wait_sketch != nullptr) {
         wait_sketch->observe(wait);
+      }
+      if (sink != nullptr) {
+        // Span tree per served request: session = queue_wait then playback
+        // on the assigned channel (the cross-channel edge the chrome export
+        // draws as a flow arrow).
+        const auto client = ++next_span_client;
+        const double end = now + config.video_length.v;
+        const auto session = sink->spans.record(obs::Span{
+            .start_min = r.arrival.v,
+            .end_min = end,
+            .phase = obs::SpanPhase::kSession,
+            .channel = 0,
+            .video = *video,
+            .client = client,
+            .value = wait,
+            .label = {},
+        });
+        sink->spans.record(obs::Span{
+            .parent = session,
+            .start_min = r.arrival.v,
+            .end_min = now,
+            .phase = obs::SpanPhase::kQueueWait,
+            .channel = 0,
+            .video = *video,
+            .client = client,
+            .value = wait,
+            .label = {},
+        });
+        sink->spans.record(obs::Span{
+            .parent = session,
+            .start_min = now,
+            .end_min = end,
+            .phase = obs::SpanPhase::kPlayback,
+            .channel = static_cast<std::int32_t>(channel),
+            .video = *video,
+            .client = client,
+            .value = config.video_length.v,
+            .label = {},
+        });
       }
     }
     const auto batch = queue.size();
@@ -121,11 +203,6 @@ struct MulticastSim {
     ++report.streams_started;
     --free_channels;
     busy_minutes += config.video_length.v;
-    // Lowest free channel index carries this stream.
-    const auto channel = static_cast<std::size_t>(
-        std::find(channel_busy.begin(), channel_busy.end(), 0) -
-        channel_busy.begin());
-    VB_ASSERT(channel < channel_busy.size());
     channel_busy[channel] = 1;
     channel_busy_minutes[channel] += config.video_length.v;
     if (sink != nullptr) {

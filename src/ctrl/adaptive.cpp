@@ -71,6 +71,9 @@ struct AdaptiveSim {
   bool flipped = false;
   std::int64_t epochs_since_flip = -1;  ///< -1 until the flip lands
   std::uint64_t next_client = 0;
+  /// Span id of the current control epoch; drain spans and the sessions a
+  /// reallocation absorbs parent onto it (0 before the first allocation).
+  std::uint64_t epoch_span = 0;
 
   // Instrument handles, resolved once; null without a sink.
   obs::Counter* realloc_counter = nullptr;
@@ -136,6 +139,40 @@ struct AdaptiveSim {
     trace(obs::EventKind::kTuneIn, tune_at, video, client, wait);
     trace(obs::EventKind::kSegmentDownloadStart, tune_at, video, client,
           config.video.duration.v);
+    if (sink != nullptr) {
+      const auto session = sink->spans.record(obs::Span{
+          .start_min = now,
+          .end_min = finish,
+          .phase = obs::SpanPhase::kSession,
+          .channel = 0,
+          .video = video,
+          .client = client,
+          .value = wait,
+          .label = {},
+      });
+      sink->spans.record(obs::Span{
+          .parent = session,
+          .start_min = now,
+          .end_min = tune_at,
+          .phase = obs::SpanPhase::kTune,
+          .channel = 0,
+          .video = video,
+          .client = client,
+          .value = wait,
+          .label = {},
+      });
+      sink->spans.record(obs::Span{
+          .parent = session,
+          .start_min = tune_at,
+          .end_min = finish,
+          .phase = obs::SpanPhase::kPlayback,
+          .channel = hot[video].channels,
+          .video = video,
+          .client = client,
+          .value = config.video.duration.v,
+          .label = {},
+      });
+    }
   }
 
   /// Serves tail batches while channels and pending queues allow.
@@ -152,6 +189,42 @@ struct AdaptiveSim {
         const double wait = now - r.arrival.v;
         report.wait_minutes.add(wait);
         report.tail_wait_minutes.add(wait);
+        if (sink != nullptr) {
+          const auto client = ++next_client;
+          const double end = now + config.video.duration.v;
+          const auto session = sink->spans.record(obs::Span{
+              .start_min = r.arrival.v,
+              .end_min = end,
+              .phase = obs::SpanPhase::kSession,
+              .channel = 0,
+              .video = *video,
+              .client = client,
+              .value = wait,
+              .label = {},
+          });
+          sink->spans.record(obs::Span{
+              .parent = session,
+              .start_min = r.arrival.v,
+              .end_min = now,
+              .phase = obs::SpanPhase::kQueueWait,
+              .channel = 0,
+              .video = *video,
+              .client = client,
+              .value = wait,
+              .label = {},
+          });
+          sink->spans.record(obs::Span{
+              .parent = session,
+              .start_min = now,
+              .end_min = end,
+              .phase = obs::SpanPhase::kPlayback,
+              .channel = tail_busy + 1,
+              .video = *video,
+              .client = client,
+              .value = config.video.duration.v,
+              .label = {},
+          });
+        }
       }
       const auto batch = queue.size();
       report.served_tail += batch;
@@ -209,6 +282,44 @@ struct AdaptiveSim {
         trace(obs::EventKind::kTuneIn, now, video, client, wait);
         trace(obs::EventKind::kSegmentDownloadStart, now, video, client,
               config.video.duration.v);
+        if (sink != nullptr) {
+          // The promotion itself ended these waits: parent the absorbed
+          // sessions onto the epoch span that triggered it.
+          const double end = now + config.video.duration.v;
+          const auto session = sink->spans.record(obs::Span{
+              .parent = epoch_span,
+              .start_min = r.arrival.v,
+              .end_min = end,
+              .phase = obs::SpanPhase::kSession,
+              .channel = 0,
+              .video = video,
+              .client = client,
+              .value = wait,
+              .label = {},
+          });
+          sink->spans.record(obs::Span{
+              .parent = session,
+              .start_min = r.arrival.v,
+              .end_min = now,
+              .phase = obs::SpanPhase::kQueueWait,
+              .channel = 0,
+              .video = video,
+              .client = client,
+              .value = wait,
+              .label = {},
+          });
+          sink->spans.record(obs::Span{
+              .parent = session,
+              .start_min = now,
+              .end_min = end,
+              .phase = obs::SpanPhase::kPlayback,
+              .channel = channels_per_video,
+              .video = video,
+              .client = client,
+              .value = config.video.duration.v,
+              .label = {},
+          });
+        }
       }
       hot[video].active_until = now + config.video.duration.v;
       queue.clear();
@@ -229,6 +340,19 @@ struct AdaptiveSim {
       demote_by_title[video]->add();
     }
     trace(obs::EventKind::kDemote, now, video, 0, drain_at - now);
+    if (sink != nullptr) {
+      sink->spans.record(obs::Span{
+          .parent = epoch_span,
+          .start_min = now,
+          .end_min = drain_at,
+          .phase = obs::SpanPhase::kDrain,
+          .channel = hot[video].channels,
+          .video = video,
+          .client = 0,
+          .value = drain_at - now,
+          .label = {},
+      });
+    }
     events.schedule(drain_at, [this, video, now] {
       finish_drain(video, now);
     });
@@ -275,6 +399,20 @@ struct AdaptiveSim {
     const auto draining = titles_in_mode(TitleMode::kDraining);
     const auto alloc =
         allocator.reallocate(weights, current, draining, reserved_bandwidth);
+    if (sink != nullptr) {
+      // The epoch span covers this control interval; the drains it starts
+      // and the sessions its promotions absorb parent onto it.
+      epoch_span = sink->spans.record(obs::Span{
+          .start_min = now,
+          .end_min = std::min(now + config.epoch.v, config.horizon.v),
+          .phase = obs::SpanPhase::kEpoch,
+          .channel = alloc.channels_per_video,
+          .video = 0,
+          .client = 0,
+          .value = static_cast<double>(alloc.hot.size()),
+          .label = {},
+      });
+    }
     for (const auto v : alloc.demoted) {
       demote(v, now);
     }
@@ -503,6 +641,23 @@ AdaptiveReport simulate_adaptive(const batching::BatchingPolicy& policy,
     state.trace(obs::EventKind::kRealloc, 0.0, 0, 0,
                 static_cast<double>(alloc.hot.size()),
                 capacity.channels_per_video);
+    if (config.sink != nullptr) {
+      // The initial allocation opens the first control interval.
+      const double first_end =
+          (config.epoch.v > 0.0 && config.epoch.v < config.horizon.v)
+              ? config.epoch.v
+              : config.horizon.v;
+      state.epoch_span = config.sink->spans.record(obs::Span{
+          .start_min = 0.0,
+          .end_min = first_end,
+          .phase = obs::SpanPhase::kEpoch,
+          .channel = capacity.channels_per_video,
+          .video = 0,
+          .client = 0,
+          .value = static_cast<double>(alloc.hot.size()),
+          .label = {},
+      });
+    }
     obs::logf(obs::LogLevel::kDebug,
               "ctrl: initial hot set %zu titles x %d channels (D1=%.3f min,"
               " tail %d channels%s)",
@@ -619,7 +774,8 @@ ReplicatedAdaptiveReport simulate_adaptive_replicated(
     rep_config.sampler = nullptr;  // R interleaved clocks are meaningless
     rep_config.sink = nullptr;
     if (config.sink != nullptr) {
-      sinks[r] = std::make_unique<obs::Sink>(config.sink->trace.capacity());
+      sinks[r] = std::make_unique<obs::Sink>(config.sink->trace.capacity(),
+                                             config.sink->spans.capacity());
       rep_config.sink = sinks[r].get();
     }
     reports[r] = simulate_adaptive(policy, rep_config);
@@ -637,6 +793,7 @@ ReplicatedAdaptiveReport simulate_adaptive_replicated(
     for (std::size_t r = 0; r < reps; ++r) {
       config.sink->metrics.merge_from(sinks[r]->metrics);
       config.sink->trace.merge_from(sinks[r]->trace);
+      config.sink->spans.merge_from(sinks[r]->spans);
     }
   }
   if (reps >= 2) {

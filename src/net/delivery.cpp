@@ -9,7 +9,7 @@ DeliveryReport deliver_segment(const channel::PeriodicBroadcast& stream,
                                std::uint64_t index, core::Mbits mtu,
                                LossModel& loss, core::Minutes playback_start,
                                core::MbitPerSec display_rate,
-                               obs::Sink* sink) {
+                               obs::Sink* sink, std::uint64_t parent_span) {
   VB_EXPECTS(display_rate.v > 0.0);
   const auto sent = packetize_transmission(stream, index, mtu);
   const auto survivors = apply_loss(sent, loss);
@@ -61,6 +61,32 @@ DeliveryReport deliver_segment(const channel::PeriodicBroadcast& stream,
       sink->metrics.counter_family("net.delivery_gaps", {"channel"})
           .with_ids(channel)
           .add(report.gap_count);
+    }
+    if (report.packets_lost > 0) {
+      // There is no retransmission path: the hole persists until the
+      // stream's next repetition replays the bytes. The span covers that
+      // recovery window, from the first lost packet's send time.
+      double first_lost = sent.empty() ? 0.0 : sent.front().send_time.v;
+      std::size_t si = 0;
+      for (const auto& p : sent) {
+        if (si < survivors.size() && survivors[si].sequence == p.sequence) {
+          ++si;
+          continue;
+        }
+        first_lost = p.send_time.v;
+        break;
+      }
+      sink->spans.record(obs::Span{
+          .parent = parent_span,
+          .start_min = first_lost,
+          .end_min = first_lost + stream.period.v,
+          .phase = obs::SpanPhase::kRetransmit,
+          .channel = stream.logical_channel,
+          .video = stream.video,
+          .client = 0,
+          .value = static_cast<double>(report.packets_lost),
+          .label = {},
+      });
     }
   }
   return report;

@@ -26,10 +26,15 @@ struct DeliveryReport {
 /// grades it against a playback that starts at `playback_start` and
 /// consumes at `display_rate`. With a sink, per-channel counter families
 /// (`net.packets_sent` / `net.packets_lost` / `net.delivery_gaps`, keyed by
-/// the stream's logical channel) record where the damage lands.
+/// the stream's logical channel) record where the damage lands, and a lossy
+/// delivery additionally records one `retransmit` span — covering first
+/// loss → next repetition of the loop, the only recovery a periodic
+/// broadcast has — parented onto `parent_span` (a segment_download span,
+/// 0 = root) so trace_analyze can attribute the recovery window.
 [[nodiscard]] DeliveryReport deliver_segment(
     const channel::PeriodicBroadcast& stream, std::uint64_t index,
     core::Mbits mtu, LossModel& loss, core::Minutes playback_start,
-    core::MbitPerSec display_rate, obs::Sink* sink = nullptr);
+    core::MbitPerSec display_rate, obs::Sink* sink = nullptr,
+    std::uint64_t parent_span = 0);
 
 }  // namespace vodbcast::net

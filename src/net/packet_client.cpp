@@ -1,5 +1,7 @@
 #include "net/packet_client.hpp"
 
+#include <algorithm>
+
 #include "net/delivery.hpp"
 #include "util/contracts.hpp"
 
@@ -9,7 +11,8 @@ PacketSessionReport run_packet_session(const channel::ChannelPlan& plan,
                                        core::VideoId video,
                                        const series::SegmentLayout& layout,
                                        std::uint64_t t0, LossModel& loss,
-                                       core::Mbits mtu, obs::Sink* sink) {
+                                       core::Mbits mtu, obs::Sink* sink,
+                                       std::uint64_t client) {
   const client::ReceptionPlan reception =
       client::plan_reception(layout, t0);
   const double d1 = layout.unit_duration().v;
@@ -17,6 +20,25 @@ PacketSessionReport run_packet_session(const channel::ChannelPlan& plan,
   PacketSessionReport report;
   report.segments_total = reception.downloads.size();
   bool all_clean = reception.jitter_free;
+
+  // Span tree for the packet-level session: session → segment_download per
+  // planned download (each on its segment's channel track), with retransmit
+  // children under lossy downloads and disk_stall children for segments
+  // that miss their playback deadline.
+  std::uint64_t session_span = 0;
+  if (sink != nullptr) {
+    const double playback_begin = static_cast<double>(t0) * d1;
+    session_span = sink->spans.record(obs::Span{
+        .start_min = playback_begin,
+        .end_min = playback_begin + layout.video().duration.v,
+        .phase = obs::SpanPhase::kSession,
+        .channel = 0,
+        .video = video,
+        .client = client,
+        .value = 0.0,
+        .label = {},
+    });
+  }
 
   for (const auto& download : reception.downloads) {
     const auto stream = plan.find(video, download.segment);
@@ -32,9 +54,23 @@ PacketSessionReport run_packet_session(const channel::ChannelPlan& plan,
 
     const core::Minutes playback_start{static_cast<double>(download.deadline) *
                                        d1};
+    std::uint64_t download_span = 0;
+    if (sink != nullptr) {
+      download_span = sink->spans.record(obs::Span{
+          .parent = session_span,
+          .start_min = static_cast<double>(download.start) * d1,
+          .end_min = static_cast<double>(download.end()) * d1,
+          .phase = obs::SpanPhase::kSegmentDownload,
+          .channel = download.segment,
+          .video = video,
+          .client = client,
+          .value = static_cast<double>(download.length) * d1,
+          .label = {},
+      });
+    }
     const DeliveryReport delivered =
         deliver_segment(*stream, index, mtu, loss, playback_start,
-                        layout.video().display_rate, sink);
+                        layout.video().display_rate, sink, download_span);
     report.packets_sent += delivered.packets_sent;
     report.packets_lost += delivered.packets_lost;
     if (delivered.gap_count > 0) {
@@ -44,6 +80,26 @@ PacketSessionReport run_packet_session(const channel::ChannelPlan& plan,
       ++report.segments_stalled;
       report.stalled_segments.push_back(download.segment);
       all_clean = false;
+      if (sink != nullptr) {
+        // The player feed runs dry at the segment's playback time; the
+        // stall lasts until the data is actually there — the download end
+        // for a late join, the next repetition for a lossy one.
+        double stall_end = static_cast<double>(download.end()) * d1;
+        if (!delivered.jitter_free) {
+          stall_end = std::max(stall_end, playback_start.v + stream->period.v);
+        }
+        sink->spans.record(obs::Span{
+            .parent = session_span,
+            .start_min = playback_start.v,
+            .end_min = std::max(stall_end, playback_start.v),
+            .phase = obs::SpanPhase::kDiskStall,
+            .channel = download.segment,
+            .video = video,
+            .client = client,
+            .value = static_cast<double>(download.segment),
+            .label = {},
+        });
+      }
     }
   }
   report.jitter_free = all_clean;

@@ -34,10 +34,13 @@ struct PacketSessionReport {
 /// Preconditions: the plan carries every (video, segment) of the layout at
 /// phase 0 with period == transmission (the SB channel shape).
 /// `sink` (optional) receives the per-channel delivery counter families of
-/// net::deliver_segment.
+/// net::deliver_segment, plus the session's causal span tree (session →
+/// segment_download per planned download, retransmit children under lossy
+/// deliveries, disk_stall children for segments that miss their deadline).
+/// `client` labels those spans (0 = n/a).
 [[nodiscard]] PacketSessionReport run_packet_session(
     const channel::ChannelPlan& plan, core::VideoId video,
     const series::SegmentLayout& layout, std::uint64_t t0, LossModel& loss,
-    core::Mbits mtu, obs::Sink* sink = nullptr);
+    core::Mbits mtu, obs::Sink* sink = nullptr, std::uint64_t client = 0);
 
 }  // namespace vodbcast::net

@@ -126,6 +126,7 @@ void publish_drop_metrics(Sink& sink, const Sampler* sampler) {
     }
   };
   top_up(sink.metrics.counter("obs.trace.dropped"), sink.trace.dropped());
+  top_up(sink.metrics.counter("obs.spans.dropped"), sink.spans.dropped());
   if (sampler != nullptr) {
     top_up(sink.metrics.counter("obs.series.dropped"), sampler->dropped());
   }

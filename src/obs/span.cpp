@@ -1,0 +1,256 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/contracts.hpp"
+#include "util/json.hpp"
+
+namespace vodbcast::obs {
+
+namespace {
+
+// One simulated minute maps to 1e6 trace microseconds (= 1 s on screen),
+// matching the Tracer's chrome export scale.
+constexpr double kMicrosPerSimMinute = 1e6;
+
+// Round-trip exact: trace_analyze recomputes waits from these fields and
+// compares sums against the metric families at 1e-9 relative tolerance, so
+// the export must not round away bits.
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string span_name(const Span& s) {
+  return s.label.empty() ? std::string(to_string(s.phase)) : s.label;
+}
+
+}  // namespace
+
+const char* to_string(SpanPhase phase) noexcept {
+  switch (phase) {
+    case SpanPhase::kSession:
+      return "session";
+    case SpanPhase::kQueueWait:
+      return "queue_wait";
+    case SpanPhase::kTune:
+      return "tune";
+    case SpanPhase::kSegmentDownload:
+      return "segment_download";
+    case SpanPhase::kPlayback:
+      return "playback";
+    case SpanPhase::kRetransmit:
+      return "retransmit";
+    case SpanPhase::kDiskStall:
+      return "disk_stall";
+    case SpanPhase::kEpoch:
+      return "epoch";
+    case SpanPhase::kDrain:
+      return "drain";
+  }
+  return "unknown";
+}
+
+SpanTracer::SpanTracer(std::size_t capacity) : capacity_(capacity) {
+  VB_EXPECTS(capacity >= 1);
+  ring_.reserve(std::min<std::size_t>(capacity, 4096));
+}
+
+std::uint64_t SpanTracer::record(Span span) {
+  span.id = ++next_id_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(span));
+  } else {
+    ring_[static_cast<std::size_t>(recorded_ % capacity_)] = std::move(span);
+  }
+  ++recorded_;
+  return next_id_;
+}
+
+void SpanTracer::merge_from(const SpanTracer& other) {
+  // Spans the source ring already overwrote are gone; only its retained
+  // window transfers, in start order with source record order breaking ties.
+  // Parents always start no later than their children and are recorded
+  // first, so the old→new map is populated before any child looks it up; a
+  // parent lost to the source's wraparound maps to 0 (root).
+  std::unordered_map<std::uint64_t, std::uint64_t> remap;
+  for (auto& span : other.spans()) {
+    Span copy = span;
+    const auto old_id = copy.id;
+    const auto it = remap.find(copy.parent);
+    copy.parent = (it != remap.end()) ? it->second : 0;
+    remap.emplace(old_id, record(std::move(copy)));
+  }
+}
+
+std::vector<Span> SpanTracer::spans() const {
+  std::vector<Span> out;
+  out.reserve(ring_.size());
+  if (recorded_ <= capacity_) {
+    out = ring_;
+  } else {
+    // Oldest surviving span sits at the overwrite cursor.
+    const auto cursor = static_cast<std::size_t>(recorded_ % capacity_);
+    out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(cursor),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(cursor));
+  }
+  std::stable_sort(out.begin(), out.end(), [](const Span& a, const Span& b) {
+    return a.start_min < b.start_min;
+  });
+  return out;
+}
+
+std::string SpanTracer::to_jsonl() const {
+  std::ostringstream os;
+  for (const auto& s : spans()) {
+    os << "{\"id\":" << s.id << ",\"parent\":" << s.parent << ",\"phase\":\""
+       << to_string(s.phase) << "\",\"start\":" << fmt(s.start_min)
+       << ",\"end\":" << fmt(s.end_min) << ",\"channel\":" << s.channel
+       << ",\"video\":" << s.video << ",\"client\":" << s.client
+       << ",\"value\":" << fmt(s.value);
+    if (!s.label.empty()) {
+      os << ",\"label\":" << util::json::quote(s.label);
+    }
+    os << "}\n";
+  }
+  return os.str();
+}
+
+std::string SpanTracer::to_chrome_trace() const {
+  const auto ordered = spans();
+  std::unordered_map<std::uint64_t, const Span*> by_id;
+  by_id.reserve(ordered.size());
+  for (const auto& s : ordered) {
+    by_id.emplace(s.id, &s);
+  }
+
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&]() -> const char* {
+    const char* s = first ? "" : ",";
+    first = false;
+    return s;
+  };
+  for (const auto& s : ordered) {
+    const double ts = s.start_min * kMicrosPerSimMinute;
+    const double dur =
+        std::max(0.0, (s.end_min - s.start_min) * kMicrosPerSimMinute);
+    os << sep() << "\n{\"name\":" << util::json::quote(span_name(s))
+       << ",\"cat\":\"vodbcast.span\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+       << s.channel << ",\"ts\":" << fmt(ts) << ",\"dur\":" << fmt(dur)
+       << ",\"args\":{\"id\":" << s.id << ",\"parent\":" << s.parent
+       << ",\"video\":" << s.video << ",\"client\":" << s.client
+       << ",\"value\":" << fmt(s.value) << "}}";
+    // Causal hand-off to a different channel track: a flow arrow from the
+    // parent's slice to this one. Same-track children nest visually already.
+    if (s.parent != 0) {
+      const auto it = by_id.find(s.parent);
+      if (it != by_id.end() && it->second->channel != s.channel) {
+        const Span& p = *it->second;
+        os << sep() << "\n{\"name\":\"causal\",\"cat\":\"vodbcast.flow\","
+           << "\"ph\":\"s\",\"id\":" << s.id << ",\"pid\":1,\"tid\":"
+           << p.channel << ",\"ts\":" << fmt(p.start_min * kMicrosPerSimMinute)
+           << "}";
+        os << sep() << "\n{\"name\":\"causal\",\"cat\":\"vodbcast.flow\","
+           << "\"ph\":\"f\",\"bp\":\"e\",\"id\":" << s.id
+           << ",\"pid\":1,\"tid\":" << s.channel << ",\"ts\":" << fmt(ts)
+           << "}";
+      }
+    }
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+std::string SpanTracer::to_folded() const {
+  const auto ordered = spans();
+  std::unordered_map<std::uint64_t, std::size_t> index_of;
+  index_of.reserve(ordered.size());
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    index_of.emplace(ordered[i].id, i);
+  }
+  // Children in start order (ordered is already sorted by start).
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> children;
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    if (ordered[i].parent != 0 && index_of.count(ordered[i].parent) != 0) {
+      children[ordered[i].parent].push_back(i);
+    }
+  }
+
+  // Self-time = span duration minus the union of its children's intervals
+  // (children overlap freely: playback runs concurrently with downloads).
+  std::map<std::string, std::uint64_t> stacks;
+  const auto self_micros = [&](const Span& s) -> std::uint64_t {
+    double covered = 0.0;
+    double cursor = s.start_min;
+    const auto it = children.find(s.id);
+    if (it != children.end()) {
+      for (const auto ci : it->second) {
+        const Span& c = ordered[ci];
+        const double lo = std::max(cursor, c.start_min);
+        const double hi = std::min(s.end_min, c.end_min);
+        if (hi > lo) {
+          covered += hi - lo;
+          cursor = hi;
+        }
+      }
+    }
+    const double self = (s.end_min - s.start_min) - covered;
+    return self > 0.0
+               ? static_cast<std::uint64_t>(
+                     std::llround(self * kMicrosPerSimMinute))
+               : 0;
+  };
+  // DFS from each root so the stack string is the phase path root→leaf.
+  struct Frame {
+    std::size_t index;
+    std::string path;
+  };
+  std::vector<Frame> work;
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    const bool is_root =
+        ordered[i].parent == 0 || index_of.count(ordered[i].parent) == 0;
+    if (is_root) {
+      work.push_back({i, std::string(to_string(ordered[i].phase))});
+    }
+  }
+  while (!work.empty()) {
+    const Frame frame = std::move(work.back());
+    work.pop_back();
+    const Span& s = ordered[frame.index];
+    const auto micros = self_micros(s);
+    if (micros > 0) {
+      stacks[frame.path] += micros;
+    }
+    const auto it = children.find(s.id);
+    if (it != children.end()) {
+      for (const auto ci : it->second) {
+        work.push_back(
+            {ci, frame.path + ";" + to_string(ordered[ci].phase)});
+      }
+    }
+  }
+
+  std::ostringstream os;
+  for (const auto& [stack, micros] : stacks) {
+    os << stack << " " << micros << "\n";
+  }
+  return os.str();
+}
+
+void SpanTracer::clear() noexcept {
+  ring_.clear();
+  recorded_ = 0;
+  next_id_ = 0;
+}
+
+}  // namespace vodbcast::obs

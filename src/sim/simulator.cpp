@@ -38,9 +38,14 @@ void trace_channel_slots(obs::Sink& sink, const channel::ChannelPlan& plan,
   }
 }
 
-/// Traces one client's exact reception plan (tuner joins and releases).
+/// Traces one client's exact reception plan (tuner joins and releases),
+/// both as instant trace events and as segment_download spans hanging off
+/// the client's session span (channel = segment index, so the chrome export
+/// draws each download on its segment track with a flow arrow from the
+/// session).
 void trace_reception(obs::Sink& sink, const client::ReceptionPlan& plan,
-                     double d1, core::VideoId video, std::uint64_t client) {
+                     double d1, core::VideoId video, std::uint64_t client,
+                     std::uint64_t session_span) {
   for (const auto& d : plan.downloads) {
     const double start_min = static_cast<double>(d.start) * d1;
     const double length_min = static_cast<double>(d.length) * d1;
@@ -59,6 +64,17 @@ void trace_reception(obs::Sink& sink, const client::ReceptionPlan& plan,
         .video = video,
         .client = client,
         .value = 0.0,
+    });
+    sink.spans.record(obs::Span{
+        .parent = session_span,
+        .start_min = start_min,
+        .end_min = start_min + length_min,
+        .phase = obs::SpanPhase::kSegmentDownload,
+        .channel = d.segment,
+        .video = video,
+        .client = client,
+        .value = length_min,
+        .label = {},
     });
   }
 }
@@ -185,6 +201,7 @@ SimulationReport simulate(const schemes::BroadcastScheme& scheme,
     const double wait = start->v - request.arrival.v;
     report.latency_minutes.add(wait);
     ++report.clients_served;
+    std::uint64_t session_span = 0;
     if (sink != nullptr) {
       clients_counter->add();
       wait_hist->observe(wait);
@@ -205,6 +222,43 @@ SimulationReport simulate(const schemes::BroadcastScheme& scheme,
           .video = request.video,
           .client = report.clients_served,
           .value = wait,
+      });
+      // Causal span tree: session covers arrival → playback end, with a
+      // tune child for the wait (its duration *is* the reported wait — the
+      // invariant trace_analyze --check leans on) and a playback child for
+      // the consumption window. Download children follow per planned client.
+      const double session_end = start->v + input.video.duration.v;
+      session_span = sink->spans.record(obs::Span{
+          .start_min = request.arrival.v,
+          .end_min = session_end,
+          .phase = obs::SpanPhase::kSession,
+          .channel = 0,
+          .video = request.video,
+          .client = report.clients_served,
+          .value = wait,
+          .label = {},
+      });
+      sink->spans.record(obs::Span{
+          .parent = session_span,
+          .start_min = request.arrival.v,
+          .end_min = start->v,
+          .phase = obs::SpanPhase::kTune,
+          .channel = 0,
+          .video = request.video,
+          .client = report.clients_served,
+          .value = wait,
+          .label = {},
+      });
+      sink->spans.record(obs::Span{
+          .parent = session_span,
+          .start_min = start->v,
+          .end_min = session_end,
+          .phase = obs::SpanPhase::kPlayback,
+          .channel = 0,
+          .video = request.video,
+          .client = report.clients_served,
+          .value = input.video.duration.v,
+          .label = {},
       });
     }
 
@@ -246,7 +300,7 @@ SimulationReport simulate(const schemes::BroadcastScheme& scheme,
       report.buffer_peak_mbits.add(plan->max_buffer(*layout).v);
       if (sink != nullptr) {
         trace_reception(*sink, *plan, d1, request.video,
-                        report.clients_served);
+                        report.clients_served, session_span);
       }
     }
   };
@@ -297,7 +351,8 @@ ReplicatedReport simulate_replicated(const schemes::BroadcastScheme& scheme,
     rep_config.sampler = nullptr;
     rep_config.sink = nullptr;
     if (config.sink != nullptr) {
-      sinks[r] = std::make_unique<obs::Sink>(config.sink->trace.capacity());
+      sinks[r] = std::make_unique<obs::Sink>(config.sink->trace.capacity(),
+                                             config.sink->spans.capacity());
       rep_config.sink = sinks[r].get();
     }
     reports[r] = simulate(scheme, input, rep_config);
@@ -324,6 +379,7 @@ ReplicatedReport simulate_replicated(const schemes::BroadcastScheme& scheme,
     if (config.sink != nullptr) {
       config.sink->metrics.merge_from(sinks[r]->metrics);
       config.sink->trace.merge_from(sinks[r]->trace);
+      config.sink->spans.merge_from(sinks[r]->spans);
     }
   }
 

@@ -9,6 +9,8 @@
 //                     [--arrivals 4] [--seed 42] [--reps R] [--threads T]
 //                     [--metrics-out m.json] [--metrics-format json|openmetrics]
 //                     [--trace-out run.json|run.jsonl] [--trace-limit N]
+//                     [--spans-out spans.jsonl] [--spans-limit N]
+//                     [--spans-format jsonl|chrome|folded]
 //                     [--series-out s.jsonl] [--series-interval MIN]
 //                     [--series-limit N]
 //   vodbcast width    --bandwidth 400 --latency 0.25
@@ -54,12 +56,14 @@ bool ends_with(const std::string& s, const std::string& suffix) {
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
-/// Dumps the sink's collected state per the --metrics-out/--trace-out
-/// flags. --metrics-format selects json (default) or openmetrics for the
-/// metrics dump; openmetrics without --metrics-out prints the exposition to
-/// stdout (pipe it into tools/metrics_check). A ".jsonl" trace path selects
-/// JSONL; anything else gets Chrome trace-event JSON for chrome://tracing /
-/// Perfetto.
+/// Dumps the sink's collected state per the --metrics-out/--trace-out/
+/// --spans-out flags. --metrics-format selects json (default) or
+/// openmetrics for the metrics dump; openmetrics without --metrics-out
+/// prints the exposition to stdout (pipe it into tools/metrics_check). A
+/// ".jsonl" trace path selects JSONL; anything else gets Chrome trace-event
+/// JSON for chrome://tracing / Perfetto. Spans follow the same suffix rule
+/// unless --spans-format forces jsonl, chrome, or folded (flamegraph.pl /
+/// speedscope input; analyze JSONL spans with tools/trace_analyze).
 void export_observability(const util::ArgParser& args, obs::Sink& sink,
                           const obs::Sampler* sampler = nullptr) {
   obs::publish_drop_metrics(sink, sampler);
@@ -87,12 +91,37 @@ void export_observability(const util::ArgParser& args, obs::Sink& sink,
                  path->c_str(), sink.trace.size(),
                  static_cast<unsigned long long>(sink.trace.dropped()));
   }
+  if (const auto path = args.get("spans-out")) {
+    const std::string span_format = args.get_string(
+        "spans-format", ends_with(*path, ".jsonl") ? "jsonl" : "chrome");
+    std::string span_text;
+    if (span_format == "jsonl") {
+      span_text = sink.spans.to_jsonl();
+    } else if (span_format == "chrome") {
+      span_text = sink.spans.to_chrome_trace();
+    } else if (span_format == "folded") {
+      span_text = sink.spans.to_folded();
+    } else {
+      throw std::invalid_argument(
+          "--spans-format must be 'jsonl', 'chrome' or 'folded', got '" +
+          span_format + "'");
+    }
+    write_file(*path, span_text);
+    std::fprintf(stderr, "spans written to %s (%s, %zu spans, %llu dropped)\n",
+                 path->c_str(), span_format.c_str(), sink.spans.size(),
+                 static_cast<unsigned long long>(sink.spans.dropped()));
+  }
 }
 
 /// True if the run should carry a sink at all.
 bool wants_observability(const util::ArgParser& args) {
   return args.has("metrics-out") || args.has("trace-out") ||
-         args.has("metrics-format");
+         args.has("metrics-format") || args.has("spans-out");
+}
+
+/// Ring capacity for the Sink's span tracer (--spans-limit).
+std::size_t spans_limit(const util::ArgParser& args) {
+  return static_cast<std::size_t>(args.get_uint("spans-limit", 65536));
 }
 
 /// Builds the --series-out sampler (null when the flag is absent).
@@ -243,7 +272,7 @@ int cmd_simulate(const util::ArgParser& args) {
   config.seed = args.get_uint("seed", 42);
   config.plan_clients = true;
   obs::Sink sink(static_cast<std::size_t>(
-      args.get_uint("trace-limit", 65536)));
+      args.get_uint("trace-limit", 65536)), spans_limit(args));
   if (wants_observability(args)) {
     config.sink = &sink;
   }
@@ -350,7 +379,7 @@ int cmd_hybrid_adaptive(const util::ArgParser& args) {
   }
 
   obs::Sink sink(static_cast<std::size_t>(
-      args.get_uint("trace-limit", 65536)));
+      args.get_uint("trace-limit", 65536)), spans_limit(args));
   if (wants_observability(args)) {
     config.sink = &sink;
   }
@@ -448,7 +477,7 @@ int cmd_hybrid(const util::ArgParser& args) {
   config.horizon = core::Minutes{args.get_double("horizon", 1500.0)};
   config.seed = args.get_uint("seed", 11);
   obs::Sink sink(static_cast<std::size_t>(
-      args.get_uint("trace-limit", 65536)));
+      args.get_uint("trace-limit", 65536)), spans_limit(args));
   if (wants_observability(args)) {
     config.sink = &sink;
   }
@@ -483,7 +512,8 @@ int cmd_hybrid(const util::ArgParser& args) {
           rep_config.sampler = nullptr;
           rep_config.sink = nullptr;
           if (config.sink != nullptr) {
-            rep_sinks[r] = std::make_unique<obs::Sink>(sink.trace.capacity());
+            rep_sinks[r] = std::make_unique<obs::Sink>(
+                sink.trace.capacity(), sink.spans.capacity());
             rep_config.sink = rep_sinks[r].get();
           }
           return batching::evaluate_hybrid(policy, rep_config);
@@ -504,6 +534,7 @@ int cmd_hybrid(const util::ArgParser& args) {
       for (std::size_t r = 0; r < reps; ++r) {
         sink.metrics.merge_from(rep_sinks[r]->metrics);
         sink.trace.merge_from(rep_sinks[r]->trace);
+        sink.spans.merge_from(rep_sinks[r]->spans);
       }
     }
     std::printf("replications      : %zu\n", reps);
@@ -540,7 +571,10 @@ int cmd_help() {
       "           [--trace-out run.json|run.jsonl]\n"
       "           [--trace-limit N] [--series-out s.jsonl]\n"
       "           [--series-interval MIN] [--series-limit N]\n"
-      "           (hybrid accepts the same flags)\n"
+      "           [--spans-out spans.jsonl] [--spans-limit N]\n"
+      "           [--spans-format jsonl|chrome|folded]  causal span tree\n"
+      "           (analyze with tools/trace_analyze; hybrid accepts the\n"
+      "           same flags)\n"
       "  width    --bandwidth B --latency L             width for a target\n"
       "  guide    --scheme <label> [--from --until]     emission timetable\n"
       "  hybrid   [--hot N --channels K --policy mql]   hybrid server\n"
