@@ -4,7 +4,10 @@
 # must lint clean under tools/metrics_check, including the per-title wait
 # sketch vs clients-served invariant), a span capture self-check (a seeded
 # simulate --spans-out run must reconcile against its own --metrics-out dump
-# under tools/trace_analyze --check), a quick pass of the bench suite to
+# under tools/trace_analyze --check), a fault-injection self-check (a
+# seeded simulate --fault-plan trace must satisfy the hit = repair +
+# degraded contract under tools/trace_check --faults), a quick pass of the
+# bench suite to
 # prove every binary still writes a valid BENCH_*.json that bench_diff can
 # read back, and (opt-in) the mechanical perf gate against the committed
 # trajectory.
@@ -67,6 +70,13 @@ build/tools/vodbcast simulate --scheme SB:W=52 --bandwidth 300 \
   --spans-out "$om_dir/spans.jsonl" --spans-limit 131072
 build/tools/trace_analyze "$om_dir/spans.jsonl" \
   --check --metrics "$om_dir/metrics.json"
+
+echo "== fault-injection self-check =="
+build/tools/vodbcast simulate --scheme SB:W=12 --bandwidth 300 \
+  --horizon 240 --arrivals 4 --seed 42 \
+  --fault-plan outages=2,bursts=2,stalls=1,restart=1 --fault-seed 7 \
+  --trace-out "$om_dir/faults.jsonl" --trace-limit 262144
+build/tools/trace_check "$om_dir/faults.jsonl" --faults
 
 echo "== bench suite (quick) + self-diff =="
 suite_dir=$(mktemp -d)

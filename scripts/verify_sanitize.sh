@@ -3,7 +3,8 @@
 # regular tier-1 build stays untouched:
 #   build-asan  ASan+UBSan over the observability subsystem, simulator,
 #               event-engine slab allocator, batching server, net
-#               reassembly/loss paths and the adaptive control plane;
+#               reassembly/loss paths, the fault-injection/recovery layer
+#               and the adaptive control plane;
 #   build-tsan  TSan over the TaskPool and its parallel adopters, including
 #               simulate_replicated and simulate_adaptive_replicated runs
 #               (the data races serial ctest cannot see).
@@ -27,7 +28,8 @@ if [[ $mode == all || $mode == asan ]]; then
     --target test_obs_registry test_obs_trace test_obs_span \
     test_obs_sampler test_obs_family test_obs_sketch test_obs_openmetrics \
     test_util_json test_bench_harness test_simulator test_task_pool \
-    test_parallel test_event_queue test_batching test_net test_ctrl
+    test_parallel test_event_queue test_batching test_net test_ctrl \
+    test_fault
 
   ./build-asan/tests/test_obs_registry
   ./build-asan/tests/test_obs_trace
@@ -45,6 +47,7 @@ if [[ $mode == all || $mode == asan ]]; then
   ./build-asan/tests/test_batching
   ./build-asan/tests/test_net
   ./build-asan/tests/test_ctrl
+  ./build-asan/tests/test_fault
 fi
 
 if [[ $mode == all || $mode == thread ]]; then

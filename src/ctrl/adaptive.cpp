@@ -376,6 +376,64 @@ struct AdaptiveSim {
     try_dispatch();
   }
 
+  /// Minutes of [a, b) the fault plan keeps title `v`'s broadcast bank
+  /// dark (episode channels key hot titles as title id + 1).
+  [[nodiscard]] double outage_overlap(double a, double b,
+                                      std::size_t v) const {
+    double total = 0.0;
+    for (const auto& e : config.injector->plan().episodes()) {
+      if (e.kind == fault::EpisodeKind::kChannelOutage &&
+          e.hits_channel(static_cast<int>(v) + 1)) {
+        total += e.overlap_min(a, b);
+      }
+    }
+    return total;
+  }
+
+  /// A server-restart episode: every hot plan starts fresh at the restart
+  /// instant, so the Segment-1 slot clock resets and subsequent arrivals
+  /// tune against the new plan. (Per-client replay of the cut sessions is
+  /// the packet layer's job; the control plane models the schedule reset.)
+  void server_restart(std::size_t episode) {
+    const double now = events.now();
+    ++report.fault_restarts;
+    for (std::size_t v = 0; v < mode.size(); ++v) {
+      if (mode[v] == TitleMode::kHot) {
+        hot[v].plan_start = now;
+      }
+    }
+    if (sink != nullptr) {
+      sink->metrics.counter("fault.restarts").add();
+    }
+    trace(obs::EventKind::kFaultHit, now, 0, 0,
+          static_cast<double>(episode), -1);
+  }
+
+  /// Graceful degradation: a sustained channel outage on a hot title makes
+  /// its broadcast bank undeliverable, so the controller demotes it through
+  /// the normal drain machinery — demand re-routes to the tail until the
+  /// channel heals and the allocator re-promotes the title on merit.
+  void force_outage_demotions(double now) {
+    if (config.injector == nullptr || config.injector->plan().empty() ||
+        config.epoch.v <= 0.0) {
+      return;
+    }
+    const double window_begin = std::max(0.0, now - config.epoch.v);
+    for (const auto v : titles_in_mode(TitleMode::kHot)) {
+      const double dark = outage_overlap(window_begin, now, v);
+      if (dark < 0.5 * config.epoch.v) {
+        continue;
+      }
+      demote(v, now);
+      ++report.fault_forced_demotions;
+      if (sink != nullptr) {
+        sink->metrics.counter("fault.forced_demotions").add();
+      }
+      trace(obs::EventKind::kFaultDegraded, now, v, 0, dark,
+            static_cast<int>(v) + 1);
+    }
+  }
+
   [[nodiscard]] std::vector<std::size_t> titles_in_mode(TitleMode m) const {
     std::vector<std::size_t> out;
     for (std::size_t v = 0; v < mode.size(); ++v) {
@@ -443,6 +501,7 @@ struct AdaptiveSim {
     }
     trace(obs::EventKind::kRealloc, now, 0, 0,
           static_cast<double>(alloc.hot.size()), alloc.channels_per_video);
+    force_outage_demotions(now);
     refresh_tail_capacity();
     check_convergence(alloc.hot);
     try_dispatch();
@@ -681,6 +740,19 @@ AdaptiveReport simulate_adaptive(const batching::BatchingPolicy& policy,
       sim->true_popularity = std::move(flipped);
     });
   }
+  if (config.injector != nullptr && !config.injector->plan().empty()) {
+    if (config.sink != nullptr) {
+      fault::trace_plan(*config.sink, config.injector->plan());
+    }
+    const auto& episodes = config.injector->plan().episodes();
+    for (std::size_t i = 0; i < episodes.size(); ++i) {
+      if (episodes[i].kind == fault::EpisodeKind::kServerRestart &&
+          episodes[i].start_min < config.horizon.v) {
+        events.schedule(episodes[i].start_min,
+                        [sim = &state, i] { sim->server_restart(i); });
+      }
+    }
+  }
   const bool adaptive = config.epoch.v > 0.0;
   if (adaptive && config.epoch.v < config.horizon.v) {
     events.schedule(config.epoch.v, [sim = &state] { sim->run_epoch(); });
@@ -736,6 +808,8 @@ void merge_reports(AdaptiveReport& into, const AdaptiveReport& other) {
   into.drains_completed += other.drains_completed;
   into.deferred_promotions += other.deferred_promotions;
   into.degraded_epochs += other.degraded_epochs;
+  into.fault_forced_demotions += other.fault_forced_demotions;
+  into.fault_restarts += other.fault_restarts;
   into.degraded = into.degraded || other.degraded;
   // Convergence merges pessimistically: -1 (never converged) dominates,
   // otherwise the slowest replication defines the bound.

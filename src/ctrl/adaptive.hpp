@@ -35,6 +35,7 @@
 #include "core/video.hpp"
 #include "ctrl/allocator.hpp"
 #include "ctrl/popularity.hpp"
+#include "fault/injector.hpp"
 #include "obs/sampler.hpp"
 #include "obs/sink.hpp"
 #include "sim/stats.hpp"
@@ -79,6 +80,15 @@ struct AdaptiveConfig {
   /// Optional time-series sampler (not owned): "ctrl.hot_titles",
   /// "ctrl.tail_channels", "ctrl.draining_titles", "ctrl.queue_depth".
   obs::Sampler* sampler = nullptr;
+  /// Optional fault injector (not owned). Episode channels key hot titles
+  /// as title id + 1 (-1 = every title). A channel outage covering at
+  /// least half of the elapsed control epoch on a hot title forces its
+  /// demotion through the normal drain machinery (graceful degradation:
+  /// demand re-routes to the tail until the channel heals and the
+  /// allocator re-promotes); a server restart makes every hot plan start
+  /// fresh at the restart instant, resetting the Segment-1 slot clock.
+  /// Null, or a plan with zero episodes, leaves the run bit-identical.
+  const fault::Injector* injector = nullptr;
 };
 
 struct AdaptiveReport {
@@ -99,6 +109,9 @@ struct AdaptiveReport {
   std::uint64_t drains_completed = 0;
   std::uint64_t deferred_promotions = 0;
   std::uint64_t degraded_epochs = 0;
+  /// Fault-plan consequences (zero without an injector):
+  std::uint64_t fault_forced_demotions = 0;  ///< hot titles demoted by outage
+  std::uint64_t fault_restarts = 0;          ///< server-restart episodes hit
 
   int channels_per_video = 0;      ///< after any overload degradation
   /// Guaranteed worst-case wait of a hot title at channels_per_video (the

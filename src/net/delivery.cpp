@@ -1,29 +1,137 @@
 #include "net/delivery.hpp"
 
-#include "net/packetizer.hpp"
+#include <algorithm>
+
 #include "util/contracts.hpp"
 
 namespace vodbcast::net {
+
+namespace {
+
+/// Feeds one pass's surviving data packets into the reassembler and heals
+/// FEC blocks: a block with a lost data packet but at least k surviving
+/// symbols (data or parity) reconstructs, with the lost bytes becoming
+/// available at the send time of the k-th surviving symbol — in-band,
+/// without waiting a repetition. Returns the number of data packets healed.
+std::size_t absorb_pass(const std::vector<Packet>& sent,
+                        const std::vector<Packet>& survivors,
+                        SegmentReassembler& reassembler) {
+  std::vector<char> survived(sent.size(), 0);
+  for (const auto& s : survivors) {
+    survived[s.sequence] = 1;
+    if (!s.is_parity) {
+      reassembler.accept(s);
+    }
+  }
+  std::size_t repaired = 0;
+  std::size_t i = 0;
+  while (i < sent.size()) {
+    const std::uint32_t block = sent[i].fec_block;
+    std::size_t j = i;
+    std::size_t data_in_block = 0;
+    bool data_lost = false;
+    while (j < sent.size() && sent[j].fec_block == block) {
+      if (!sent[j].is_parity) {
+        ++data_in_block;
+        if (!survived[j]) {
+          data_lost = true;
+        }
+      }
+      ++j;
+    }
+    if (data_lost && data_in_block > 0) {
+      // The block reconstructs once any `data_in_block` symbols are in.
+      std::size_t got = 0;
+      double heal = 0.0;
+      bool healable = false;
+      for (std::size_t t = i; t < j; ++t) {
+        if (!survived[t]) {
+          continue;
+        }
+        if (++got == data_in_block) {
+          heal = sent[t].send_time.v;
+          healable = true;
+          break;
+        }
+      }
+      if (healable) {
+        for (std::size_t t = i; t < j; ++t) {
+          if (!survived[t] && !sent[t].is_parity) {
+            Packet fixed = sent[t];
+            fixed.send_time = core::Minutes{heal};
+            reassembler.accept(fixed);
+            ++repaired;
+          }
+        }
+      }
+    }
+    i = j;
+  }
+  return repaired;
+}
+
+}  // namespace
 
 DeliveryReport deliver_segment(const channel::PeriodicBroadcast& stream,
                                std::uint64_t index, core::Mbits mtu,
                                LossModel& loss, core::Minutes playback_start,
                                core::MbitPerSec display_rate,
-                               obs::Sink* sink, std::uint64_t parent_span) {
+                               const DeliveryOptions& options, obs::Sink* sink,
+                               std::uint64_t parent_span) {
   VB_EXPECTS(display_rate.v > 0.0);
-  const auto sent = packetize_transmission(stream, index, mtu);
+  VB_EXPECTS(options.retry_budget >= 0);
+  const auto sent = packetize_transmission_fec(stream, index, mtu, options.fec);
   const auto survivors = apply_loss(sent, loss);
 
   const core::Mbits segment_size = stream.rate * stream.transmission;
   SegmentReassembler reassembler(segment_size);
-  for (const auto& p : survivors) {
-    reassembler.accept(p);
-  }
 
   DeliveryReport report;
   report.packets_sent = sent.size();
   report.packets_lost = sent.size() - survivors.size();
+  for (const auto& p : sent) {
+    if (p.is_parity) {
+      ++report.parity_sent;
+    }
+  }
+  report.repaired_packets = absorb_pass(sent, survivors, reassembler);
+
+  // The first-pass data holes are what the recovery story is about: they
+  // anchor the retransmit span and the heal instant.
+  std::vector<const Packet*> lost_data;
+  {
+    std::vector<char> survived(sent.size(), 0);
+    for (const auto& s : survivors) {
+      survived[s.sequence] = 1;
+    }
+    for (const auto& p : sent) {
+      if (!survived[p.sequence] && !p.is_parity) {
+        lost_data.push_back(&p);
+      }
+    }
+  }
+
+  // Catch-up: refill remaining holes from the following repetitions of the
+  // loop, within the retry budget. The loss model chain keeps drawing, so
+  // a retry can lose packets too.
+  while (!reassembler.complete() &&
+         static_cast<int>(report.retries_used) < options.retry_budget) {
+    ++report.retries_used;
+    const auto again = packetize_transmission_fec(
+        stream, index + report.retries_used, mtu, options.fec);
+    const auto again_survivors = apply_loss(again, loss);
+    report.packets_sent += again.size();
+    report.packets_lost += again.size() - again_survivors.size();
+    for (const auto& p : again) {
+      if (p.is_parity) {
+        ++report.parity_sent;
+      }
+    }
+    report.repaired_packets += absorb_pass(again, again_survivors, reassembler);
+  }
+
   report.complete = reassembler.complete();
+  report.degraded = !report.complete;
   report.gap_count = reassembler.gaps().size();
 
   // Jitter-freedom: every byte x (we check packet boundaries, which is
@@ -32,6 +140,9 @@ DeliveryReport deliver_segment(const channel::PeriodicBroadcast& stream,
   report.jitter_free = report.complete;
   if (report.complete) {
     for (const auto& p : sent) {
+      if (p.is_parity) {
+        continue;
+      }
       const core::Mbits through{p.offset.v + p.payload.v};
       const auto available = reassembler.prefix_available_at(through);
       VB_ASSERT(available.has_value());
@@ -39,9 +150,39 @@ DeliveryReport deliver_segment(const channel::PeriodicBroadcast& stream,
                                     (through / display_rate).v};
       if (available->v > needed_by.v + 1e-9) {
         report.jitter_free = false;
-        break;
+        report.stall_min =
+            std::max(report.stall_min, available->v - needed_by.v);
       }
     }
+  }
+
+  // Heal instant: when the last first-pass hole actually closed — a parity
+  // repair or catch-up repetition timestamps it directly; a hole that
+  // never closed replays at its position in the first repetition we did
+  // not model. (For a periodic stream a lost byte's next-repetition
+  // arrival is exactly its send time plus one period: repetition i+1
+  // replays every byte period minutes later.)
+  if (!lost_data.empty()) {
+    double heal = 0.0;
+    for (const Packet* p : lost_data) {
+      const auto covered = reassembler.covered_since(
+          p->offset, core::Mbits{p->offset.v + p->payload.v});
+      const double h =
+          covered.has_value()
+              ? covered->v
+              : p->send_time.v +
+                    (static_cast<double>(report.retries_used) + 1.0) *
+                        stream.period.v;
+      heal = std::max(heal, h);
+      if (!covered.has_value()) {
+        // A hole that never healed: project the player's stall on it.
+        const core::Mbits through{p->offset.v + p->payload.v};
+        const double needed_by =
+            playback_start.v + (through / display_rate).v;
+        report.stall_min = std::max(report.stall_min, h - needed_by);
+      }
+    }
+    report.heal_min = heal;
   }
 
   if (sink != nullptr) {
@@ -62,34 +203,39 @@ DeliveryReport deliver_segment(const channel::PeriodicBroadcast& stream,
           .with_ids(channel)
           .add(report.gap_count);
     }
-    if (report.packets_lost > 0) {
-      // There is no retransmission path: the hole persists until the
-      // stream's next repetition replays the bytes. The span covers that
-      // recovery window, from the first lost packet's send time.
-      double first_lost = sent.empty() ? 0.0 : sent.front().send_time.v;
-      std::size_t si = 0;
-      for (const auto& p : sent) {
-        if (si < survivors.size() && survivors[si].sequence == p.sequence) {
-          ++si;
-          continue;
-        }
-        first_lost = p.send_time.v;
-        break;
-      }
+    if (report.repaired_packets > 0) {
+      sink->metrics.counter_family("net.repaired_packets", {"channel"})
+          .with_ids(channel)
+          .add(report.repaired_packets);
+    }
+    if (!lost_data.empty()) {
+      // The recovery window: from the first lost byte to the instant the
+      // damage actually healed — an in-band parity repair can close it
+      // well before a full period has elapsed, a multi-packet loss not
+      // until the last hole's repetition.
       sink->spans.record(obs::Span{
           .parent = parent_span,
-          .start_min = first_lost,
-          .end_min = first_lost + stream.period.v,
+          .start_min = lost_data.front()->send_time.v,
+          .end_min = report.heal_min,
           .phase = obs::SpanPhase::kRetransmit,
           .channel = stream.logical_channel,
           .video = stream.video,
           .client = 0,
-          .value = static_cast<double>(report.packets_lost),
+          .value = static_cast<double>(lost_data.size()),
           .label = {},
       });
     }
   }
   return report;
+}
+
+DeliveryReport deliver_segment(const channel::PeriodicBroadcast& stream,
+                               std::uint64_t index, core::Mbits mtu,
+                               LossModel& loss, core::Minutes playback_start,
+                               core::MbitPerSec display_rate, obs::Sink* sink,
+                               std::uint64_t parent_span) {
+  return deliver_segment(stream, index, mtu, loss, playback_start,
+                         display_rate, DeliveryOptions{}, sink, parent_span);
 }
 
 }  // namespace vodbcast::net

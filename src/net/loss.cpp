@@ -22,7 +22,13 @@ GilbertElliottLoss::GilbertElliottLoss(Params params, std::uint64_t seed)
 }
 
 bool GilbertElliottLoss::drop(const Packet&) {
-  // State transition first, then the state's loss draw.
+  // Draw the loss under the current state, then transition for the next
+  // packet — so packet 0 experiences the configured initial (good) state
+  // rather than an immediate transition. Exactly two draws per packet in a
+  // fixed order (loss, then transition), which fault injection relies on
+  // to keep derived streams aligned.
+  const double p = bad_ ? params_.loss_bad : params_.loss_good;
+  const bool dropped = rng_.next_double() < p;
   if (bad_) {
     if (rng_.next_double() < params_.p_bad_to_good) {
       bad_ = false;
@@ -32,8 +38,7 @@ bool GilbertElliottLoss::drop(const Packet&) {
       bad_ = true;
     }
   }
-  const double p = bad_ ? params_.loss_bad : params_.loss_good;
-  return rng_.next_double() < p;
+  return dropped;
 }
 
 std::vector<Packet> apply_loss(const std::vector<Packet>& packets,

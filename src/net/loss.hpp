@@ -55,11 +55,15 @@ class GilbertElliottLoss final : public LossModel {
     double loss_good = 0.0;
     double loss_bad = 0.5;
   };
+  /// Starts in the good state; each drop() draws the loss under the
+  /// current state first and transitions afterwards, consuming exactly two
+  /// RNG draws per packet (loss draw, then transition draw).
   GilbertElliottLoss(Params params, std::uint64_t seed);
   /// See BernoulliLoss: an Rng argument correlates caller and model.
   GilbertElliottLoss(Params params, util::Rng rng) = delete;
   bool drop(const Packet&) override;
 
+  /// The state the *next* packet will be judged under.
   [[nodiscard]] bool in_bad_state() const noexcept { return bad_; }
 
  private:

@@ -29,6 +29,10 @@ struct StreamKey {
 /// One packet of a segment transmission. `offset`/`payload` describe the
 /// byte range of the *segment* it carries; `send_time` is when its last bit
 /// leaves the server (and, in this zero-propagation-delay model, arrives).
+/// With FEC enabled the transmission is emitted in blocks of k data packets
+/// followed by parity packets; a parity packet's `offset` points at its
+/// block's start and its `payload` is the wire size of the parity symbol —
+/// parity carries no segment bytes and never enters the reassembler.
 struct Packet {
   StreamKey stream{};
   std::uint64_t broadcast_index = 0;  ///< which repetition of the loop
@@ -36,6 +40,8 @@ struct Packet {
   core::Mbits offset{0.0};
   core::Mbits payload{0.0};
   core::Minutes send_time{0.0};
+  std::uint32_t fec_block = 0;        ///< FEC block ordinal (0 when FEC off)
+  bool is_parity = false;             ///< parity symbol, not segment bytes
 };
 
 }  // namespace vodbcast::net

@@ -1,7 +1,9 @@
 #include "net/packet_client.hpp"
 
 #include <algorithm>
+#include <optional>
 
+#include "fault/injector.hpp"
 #include "net/delivery.hpp"
 #include "util/contracts.hpp"
 
@@ -12,10 +14,14 @@ PacketSessionReport run_packet_session(const channel::ChannelPlan& plan,
                                        const series::SegmentLayout& layout,
                                        std::uint64_t t0, LossModel& loss,
                                        core::Mbits mtu, obs::Sink* sink,
-                                       std::uint64_t client) {
+                                       std::uint64_t client,
+                                       const fault::Injector* injector) {
   const client::ReceptionPlan reception =
       client::plan_reception(layout, t0);
   const double d1 = layout.unit_duration().v;
+  const bool faulty = injector != nullptr && !injector->plan().empty();
+  const DeliveryOptions delivery_options =
+      injector != nullptr ? injector->delivery_options() : DeliveryOptions{};
 
   PacketSessionReport report;
   report.segments_total = reception.downloads.size();
@@ -68,25 +74,58 @@ PacketSessionReport run_packet_session(const channel::ChannelPlan& plan,
           .label = {},
       });
     }
-    const DeliveryReport delivered =
-        deliver_segment(*stream, index, mtu, loss, playback_start,
-                        layout.video().display_rate, sink, download_span);
+    // Fault overlay: outages and burst overrides for this download's
+    // channel (the SB segment index), layered over the caller's base model.
+    std::optional<fault::FaultyChannel> channel_faults;
+    LossModel* wire = &loss;
+    if (faulty) {
+      channel_faults.emplace(*injector, download.segment, loss);
+      wire = &*channel_faults;
+    }
+    const DeliveryReport delivered = deliver_segment(
+        *stream, index, mtu, *wire, playback_start,
+        layout.video().display_rate, delivery_options, sink, download_span);
     report.packets_sent += delivered.packets_sent;
     report.packets_lost += delivered.packets_lost;
+    report.parity_packets += delivered.parity_sent;
+    report.repaired_packets += delivered.repaired_packets;
+    report.retries_used += delivered.retries_used;
+    if (delivered.degraded) {
+      ++report.segments_degraded;
+    }
     if (delivered.gap_count > 0) {
       ++report.segments_with_gaps;
     }
-    if (!delivered.jitter_free || !download.meets_deadline()) {
+    // A disk-stall episode delays this download's completion in place; it
+    // eats the slack before the deadline first, the rest stalls playback.
+    double stall_penalty = delivered.stall_min;
+    if (faulty) {
+      const double w_begin = static_cast<double>(download.start) * d1;
+      const double w_end = static_cast<double>(download.end()) * d1;
+      const double disk = injector->plan().stall_overlap(w_begin, w_end);
+      if (disk > 0.0) {
+        stall_penalty =
+            std::max(stall_penalty, disk - (playback_start.v - w_begin));
+      }
+    }
+    if (stall_penalty > 0.0) {
+      report.stall_penalty_min += stall_penalty;
+    }
+    if (!delivered.jitter_free || !download.meets_deadline() ||
+        stall_penalty > 0.0) {
       ++report.segments_stalled;
       report.stalled_segments.push_back(download.segment);
       all_clean = false;
       if (sink != nullptr) {
         // The player feed runs dry at the segment's playback time; the
         // stall lasts until the data is actually there — the download end
-        // for a late join, the next repetition for a lossy one.
+        // for a late join, the heal instant for a lossy one.
         double stall_end = static_cast<double>(download.end()) * d1;
         if (!delivered.jitter_free) {
-          stall_end = std::max(stall_end, playback_start.v + stream->period.v);
+          stall_end = std::max(stall_end, delivered.heal_min > 0.0
+                                              ? delivered.heal_min
+                                              : playback_start.v +
+                                                    stream->period.v);
         }
         sink->spans.record(obs::Span{
             .parent = session_span,

@@ -16,6 +16,10 @@
 #include "obs/sink.hpp"
 #include "series/segmentation.hpp"
 
+namespace vodbcast::fault {
+class Injector;
+}  // namespace vodbcast::fault
+
 namespace vodbcast::net {
 
 struct PacketSessionReport {
@@ -26,6 +30,14 @@ struct PacketSessionReport {
   std::size_t segments_stalled = 0;  ///< late or incomplete for playback
   bool jitter_free = false;          ///< every segment clean and on time
   std::vector<int> stalled_segments; ///< 1-based indices, ascending
+  // Recovery accounting (zero without an injector):
+  std::size_t parity_packets = 0;    ///< FEC parity among packets_sent
+  std::size_t repaired_packets = 0;  ///< data healed by parity blocks
+  std::size_t retries_used = 0;      ///< catch-up repetitions consumed
+  std::size_t segments_degraded = 0; ///< holes survived the retry budget
+  /// Summed worst-byte stall penalty over stalled segments, minutes — the
+  /// extra wait the session's viewer eats beyond the tune-in wait.
+  double stall_penalty_min = 0.0;
 };
 
 /// Runs the packet-level session for `video` under `plan` (the server's
@@ -38,9 +50,16 @@ struct PacketSessionReport {
 /// segment_download per planned download, retransmit children under lossy
 /// deliveries, disk_stall children for segments that miss their deadline).
 /// `client` labels those spans (0 = n/a).
+/// `injector` (optional) overlays the fault plan's channel damage on
+/// `loss` (outages and burst overrides keyed by the SB segment index) and
+/// applies its recovery policy — FEC parity and catch-up retries — to
+/// every delivery; disk-stall episodes delay segment completion and the
+/// resulting stall penalties are accumulated in the report. Null, or a
+/// plan with zero episodes, leaves the session bit-identical.
 [[nodiscard]] PacketSessionReport run_packet_session(
     const channel::ChannelPlan& plan, core::VideoId video,
     const series::SegmentLayout& layout, std::uint64_t t0, LossModel& loss,
-    core::Mbits mtu, obs::Sink* sink = nullptr, std::uint64_t client = 0);
+    core::Mbits mtu, obs::Sink* sink = nullptr, std::uint64_t client = 0,
+    const fault::Injector* injector = nullptr);
 
 }  // namespace vodbcast::net

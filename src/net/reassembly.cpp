@@ -1,6 +1,7 @@
 #include "net/reassembly.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/contracts.hpp"
 
@@ -17,24 +18,28 @@ SegmentReassembler::SegmentReassembler(core::Mbits expected)
 
 bool SegmentReassembler::covered_by(double begin, double end,
                                     double by_time) const {
-  // Walk the (small, compacted) log, merging the ranges visible at
-  // `by_time` into a running prefix over [begin, end].
-  std::vector<Range> visible;
-  visible.reserve(packets_.size());
-  for (const auto& p : packets_) {
-    if (p.last_arrival <= by_time + kEps && p.end > begin - kEps &&
-        p.begin < end + kEps) {
-      visible.push_back(p);
+  // The timeline holds, for every covered byte, the earliest send time at
+  // which it became covered; [begin, end] is covered by packets no later
+  // than `by_time` exactly when the pieces overlapping it are contiguous
+  // and none became covered later than `by_time`.
+  auto it = std::upper_bound(
+      timeline_.begin(), timeline_.end(), begin,
+      [](double v, const Piece& p) { return v < p.begin; });
+  if (it != timeline_.begin()) {
+    --it;
+    if (it->end < begin - kEps) {
+      ++it;
     }
   }
-  std::sort(visible.begin(), visible.end(),
-            [](const Range& a, const Range& b) { return a.begin < b.begin; });
   double cursor = begin;
-  for (const auto& r : visible) {
-    if (r.begin > cursor + kEps) {
+  for (; it != timeline_.end() && it->begin < end - kEps; ++it) {
+    if (it->begin > cursor + kEps) {
       return false;
     }
-    cursor = std::max(cursor, r.end);
+    if (it->cover_time > by_time + kEps) {
+      return false;
+    }
+    cursor = std::max(cursor, it->end);
     if (cursor + kEps >= end) {
       return true;
     }
@@ -43,24 +48,55 @@ bool SegmentReassembler::covered_by(double begin, double end,
 }
 
 void SegmentReassembler::merge_range(double begin, double end, double at) {
-  // ranges_ is sorted by begin and disjoint; splice the new range in and
-  // absorb every neighbour it touches (within kEps slack).
-  auto it = std::lower_bound(
-      ranges_.begin(), ranges_.end(), begin,
-      [](const Range& r, double v) { return r.begin < v; });
-  if (it != ranges_.begin() && (it - 1)->end + kEps >= begin) {
-    --it;
+  // Pointwise: cover_time over [begin, end] becomes min(existing, at), with
+  // holes filled at `at`. Rebuild the overlapped stretch of the timeline.
+  auto first = std::upper_bound(
+      timeline_.begin(), timeline_.end(), begin,
+      [](double v, const Piece& p) { return v < p.begin; });
+  if (first != timeline_.begin() && (first - 1)->end > begin + kEps) {
+    --first;
   }
-  Range merged{begin, end, at};
-  const auto first = it;
-  while (it != ranges_.end() && it->begin <= merged.end + kEps) {
-    merged.begin = std::min(merged.begin, it->begin);
-    merged.end = std::max(merged.end, it->end);
-    merged.last_arrival = std::max(merged.last_arrival, it->last_arrival);
-    ++it;
+  auto last = first;
+  while (last != timeline_.end() && last->begin < end - kEps) {
+    ++last;
   }
-  const auto pos = ranges_.erase(first, it);
-  ranges_.insert(pos, merged);
+
+  std::vector<Piece> rebuilt;
+  rebuilt.reserve(static_cast<std::size_t>(last - first) + 3);
+  const auto emit = [&rebuilt](double b, double e, double cover) {
+    if (e - b <= kEps) {
+      return;  // sliver from boundary arithmetic; nothing to record
+    }
+    if (!rebuilt.empty() && rebuilt.back().end + kEps >= b &&
+        std::abs(rebuilt.back().cover_time - cover) <= kEps) {
+      rebuilt.back().end = std::max(rebuilt.back().end, e);
+      return;
+    }
+    rebuilt.push_back(Piece{b, e, cover});
+  };
+
+  double cursor = begin;
+  for (auto it = first; it != last; ++it) {
+    if (it->begin < begin - kEps) {
+      emit(it->begin, std::min(it->end, begin), it->cover_time);
+    }
+    if (it->begin > cursor + kEps) {
+      emit(cursor, it->begin, at);  // hole newly covered by this packet
+    }
+    const double ov_begin = std::max(it->begin, begin);
+    const double ov_end = std::min(it->end, end);
+    emit(ov_begin, ov_end, std::min(it->cover_time, at));
+    if (it->end > end + kEps) {
+      emit(end, it->end, it->cover_time);
+    }
+    cursor = std::max(cursor, std::min(it->end, end));
+  }
+  if (cursor < end - kEps) {
+    emit(cursor, end, at);
+  }
+
+  const auto pos = timeline_.erase(first, last);
+  timeline_.insert(pos, rebuilt.begin(), rebuilt.end());
 }
 
 void SegmentReassembler::accept(const Packet& packet) {
@@ -75,38 +111,44 @@ void SegmentReassembler::accept(const Packet& packet) {
   if (covered_by(begin, end, packet.send_time.v)) {
     return;
   }
-  packets_.push_back(Range{begin, end, packet.send_time.v});
+  ++retained_;
   merge_range(begin, end, packet.send_time.v);
 }
 
 core::Mbits SegmentReassembler::contiguous_prefix() const {
-  if (ranges_.empty() || ranges_.front().begin > kEps) {
+  if (timeline_.empty() || timeline_.front().begin > kEps) {
     return core::Mbits{0.0};
   }
-  return core::Mbits{ranges_.front().end};
+  double prefix = timeline_.front().end;
+  for (std::size_t i = 1; i < timeline_.size(); ++i) {
+    if (timeline_[i].begin > prefix + kEps) {
+      break;
+    }
+    prefix = std::max(prefix, timeline_[i].end);
+  }
+  return core::Mbits{prefix};
 }
 
 core::Mbits SegmentReassembler::received() const {
   double total = 0.0;
-  for (const auto& r : ranges_) {
-    total += r.end - r.begin;
+  for (const auto& p : timeline_) {
+    total += p.end - p.begin;
   }
   return core::Mbits{total};
 }
 
 bool SegmentReassembler::complete() const {
-  return ranges_.size() == 1 && ranges_.front().begin <= kEps &&
-         ranges_.front().end >= expected_ - kEps;
+  return contiguous_prefix().v >= expected_ - kEps;
 }
 
 std::vector<Gap> SegmentReassembler::gaps() const {
   std::vector<Gap> result;
   double cursor = 0.0;
-  for (const auto& r : ranges_) {
-    if (r.begin > cursor + kEps) {
-      result.push_back(Gap{core::Mbits{cursor}, core::Mbits{r.begin}});
+  for (const auto& p : timeline_) {
+    if (p.begin > cursor + kEps) {
+      result.push_back(Gap{core::Mbits{cursor}, core::Mbits{p.begin}});
     }
-    cursor = std::max(cursor, r.end);
+    cursor = std::max(cursor, p.end);
   }
   if (cursor < expected_ - kEps) {
     result.push_back(Gap{core::Mbits{cursor}, core::Mbits{expected_}});
@@ -120,39 +162,51 @@ std::optional<core::Minutes> SegmentReassembler::prefix_available_at(
   if (point.v <= kEps) {
     return core::Minutes{0.0};
   }
-  if (contiguous_prefix().v + kEps < point.v) {
-    return std::nullopt;
-  }
-  // Replay the compacted log in send-time order; the prefix through
-  // `point` becomes readable at the send time of the packet that first
-  // closes it. The compaction in accept() only drops packets that were
-  // already covered at their own send time, so the coverage visible at
-  // every replay step — and therefore the answer — is exactly what the
-  // full log would give, at O(n^2) over a log the compaction keeps small.
-  std::vector<Range> by_arrival = packets_;
-  std::sort(by_arrival.begin(), by_arrival.end(),
-            [](const Range& a, const Range& b) {
-              return a.last_arrival < b.last_arrival;
-            });
-  std::vector<Range> active;
-  for (const auto& next : by_arrival) {
-    active.push_back(next);
-    // Contiguous prefix of the active set.
-    std::vector<Range> sorted = active;
-    std::sort(sorted.begin(), sorted.end(),
-              [](const Range& a, const Range& b) { return a.begin < b.begin; });
-    double prefix = 0.0;
-    for (const auto& r : sorted) {
-      if (r.begin > prefix + kEps) {
-        break;
-      }
-      prefix = std::max(prefix, r.end);
+  // The prefix through `point` closes at the latest earliest-cover time of
+  // any byte in [0, point]: one contiguous walk over the timeline.
+  double cursor = 0.0;
+  double latest = 0.0;
+  for (const auto& p : timeline_) {
+    if (p.begin > cursor + kEps) {
+      return std::nullopt;  // hole before `point`
     }
-    if (prefix + kEps >= point.v) {
-      return core::Minutes{next.last_arrival};
+    latest = std::max(latest, p.cover_time);
+    cursor = std::max(cursor, p.end);
+    if (cursor + kEps >= point.v) {
+      return core::Minutes{latest};
     }
   }
-  VB_ASSERT(false);  // unreachable: the full prefix covers `point`
+  return std::nullopt;
+}
+
+std::optional<core::Minutes> SegmentReassembler::covered_since(
+    core::Mbits begin, core::Mbits end) const {
+  VB_EXPECTS(begin.v >= -kEps && end.v <= expected_ + kEps &&
+             begin.v <= end.v + kEps);
+  auto it = std::upper_bound(
+      timeline_.begin(), timeline_.end(), begin.v,
+      [](double v, const Piece& p) { return v < p.begin; });
+  if (it != timeline_.begin()) {
+    --it;
+    if (it->end < begin.v - kEps) {
+      ++it;
+    }
+  }
+  double cursor = begin.v;
+  double latest = 0.0;
+  for (; it != timeline_.end() && it->begin < end.v - kEps; ++it) {
+    if (it->begin > cursor + kEps) {
+      return std::nullopt;
+    }
+    latest = std::max(latest, it->cover_time);
+    cursor = std::max(cursor, it->end);
+    if (cursor + kEps >= end.v) {
+      return core::Minutes{latest};
+    }
+  }
+  if (cursor + kEps >= end.v) {
+    return core::Minutes{latest};
+  }
   return std::nullopt;
 }
 

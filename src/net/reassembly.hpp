@@ -6,6 +6,7 @@
 // made against the playback deadline.
 #pragma once
 
+#include <cstddef>
 #include <optional>
 #include <vector>
 
@@ -50,31 +51,43 @@ class SegmentReassembler {
   [[nodiscard]] std::optional<core::Minutes> prefix_available_at(
       core::Mbits point) const;
 
+  /// Earliest time at which `[begin, end]` was fully covered — the heal
+  /// instant of a repaired hole; nullopt while any byte of it is missing.
+  [[nodiscard]] std::optional<core::Minutes> covered_since(
+      core::Mbits begin, core::Mbits end) const;
+
   /// Packets retained in the availability log. Duplicates and retransmits
   /// whose range was already covered at their send time are dropped on
   /// accept(), so this stays bounded by the distinct coverage — a
   /// duplicate storm does not grow it.
   [[nodiscard]] std::size_t retained_packets() const noexcept {
-    return packets_.size();
+    return retained_;
   }
 
  private:
-  struct Range {
+  /// One piece of the coverage timeline: the bytes `[begin, end]` first
+  /// became fully available at `cover_time` (the earliest send_time of any
+  /// retained packet covering them). The timeline is sorted by begin and
+  /// disjoint; adjacent pieces are fused only when their cover times agree,
+  /// so its length is bounded by the distinct coverage, not by the number
+  /// of packets accepted.
+  struct Piece {
     double begin;
     double end;
-    double last_arrival;  ///< latest send_time contributing to this range
+    double cover_time;
   };
 
   /// True when `[begin, end]` is covered by retained packets whose
   /// send_time is at most `by_time`.
   [[nodiscard]] bool covered_by(double begin, double end,
                                 double by_time) const;
-  /// Merges `[begin, end]` (send time `at`) into the coalesced range set.
+  /// Lowers the earliest-cover time over `[begin, end]` to at most `at`,
+  /// filling holes; the timeline stays sorted, disjoint and fused.
   void merge_range(double begin, double end, double at);
 
   double expected_;
-  std::vector<Range> packets_;  ///< compacted packet log, arrival order
-  std::vector<Range> ranges_;   ///< coverage: sorted, disjoint, coalesced
+  std::size_t retained_ = 0;
+  std::vector<Piece> timeline_;
 };
 
 }  // namespace vodbcast::net

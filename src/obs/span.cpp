@@ -53,6 +53,10 @@ const char* to_string(SpanPhase phase) noexcept {
       return "epoch";
     case SpanPhase::kDrain:
       return "drain";
+    case SpanPhase::kFaultEpisode:
+      return "fault_episode";
+    case SpanPhase::kRepair:
+      return "repair";
   }
   return "unknown";
 }

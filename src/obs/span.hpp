@@ -41,6 +41,8 @@ enum class SpanPhase : std::uint8_t {
   kDiskStall,        ///< a segment missed its playback deadline
   kEpoch,            ///< control-plane epoch; value = hot-set size
   kDrain,            ///< demoted title's channels draining; value = minutes
+  kFaultEpisode,     ///< injected fault window; value = episode index
+  kRepair,           ///< damage → heal window; value = wait penalty, minutes
 };
 
 [[nodiscard]] const char* to_string(SpanPhase phase) noexcept;

@@ -48,6 +48,14 @@ const char* to_string(EventKind kind) noexcept {
       return "demote";
     case EventKind::kDrainComplete:
       return "drain_complete";
+    case EventKind::kFaultEpisode:
+      return "fault_episode";
+    case EventKind::kFaultHit:
+      return "fault_hit";
+    case EventKind::kRepair:
+      return "repair";
+    case EventKind::kFaultDegraded:
+      return "fault_degraded";
   }
   return "unknown";
 }

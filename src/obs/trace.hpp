@@ -35,6 +35,10 @@ enum class EventKind : std::uint8_t {
   kPromote,                ///< title entered periodic broadcast
   kDemote,                 ///< title left broadcast; its channels start draining
   kDrainComplete,          ///< drained channels handed to the tail; value = drain minutes
+  kFaultEpisode,           ///< injected fault episode began; value = episode index
+  kFaultHit,               ///< a session's download overlapped an episode; value = episode index
+  kRepair,                 ///< damage healed (FEC / catch-up); value = wait penalty, minutes
+  kFaultDegraded,          ///< damage survived the retry budget; value = episode index
 };
 
 [[nodiscard]] const char* to_string(EventKind kind) noexcept;

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "client/reception_plan.hpp"
+#include "fault/injector.hpp"
 #include "obs/log.hpp"
 #include "sim/event_queue.hpp"
 #include "obs/timer.hpp"
@@ -123,6 +124,9 @@ SimulationReport simulate(const schemes::BroadcastScheme& scheme,
     for (const auto& [channel, utilization] : duty) {
       util_family.with_ids({static_cast<std::uint64_t>(channel)})
           .max_of(std::min(utilization, 1.0));
+    }
+    if (config.injector != nullptr && !config.injector->plan().empty()) {
+      fault::trace_plan(*sink, config.injector->plan());
     }
   }
 
@@ -302,6 +306,95 @@ SimulationReport simulate(const schemes::BroadcastScheme& scheme,
         trace_reception(*sink, *plan, d1, request.video,
                         report.clients_served, session_span);
       }
+
+      if (config.injector != nullptr && !config.injector->plan().empty()) {
+        // Assess each planned download against the fault plan and play the
+        // recovery policy forward. Damage never becomes silent jitter: it
+        // is either repaired (catch-up on a later repetition, or a disk
+        // stall absorbed in place, both with the wait penalty recorded) or
+        // surfaced as degradation.
+        for (const auto& d : plan->downloads) {
+          const double w_begin = static_cast<double>(d.start) * d1;
+          const double w_end = static_cast<double>(d.end()) * d1;
+          const double deadline_min = static_cast<double>(d.deadline) * d1;
+          const double period_min = static_cast<double>(d.length) * d1;
+          const auto damage = fault::assess_download(
+              config.injector, w_begin, w_end, d.segment, period_min,
+              report.clients_served * 4096 +
+                  static_cast<std::uint64_t>(d.segment));
+          if (!damage.damaged) {
+            continue;
+          }
+          ++report.fault_hits;
+          const auto episode = static_cast<double>(damage.episode);
+          if (sink != nullptr) {
+            sink->metrics.counter_family("fault.hits", {"kind"})
+                .with_ids({static_cast<std::uint64_t>(
+                    config.injector->plan()
+                        .episodes()[damage.episode]
+                        .kind)})
+                .add();
+            sink->trace.record(obs::TraceEvent{
+                .sim_time_min = w_end,
+                .kind = obs::EventKind::kFaultHit,
+                .channel = d.segment,
+                .video = request.video,
+                .client = report.clients_served,
+                .value = episode,
+            });
+          }
+          if (damage.repaired) {
+            ++report.fault_repairs;
+            // Download and playback both run at the display rate, so a
+            // catch-up that slides the download later stalls every byte by
+            // the same amount: the penalty is the effective start's
+            // overshoot past the segment's playback deadline.
+            const double effective_start =
+                damage.repaired_at_min - (w_end - w_begin);
+            const double penalty =
+                std::max(0.0, effective_start - deadline_min);
+            report.fault_penalty_minutes.add(penalty);
+            if (sink != nullptr) {
+              sink->metrics.counter("fault.repairs").add();
+              sink->metrics.sketch("fault.repair_penalty_min")
+                  .observe(penalty);
+              sink->trace.record(obs::TraceEvent{
+                  .sim_time_min = damage.repaired_at_min,
+                  .kind = obs::EventKind::kRepair,
+                  .channel = d.segment,
+                  .video = request.video,
+                  .client = report.clients_served,
+                  .value = penalty,
+              });
+              sink->spans.record(obs::Span{
+                  .parent = session_span,
+                  .start_min = w_end,
+                  .end_min = damage.repaired_at_min,
+                  .phase = obs::SpanPhase::kRepair,
+                  .channel = d.segment,
+                  .video = request.video,
+                  .client = report.clients_served,
+                  .value = penalty,
+                  .label = {},
+              });
+            }
+          } else {
+            ++report.fault_degraded;
+            if (sink != nullptr) {
+              sink->metrics.counter("fault.degraded").add();
+              sink->trace.record(obs::TraceEvent{
+                  .sim_time_min =
+                      w_end + static_cast<double>(damage.retries) * period_min,
+                  .kind = obs::EventKind::kFaultDegraded,
+                  .channel = d.segment,
+                  .video = request.video,
+                  .client = report.clients_served,
+                  .value = episode,
+              });
+            }
+          }
+        }
+      }
     }
   };
 
@@ -373,6 +466,10 @@ ReplicatedReport simulate_replicated(const schemes::BroadcastScheme& scheme,
                  rep.max_concurrent_downloads);
     result.merged.clients_served += rep.clients_served;
     result.merged.jitter_events += rep.jitter_events;
+    result.merged.fault_hits += rep.fault_hits;
+    result.merged.fault_repairs += rep.fault_repairs;
+    result.merged.fault_degraded += rep.fault_degraded;
+    result.merged.fault_penalty_minutes.merge(rep.fault_penalty_minutes);
     if (!rep.latency_minutes.empty()) {
       result.replication_mean_latency.add(rep.latency_minutes.mean());
     }

@@ -18,6 +18,10 @@
 #include "util/task_pool.hpp"
 #include "workload/request.hpp"
 
+namespace vodbcast::fault {
+class Injector;
+}  // namespace vodbcast::fault
+
 namespace vodbcast::sim {
 
 struct SimulationConfig {
@@ -36,6 +40,14 @@ struct SimulationConfig {
   /// "client.last_buffer_peak_units" probes and advances the sampler along
   /// the arrival clock. Null costs one pointer test per arrival.
   obs::Sampler* sampler = nullptr;
+  /// Optional fault injector (not owned; queries are const, so one
+  /// instance is safely shared across replications). When set, each
+  /// planned client's downloads are assessed against the fault plan and
+  /// the recovery policy is played forward: damage is repaired by catch-up
+  /// repetitions within the retry budget (with the wait penalty recorded)
+  /// or surfaced as degradation — never as silent jitter. Null, or a plan
+  /// with zero episodes, is bit-identical to today's behavior.
+  const fault::Injector* injector = nullptr;
 };
 
 struct SimulationReport {
@@ -46,6 +58,12 @@ struct SimulationReport {
   std::uint64_t clients_served = 0;
   std::uint64_t jitter_events = 0;    ///< must stay 0 for a correct scheme
   core::MbitPerSec peak_server_rate{0.0};
+  // Fault accounting (all zero without an injector): every hit is either
+  // repaired or surfaced as degradation.
+  std::uint64_t fault_hits = 0;       ///< downloads damaged by an episode
+  std::uint64_t fault_repairs = 0;    ///< healed within the recovery policy
+  std::uint64_t fault_degraded = 0;   ///< survived the retry budget
+  Distribution fault_penalty_minutes; ///< per-repair extra wait, minutes
 };
 
 /// Simulates `scheme` on `input` under the given workload.

@@ -133,7 +133,7 @@ TEST(SpanTracerTest, EveryPhaseHasAName) {
        {SpanPhase::kSession, SpanPhase::kQueueWait, SpanPhase::kTune,
         SpanPhase::kSegmentDownload, SpanPhase::kPlayback,
         SpanPhase::kRetransmit, SpanPhase::kDiskStall, SpanPhase::kEpoch,
-        SpanPhase::kDrain}) {
+        SpanPhase::kDrain, SpanPhase::kFaultEpisode, SpanPhase::kRepair}) {
     EXPECT_STRNE(to_string(phase), "unknown");
   }
 }

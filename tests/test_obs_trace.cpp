@@ -141,7 +141,9 @@ TEST(TracerTest, EveryEventKindHasAName) {
        {EventKind::kClientArrival, EventKind::kTuneIn,
         EventKind::kSegmentDownloadStart, EventKind::kSegmentDownloadEnd,
         EventKind::kJitter, EventKind::kChannelSlotStart,
-        EventKind::kBatchFire, EventKind::kRenege}) {
+        EventKind::kBatchFire, EventKind::kRenege, EventKind::kFaultEpisode,
+        EventKind::kFaultHit, EventKind::kRepair,
+        EventKind::kFaultDegraded}) {
     EXPECT_STRNE(to_string(kind), "unknown");
   }
 }

@@ -9,6 +9,9 @@
 
 #include "analysis/experiments.hpp"
 #include "analysis/sweep.hpp"
+#include "batching/queue_policies.hpp"
+#include "ctrl/adaptive.hpp"
+#include "fault/injector.hpp"
 #include "obs/sink.hpp"
 #include "schemes/registry.hpp"
 #include "sim/simulator.hpp"
@@ -316,6 +319,84 @@ TEST(ReplicatedSimTest, MergedSpansBitIdenticalAtAnyThreadCount) {
   EXPECT_GT(serial->spans.recorded(), 0U);
   EXPECT_EQ(serial->spans.to_jsonl(), pooled->spans.to_jsonl());
   EXPECT_EQ(serial->spans.dropped(), pooled->spans.dropped());
+}
+
+// Fault-injected replicated runs obey the same contract: the injector's
+// verdicts are pure functions of the plan seed, so damage, repairs and the
+// fault trace merge bit-identically at any thread count.
+TEST(ReplicatedSimTest, FaultRunsBitIdenticalAtAnyThreadCount) {
+  const auto scheme = schemes::make_scheme("SB:W=52");
+  const auto input = analysis::paper_design_input(300.0);
+
+  fault::PlanSpec spec;
+  spec.horizon_min = 120.0;
+  spec.channels = 10;
+  spec.outages = 2;
+  spec.bursts = 2;
+  spec.disk_stalls = 1;
+  spec.server_restart = true;
+  const fault::Injector injector{fault::Plan::generate(spec, 19),
+                                 fault::RecoveryPolicy{.retry_budget = 1}};
+
+  const auto run = [&](util::TaskPool* pool) {
+    auto sink = std::make_unique<obs::Sink>(65536, 65536);
+    auto config = replication_config(sink.get());
+    config.injector = &injector;
+    const auto replicated =
+        sim::simulate_replicated(*scheme, input, config, 4, pool);
+    return std::make_pair(replicated, std::move(sink));
+  };
+  const auto [serial, sink_serial] = run(nullptr);
+  util::TaskPool pool(4);
+  const auto [pooled, sink_pooled] = run(&pool);
+
+  EXPECT_GT(serial.merged.fault_hits, 0U);
+  EXPECT_EQ(serial.merged.fault_hits, pooled.merged.fault_hits);
+  EXPECT_EQ(serial.merged.fault_repairs, pooled.merged.fault_repairs);
+  EXPECT_EQ(serial.merged.fault_degraded, pooled.merged.fault_degraded);
+  EXPECT_EQ(serial.merged.fault_penalty_minutes.samples(),
+            pooled.merged.fault_penalty_minutes.samples());
+  EXPECT_EQ(serial.merged.latency_minutes.samples(),
+            pooled.merged.latency_minutes.samples());
+  EXPECT_EQ(sink_serial->trace.to_jsonl(), sink_pooled->trace.to_jsonl());
+  EXPECT_EQ(sink_serial->spans.to_jsonl(), sink_pooled->spans.to_jsonl());
+  const auto ms = sink_serial->metrics.snapshot();
+  const auto mp = sink_pooled->metrics.snapshot();
+  EXPECT_EQ(ms.counters, mp.counters);
+}
+
+// The adaptive controller under a fault plan: forced demotions and
+// restarts are epoch-boundary decisions on pure plan queries, so the
+// replicated merge stays bit-identical too.
+TEST(ReplicatedAdaptiveTest, FaultRunsBitIdenticalAtAnyThreadCount) {
+  fault::PlanSpec spec;
+  spec.horizon_min = 500.0;
+  spec.channels = 10;
+  spec.outages = 3;
+  spec.mean_outage_min = 90.0;
+  spec.server_restart = true;
+  const fault::Injector injector{fault::Plan::generate(spec, 23)};
+
+  const batching::MqlPolicy policy;
+  ctrl::AdaptiveConfig config;
+  config.horizon = core::Minutes{500.0};
+  config.arrivals_per_minute = 2.0;
+  config.injector = &injector;
+
+  const auto serial =
+      ctrl::simulate_adaptive_replicated(policy, config, 4, nullptr);
+  util::TaskPool pool(4);
+  const auto pooled =
+      ctrl::simulate_adaptive_replicated(policy, config, 4, &pool);
+
+  EXPECT_EQ(serial.merged.wait_minutes.samples(),
+            pooled.merged.wait_minutes.samples());
+  EXPECT_EQ(serial.merged.fault_forced_demotions,
+            pooled.merged.fault_forced_demotions);
+  EXPECT_EQ(serial.merged.fault_restarts, pooled.merged.fault_restarts);
+  EXPECT_EQ(serial.merged.served_hot, pooled.merged.served_hot);
+  EXPECT_EQ(serial.merged.served_tail, pooled.merged.served_tail);
+  EXPECT_EQ(serial.wait_mean_ci95, pooled.wait_mean_ci95);
 }
 
 }  // namespace

@@ -12,9 +12,15 @@
 //      download of a title spans that title's drain_complete instant — a
 //      demoted title's channels must fully drain (every tuned-in client
 //      finished on the old plan) before the bandwidth is retuned.
+//   5. with --faults, the fault-recovery contract: injected damage never
+//      becomes silent jitter — the run must carry zero jitter events, and
+//      every per-client fault_hit must be matched by exactly one repair or
+//      fault_degraded on the same (client, channel), so each episode's
+//      damage is either healed (with its wait penalty recorded) or
+//      surfaced as degradation.
 //
 //   trace_check TRACE.jsonl [--max-loaders 2] [--max-units N] [--realloc]
-//               [--verbose]
+//               [--faults] [--verbose]
 //
 // D1 is inferred as the shortest download in the trace (a segment-1 fetch
 // lasts exactly one slot). Download intervals are reconstructed from
@@ -59,6 +65,9 @@ int usage() {
       "                    check the buffer never goes negative)\n"
       "  --realloc         also check the adaptive drain contract: no\n"
       "                    download spans its title's drain_complete\n"
+      "  --faults          also check the fault-recovery contract: zero\n"
+      "                    jitter events and every fault_hit matched by a\n"
+      "                    repair or fault_degraded on its (client, channel)\n"
       "  --verbose         print per-client peaks, not just violations\n",
       stderr);
   return 2;
@@ -73,7 +82,7 @@ int main(int argc, char** argv) {
   }
   for (const auto& [flag, _] : args.flags()) {
     if (flag != "max-loaders" && flag != "max-units" && flag != "verbose" &&
-        flag != "realloc") {
+        flag != "realloc" && flag != "faults") {
       std::fprintf(stderr, "trace_check: unknown flag --%s\n", flag.c_str());
       return usage();
     }
@@ -82,6 +91,7 @@ int main(int argc, char** argv) {
   const bool has_unit_cap = args.has("max-units");
   const auto max_units = args.get_int("max-units", 0);
   const bool check_realloc = args.has("realloc");
+  const bool check_faults = args.has("faults");
   const bool verbose = args.has("verbose");
 
   const auto& path = args.positional(0);
@@ -110,6 +120,16 @@ int main(int argc, char** argv) {
   // --realloc bookkeeping: per-video drain instants and download intervals.
   std::map<std::uint64_t, std::vector<double>> drains;
   std::map<std::uint64_t, std::vector<Download>> video_downloads;
+  // --faults bookkeeping: per-(client, channel) damage accounting. Key is
+  // client * 2^16 + channel; both fields are bounded well below that in
+  // any trace the simulator emits.
+  struct FaultAccount {
+    std::uint64_t hits = 0;
+    std::uint64_t repairs = 0;
+    std::uint64_t degraded = 0;
+  };
+  std::map<std::uint64_t, FaultAccount> fault_accounts;
+  std::uint64_t fault_episodes = 0;
   double d1 = 0.0;  // inferred below: shortest download in the trace
   for (const auto& line : lines) {
     const auto event = line.at("event").as_string();
@@ -122,8 +142,23 @@ int main(int argc, char** argv) {
     if (check_realloc && event == "drain_complete") {
       drains[video].push_back(t);
     }
+    if (check_faults && event == "fault_episode") {
+      ++fault_episodes;
+    }
     if (client == 0) {
       continue;  // server-side events (channel slots, batch fires)
+    }
+    if (check_faults) {
+      const auto channel =
+          static_cast<std::uint64_t>(line.number_or("channel", 0.0));
+      const std::uint64_t key = client * 65536 + channel;
+      if (event == "fault_hit") {
+        ++fault_accounts[key].hits;
+      } else if (event == "repair") {
+        ++fault_accounts[key].repairs;
+      } else if (event == "fault_degraded") {
+        ++fault_accounts[key].degraded;
+      }
     }
     auto& track = clients[client];
     if (event == "tune_in") {
@@ -283,6 +318,39 @@ int main(int argc, char** argv) {
                 "on %zu video(s)\n",
                 static_cast<unsigned long long>(drain_handoffs),
                 drains.size());
+  }
+
+  // Invariant 5 (--faults): injected damage never becomes silent jitter.
+  // Jitter events are already violations above; here every per-client
+  // fault_hit must resolve to exactly one repair or fault_degraded on the
+  // same (client, channel) — an unmatched hit is damage that vanished, an
+  // unmatched repair/degradation is bookkeeping out of thin air.
+  if (check_faults) {
+    std::uint64_t hits = 0;
+    std::uint64_t repairs = 0;
+    std::uint64_t degraded = 0;
+    for (const auto& [key, account] : fault_accounts) {
+      hits += account.hits;
+      repairs += account.repairs;
+      degraded += account.degraded;
+      if (account.hits != account.repairs + account.degraded) {
+        ++violations;
+        std::printf(
+            "VIOLATION client %llu channel %llu: %llu fault hit(s) vs "
+            "%llu repair(s) + %llu degraded\n",
+            static_cast<unsigned long long>(key / 65536),
+            static_cast<unsigned long long>(key % 65536),
+            static_cast<unsigned long long>(account.hits),
+            static_cast<unsigned long long>(account.repairs),
+            static_cast<unsigned long long>(account.degraded));
+      }
+    }
+    std::printf("trace_check: fault contract checked: %llu episode(s), "
+                "%llu hit(s) = %llu repair(s) + %llu degraded\n",
+                static_cast<unsigned long long>(fault_episodes),
+                static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(repairs),
+                static_cast<unsigned long long>(degraded));
   }
 
   std::printf("trace_check: %zu events, %zu clients; "

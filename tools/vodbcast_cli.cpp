@@ -7,6 +7,8 @@
 //   vodbcast plan     --scheme SB:W=52 --bandwidth 300 --phase 4
 //   vodbcast simulate --scheme SB:W=52 --bandwidth 300 [--horizon 240]
 //                     [--arrivals 4] [--seed 42] [--reps R] [--threads T]
+//                     [--fault-plan outages=2,bursts=1,...] [--fault-seed N]
+//                     [--fault-retries 1]
 //                     [--metrics-out m.json] [--metrics-format json|openmetrics]
 //                     [--trace-out run.json|run.jsonl] [--trace-limit N]
 //                     [--spans-out spans.jsonl] [--spans-limit N]
@@ -18,6 +20,7 @@
 //                     [--adaptive] [--epoch-minutes 60] [--half-life 60]
 //                     [--promote-ratio 1.2] [--demote-ratio 0.8]
 //                     [--min-tail 1] [--popularity-flip] [--flip-at MIN]
+//                     [--fault-plan ...] [--fault-seed N] [--fault-retries 1]
 //   vodbcast help
 #include <cstdio>
 #include <memory>
@@ -30,6 +33,7 @@
 #include "channel/timetable.hpp"
 #include "client/reception_plan.hpp"
 #include "ctrl/adaptive.hpp"
+#include "fault/injector.hpp"
 #include "obs/sampler.hpp"
 #include "obs/sink.hpp"
 #include "schemes/registry.hpp"
@@ -160,6 +164,32 @@ std::unique_ptr<util::TaskPool> make_pool(const util::ArgParser& args) {
   return std::make_unique<util::TaskPool>(static_cast<unsigned>(threads));
 }
 
+/// Builds the --fault-plan injector (null when the flag is absent). The
+/// spec's horizon and channel count come from the run configuration; the
+/// plan seed defaults to a value derived from the run seed (xored with a
+/// constant so it never collides with the replication seed stream).
+/// Exits with a usage error on a malformed spec.
+std::unique_ptr<fault::Injector> make_injector(const util::ArgParser& args,
+                                               double horizon_min,
+                                               int channels,
+                                               std::uint64_t run_seed) {
+  const auto spec_text = args.get("fault-plan");
+  if (!spec_text.has_value()) {
+    return nullptr;
+  }
+  auto spec = fault::parse_plan_spec(*spec_text);
+  VB_EXPECTS_MSG(spec.has_value(),
+                 "malformed --fault-plan spec: " + *spec_text);
+  spec->horizon_min = horizon_min;
+  spec->channels = std::max(channels, 1);
+  const auto seed =
+      args.get_uint("fault-seed", run_seed ^ 0x9E3779B97F4A7C15ULL);
+  fault::RecoveryPolicy policy;
+  policy.retry_budget = static_cast<int>(args.get_int("fault-retries", 1));
+  return std::make_unique<fault::Injector>(
+      fault::Plan::generate(*spec, seed), policy);
+}
+
 schemes::DesignInput input_from(const util::ArgParser& args,
                                 double default_bandwidth = 600.0) {
   return schemes::DesignInput{
@@ -271,6 +301,12 @@ int cmd_simulate(const util::ArgParser& args) {
   config.arrivals_per_minute = args.get_double("arrivals", 4.0);
   config.seed = args.get_uint("seed", 42);
   config.plan_clients = true;
+  // Fault channels are the SB segment indices; size the plan to the design.
+  const auto design = scheme->design(input);
+  const auto injector = make_injector(
+      args, config.horizon.v,
+      design.has_value() ? design->segments : 8, config.seed);
+  config.injector = injector.get();
   obs::Sink sink(static_cast<std::size_t>(
       args.get_uint("trace-limit", 65536)), spans_limit(args));
   if (wants_observability(args)) {
@@ -309,6 +345,19 @@ int cmd_simulate(const util::ArgParser& args) {
                 report.max_concurrent_downloads);
   }
   std::printf("server rate   : %.1f Mb/s\n", report.peak_server_rate.v);
+  if (injector != nullptr) {
+    std::printf("fault plan    : %zu episode(s), seed %llu\n",
+                injector->plan().episodes().size(),
+                static_cast<unsigned long long>(injector->plan().seed()));
+    std::printf("fault damage  : %llu hit(s) = %llu repaired + %llu degraded\n",
+                static_cast<unsigned long long>(report.fault_hits),
+                static_cast<unsigned long long>(report.fault_repairs),
+                static_cast<unsigned long long>(report.fault_degraded));
+    if (!report.fault_penalty_minutes.empty()) {
+      std::printf("repair penalty: %s min\n",
+                  report.fault_penalty_minutes.summary().c_str());
+    }
+  }
   return 0;
 }
 
@@ -377,6 +426,12 @@ int cmd_hybrid_adaptive(const util::ArgParser& args) {
     config.flip_at =
         core::Minutes{args.get_double("flip-at", config.horizon.v / 2.0)};
   }
+  // Fault channels key hot titles as title id + 1; size the plan so
+  // generated outages land on plausible hot titles.
+  const auto injector =
+      make_injector(args, config.horizon.v,
+                    static_cast<int>(config.hot_titles), config.seed);
+  config.injector = injector.get();
 
   obs::Sink sink(static_cast<std::size_t>(
       args.get_uint("trace-limit", 65536)), spans_limit(args));
@@ -436,6 +491,13 @@ int cmd_hybrid_adaptive(const util::ArgParser& args) {
       std::printf("flip at %.0f min   : NOT re-converged by the horizon\n",
                   config.flip_at.v);
     }
+  }
+  if (injector != nullptr) {
+    std::printf("fault plan        : %zu episode(s), %llu forced demotion(s),"
+                " %llu restart(s)\n",
+                injector->plan().episodes().size(),
+                static_cast<unsigned long long>(report.fault_forced_demotions),
+                static_cast<unsigned long long>(report.fault_restarts));
   }
   std::printf("served            : %llu hot, %llu tail, %llu still queued\n",
               static_cast<unsigned long long>(report.served_hot),
@@ -575,6 +637,9 @@ int cmd_help() {
       "           [--spans-format jsonl|chrome|folded]  causal span tree\n"
       "           (analyze with tools/trace_analyze; hybrid accepts the\n"
       "           same flags)\n"
+      "           [--fault-plan outages=2,bursts=1,stalls=1,restart=1,...]\n"
+      "           [--fault-seed N] [--fault-retries 1]  seeded failure\n"
+      "           episodes + recovery (check with trace_check --faults)\n"
       "  width    --bandwidth B --latency L             width for a target\n"
       "  guide    --scheme <label> [--from --until]     emission timetable\n"
       "  hybrid   [--hot N --channels K --policy mql]   hybrid server\n"
@@ -582,6 +647,7 @@ int cmd_help() {
       "           epoch reallocation ([--epoch-minutes 60] [--half-life 60]\n"
       "           [--promote-ratio 1.2] [--demote-ratio 0.8] [--min-tail 1])\n"
       "           [--popularity-flip] [--flip-at MIN]  mid-run rank shuffle\n"
+      "           [--fault-plan ...] outage-forced demotions + restarts\n"
       "scheme labels: SB:W=<n|inf>, SB(fast|flat):W=<n>, PB:a, PB:b, PPB:a,\n"
       "               PPB:b, FB, HB, staggered");
   return 0;
