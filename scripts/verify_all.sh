@@ -63,6 +63,28 @@ build/tools/metrics_check "$om_dir/metrics.txt" \
   'sim_tune_wait_sketch_min_count == sim_clients_served_total' \
   --verbose
 
+echo "== metro-scale hot-path self-check =="
+# A >=100k-client campaign with the phase-keyed plan cache and streaming
+# (sample-capped) wait statistics both on. Two invariants: every lookup is
+# accounted (hits + misses == clients served), and turning the cache off
+# changes nothing in the report — byte-identical stdout, so the wait
+# distribution, client count, and buffer peak all match exactly.
+metro_args=(--scheme SB:W=52 --bandwidth 600 --videos 20
+            --horizon 600 --arrivals 200 --seed 7 --stats-cap 4096)
+build/tools/vodbcast simulate "${metro_args[@]}" --plan-cache 1 \
+  --metrics-format openmetrics --metrics-out "$om_dir/metro.txt" \
+  > "$om_dir/metro_cache_on.txt"
+build/tools/metrics_check "$om_dir/metro.txt" \
+  'sim_plan_cache_hits_total + sim_plan_cache_misses_total == sim_clients_served_total' \
+  --verbose
+build/tools/vodbcast simulate "${metro_args[@]}" --plan-cache 0 \
+  > "$om_dir/metro_cache_off.txt"
+diff "$om_dir/metro_cache_on.txt" "$om_dir/metro_cache_off.txt"
+grep -Eq 'clients served: [0-9]{6,}' "$om_dir/metro_cache_on.txt" || {
+  echo "metro smoke: expected >=100k clients served" >&2
+  exit 1
+}
+
 echo "== span capture self-check =="
 build/tools/vodbcast simulate --scheme SB:W=52 --bandwidth 300 \
   --horizon 120 --arrivals 4 --seed 42 \

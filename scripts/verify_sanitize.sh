@@ -29,7 +29,7 @@ if [[ $mode == all || $mode == asan ]]; then
     test_obs_sampler test_obs_family test_obs_sketch test_obs_openmetrics \
     test_util_json test_bench_harness test_simulator test_task_pool \
     test_parallel test_event_queue test_batching test_net test_ctrl \
-    test_fault
+    test_fault test_plan_cache test_stats
 
   ./build-asan/tests/test_obs_registry
   ./build-asan/tests/test_obs_trace
@@ -48,6 +48,8 @@ if [[ $mode == all || $mode == asan ]]; then
   ./build-asan/tests/test_net
   ./build-asan/tests/test_ctrl
   ./build-asan/tests/test_fault
+  ./build-asan/tests/test_plan_cache
+  ./build-asan/tests/test_stats
 fi
 
 if [[ $mode == all || $mode == thread ]]; then

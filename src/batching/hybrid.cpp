@@ -89,6 +89,7 @@ HybridReport evaluate_hybrid(const BatchingPolicy& policy,
       .horizon = config.horizon,
       .mean_patience = config.mean_patience,
       .seed = config.seed + 1,
+      .stats_sample_cap = config.stats_sample_cap,
       .sink = config.sink,
       .sampler = config.sampler,
   };

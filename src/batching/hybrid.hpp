@@ -29,6 +29,9 @@ struct HybridConfig {
   core::Minutes horizon{2000.0};
   core::Minutes mean_patience{-1.0};
   std::uint64_t seed = 11;
+  /// Sample cap for the tail simulation's Distributions (forwarded to
+  /// MulticastConfig::stats_sample_cap); 0 retains every sample exactly.
+  std::size_t stats_sample_cap = 0;
   /// Optional observability attachment (not owned), forwarded to the tail's
   /// scheduled-multicast simulation; "hybrid.*" gauges record the split.
   obs::Sink* sink = nullptr;

@@ -254,6 +254,8 @@ MulticastReport simulate_scheduled_multicast(
 
   MulticastReport report;
   report.policy = policy.name();
+  report.wait_minutes.set_sample_cap(config.stats_sample_cap);
+  report.batch_size.set_sample_cap(config.stats_sample_cap);
 
   obs::Sink* sink = config.sink;
   obs::Counter* batches_counter = nullptr;

@@ -28,6 +28,10 @@ struct MulticastConfig {
   /// reneging (everyone waits indefinitely).
   core::Minutes mean_patience{-1.0};
   std::uint64_t seed = 7;
+  /// Sample cap for the report's wait/batch-size Distributions: 0 retains
+  /// every sample exactly; a positive cap folds into a bounded quantile
+  /// sketch past the cap (sim::Distribution::set_sample_cap).
+  std::size_t stats_sample_cap = 0;
   /// Optional observability attachment (not owned): "batching.*" metrics,
   /// batch-fire / renege trace events, and event-queue instrumentation.
   obs::Sink* sink = nullptr;

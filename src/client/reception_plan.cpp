@@ -1,7 +1,7 @@
 #include "client/reception_plan.hpp"
 
 #include <algorithm>
-#include <set>
+#include <utility>
 
 #include "util/contracts.hpp"
 #include "util/math.hpp"
@@ -65,27 +65,37 @@ int peak_concurrency(const std::vector<SegmentDownload>& downloads) {
 
 BufferTrace build_trace(const std::vector<SegmentDownload>& downloads,
                         std::uint64_t t0, std::uint64_t total_units) {
-  std::set<std::uint64_t> breakpoints{t0, t0 + total_units};
+  // Occupancy is piecewise linear: each download contributes fill rate +1
+  // over [start, end), playback drains at -1 over [t0, t0 + total_units).
+  // One sort plus a single accumulating sweep over the rate deltas visits
+  // each breakpoint once; the levels are the same integer sums the old
+  // per-breakpoint rescan computed, so the points are bit-identical.
+  std::vector<std::pair<std::uint64_t, std::int64_t>> events;
+  events.reserve(downloads.size() * 2 + 2);
   for (const auto& d : downloads) {
-    breakpoints.insert(d.start);
-    breakpoints.insert(d.end());
+    events.emplace_back(d.start, std::int64_t{1});
+    events.emplace_back(d.end(), std::int64_t{-1});
   }
+  events.emplace_back(t0, std::int64_t{-1});
+  events.emplace_back(t0 + total_units, std::int64_t{1});
+  std::sort(events.begin(), events.end());
+
   std::vector<BufferPoint> points;
-  points.reserve(breakpoints.size());
-  for (const std::uint64_t t : breakpoints) {
-    std::int64_t downloaded = 0;
-    for (const auto& d : downloads) {
-      const std::uint64_t progress =
-          t <= d.start ? 0 : std::min(t - d.start, d.length);
-      downloaded += static_cast<std::int64_t>(progress);
+  points.reserve(events.size());
+  std::int64_t level = 0;
+  std::int64_t rate = 0;
+  std::uint64_t prev = events.front().first;
+  for (std::size_t i = 0; i < events.size();) {
+    const std::uint64_t t = events[i].first;
+    level += rate * static_cast<std::int64_t>(t - prev);
+    while (i < events.size() && events[i].first == t) {
+      rate += events[i].second;
+      ++i;
     }
-    const std::uint64_t consumed_u =
-        t <= t0 ? 0 : std::min(t - t0, total_units);
-    points.push_back(BufferPoint{
-        .time = t,
-        .level = downloaded - static_cast<std::int64_t>(consumed_u),
-    });
+    points.push_back(BufferPoint{.time = t, .level = level});
+    prev = t;
   }
+  VB_ASSERT(rate == 0);
   return BufferTrace(std::move(points));
 }
 

@@ -9,16 +9,36 @@
 namespace vodbcast::sim {
 
 BroadcastServer::BroadcastServer(channel::ChannelPlan plan)
-    : plan_(std::move(plan)) {}
+    : plan_(std::move(plan)) {
+  // Index replicas once: tune-in queries run per client arrival, and a
+  // metro plan carries thousands of streams of which only one or two are
+  // replicas of the requested (video, segment). Indices (not pointers)
+  // keep the map valid across copies and moves of the server.
+  for (std::size_t i = 0; i < plan_.streams().size(); ++i) {
+    const auto& s = plan_.streams()[i];
+    replicas_[replica_key(s.video, s.segment)].push_back(
+        static_cast<std::uint32_t>(i));
+  }
+}
+
+const std::vector<std::uint32_t>* BroadcastServer::replicas_of(
+    core::VideoId video, int segment) const {
+  const auto it = replicas_.find(replica_key(video, segment));
+  return it == replicas_.end() ? nullptr : &it->second;
+}
 
 std::optional<core::Minutes> BroadcastServer::next_segment_start(
     core::VideoId video, int segment, core::Minutes t) const {
+  const auto* replicas = replicas_of(video, segment);
+  if (replicas == nullptr) {
+    return std::nullopt;
+  }
+  // Earliest-encountered wins ties, matching the historical full scan in
+  // stream order bit for bit.
   std::optional<core::Minutes> best;
-  for (const auto& s : plan_.streams()) {
-    if (s.video != video || s.segment != segment) {
-      continue;
-    }
-    const core::Minutes start = s.next_start_at_or_after(t);
+  for (const std::uint32_t i : *replicas) {
+    const core::Minutes start =
+        plan_.streams()[i].next_start_at_or_after(t);
     if (!best.has_value() || start.v < best->v) {
       best = start;
     }
@@ -33,9 +53,9 @@ std::optional<core::Minutes> BroadcastServer::worst_wait(core::VideoId video,
   // one period by construction). The worst wait is the largest gap between
   // consecutive starts within one period.
   std::vector<const channel::PeriodicBroadcast*> replicas;
-  for (const auto& s : plan_.streams()) {
-    if (s.video == video && s.segment == segment) {
-      replicas.push_back(&s);
+  if (const auto* indices = replicas_of(video, segment)) {
+    for (const std::uint32_t i : *indices) {
+      replicas.push_back(&plan_.streams()[i]);
     }
   }
   if (replicas.empty()) {

@@ -6,7 +6,10 @@
 // time t?") and to account for aggregate bandwidth.
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <unordered_map>
+#include <vector>
 
 #include "channel/schedule.hpp"
 #include "core/units.hpp"
@@ -37,7 +40,21 @@ class BroadcastServer {
   [[nodiscard]] core::MbitPerSec aggregate_rate_at(core::Minutes t) const;
 
  private:
+  /// Replica streams of (video, segment) as indices into plan_.streams(),
+  /// in stream order. Tune-in queries are per-arrival in the simulator, so
+  /// they must not scan the whole metro plan (thousands of streams) when
+  /// only a handful of replicas carry the requested segment.
+  [[nodiscard]] const std::vector<std::uint32_t>* replicas_of(
+      core::VideoId video, int segment) const;
+
+  static std::uint64_t replica_key(core::VideoId video,
+                                   int segment) noexcept {
+    return (static_cast<std::uint64_t>(video) << 32) |
+           static_cast<std::uint32_t>(segment);
+  }
+
   channel::ChannelPlan plan_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> replicas_;
 };
 
 }  // namespace vodbcast::sim

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 
+#include "client/plan_cache.hpp"
 #include "client/reception_plan.hpp"
 #include "fault/injector.hpp"
 #include "obs/log.hpp"
@@ -44,10 +45,11 @@ void trace_channel_slots(obs::Sink& sink, const channel::ChannelPlan& plan,
 /// the client's session span (channel = segment index, so the chrome export
 /// draws each download on its segment track with a flow arrow from the
 /// session).
-void trace_reception(obs::Sink& sink, const client::ReceptionPlan& plan,
+void trace_reception(obs::Sink& sink, const client::PlanView& plan,
                      double d1, core::VideoId video, std::uint64_t client,
                      std::uint64_t session_span) {
-  for (const auto& d : plan.downloads) {
+  for (std::size_t i = 0; i < plan.download_count(); ++i) {
+    const auto d = plan.download(i);
     const double start_min = static_cast<double>(d.start) * d1;
     const double length_min = static_cast<double>(d.length) * d1;
     sink.trace.record(obs::TraceEvent{
@@ -100,6 +102,9 @@ SimulationReport simulate(const schemes::BroadcastScheme& scheme,
   SimulationReport report;
   report.scheme = scheme.name();
   report.peak_server_rate = server.plan().peak_aggregate_rate();
+  report.latency_minutes.set_sample_cap(config.stats_sample_cap);
+  report.buffer_peak_mbits.set_sample_cap(config.stats_sample_cap);
+  report.fault_penalty_minutes.set_sample_cap(config.stats_sample_cap);
 
   if (sink != nullptr) {
     obs::logf(obs::LogLevel::kDebug,
@@ -144,6 +149,13 @@ SimulationReport simulate(const schemes::BroadcastScheme& scheme,
   if (sb != nullptr && config.plan_clients) {
     layout.emplace(sb->layout(input, *design));
   }
+  // Phase-keyed plan cache: one canonical plan per arrival phase, every
+  // other arrival served as a shifted view. Private to this run, so the
+  // replication bit-identity contract is untouched.
+  std::optional<client::PlanCache> cache;
+  if (layout.has_value() && config.plan_cache) {
+    cache.emplace(*layout);
+  }
 
   // Time-series probes read simulation locals; the ProbeScope unregisters
   // them before those locals die. last_buffer_peak_units tracks the most
@@ -167,6 +179,7 @@ SimulationReport simulate(const schemes::BroadcastScheme& scheme,
   obs::Counter* jitter_counter = nullptr;
   obs::Histogram* wait_hist = nullptr;
   obs::Histogram* plan_ns = nullptr;
+  obs::Histogram* plan_cache_hit_ns = nullptr;
   obs::QuantileSketch* wait_sketch = nullptr;
   // Per-title wait sketches, indexed by video id. The family is sized to
   // the catalog so no title folds into overflow; handles resolve here,
@@ -189,6 +202,12 @@ SimulationReport simulate(const schemes::BroadcastScheme& scheme,
     if (layout.has_value()) {
       plan_ns = &sink->metrics.histogram("client.plan_reception_ns",
                                          obs::default_time_bounds_ns());
+      if (cache.has_value()) {
+        // The A/B partner of plan_reception_ns: lookups that served a
+        // cached canonical plan land here instead.
+        plan_cache_hit_ns = &sink->metrics.histogram(
+            "client.plan_cache_hit_ns", obs::default_time_bounds_ns());
+      }
     }
   }
 
@@ -272,12 +291,21 @@ SimulationReport simulate(const schemes::BroadcastScheme& scheme,
       const double d1 = layout->unit_duration().v;
       const auto t0 = static_cast<std::uint64_t>(
           std::llround(start->v / d1));
-      std::optional<client::ReceptionPlan> plan;
-      {
+      client::ReceptionPlan local_plan;
+      client::PlanView plan;
+      if (cache.has_value()) {
+        // A cheap contains() probe picks the timer before the clock starts,
+        // so hit and miss latencies land in separate histograms.
+        const bool cached = cache->contains(t0);
+        const obs::ScopedTimer plan_timer(cached ? plan_cache_hit_ns
+                                                 : plan_ns);
+        plan = cache->at(t0);
+      } else {
         const obs::ScopedTimer plan_timer(plan_ns);
-        plan.emplace(client::plan_reception(*layout, t0));
+        local_plan = client::plan_reception(*layout, t0);
+        plan = client::PlanView(local_plan, 0, false);
       }
-      if (!plan->jitter_free) {
+      if (!plan.jitter_free()) {
         ++report.jitter_events;
         obs::logf(obs::LogLevel::kWarn,
                   "simulate: jitter for client %llu of video %llu (t0=%llu)",
@@ -298,12 +326,12 @@ SimulationReport simulate(const schemes::BroadcastScheme& scheme,
       }
       report.max_concurrent_downloads =
           std::max(report.max_concurrent_downloads,
-                   plan->max_concurrent_downloads);
+                   plan.max_concurrent_downloads());
       last_buffer_peak_units =
-          static_cast<double>(plan->max_buffer_units);
-      report.buffer_peak_mbits.add(plan->max_buffer(*layout).v);
+          static_cast<double>(plan.max_buffer_units());
+      report.buffer_peak_mbits.add(plan.max_buffer(*layout).v);
       if (sink != nullptr) {
-        trace_reception(*sink, *plan, d1, request.video,
+        trace_reception(*sink, plan, d1, request.video,
                         report.clients_served, session_span);
       }
 
@@ -313,7 +341,11 @@ SimulationReport simulate(const schemes::BroadcastScheme& scheme,
         // is either repaired (catch-up on a later repetition, or a disk
         // stall absorbed in place, both with the wait penalty recorded) or
         // surfaced as degradation.
-        for (const auto& d : plan->downloads) {
+        // Views hand out downloads already shifted into absolute time, so
+        // damage is assessed against the arrival's real windows — cached
+        // plans can never alias another episode's damage.
+        for (std::size_t di = 0; di < plan.download_count(); ++di) {
+          const auto d = plan.download(di);
           const double w_begin = static_cast<double>(d.start) * d1;
           const double w_end = static_cast<double>(d.end()) * d1;
           const double deadline_min = static_cast<double>(d.deadline) * d1;
@@ -411,6 +443,21 @@ SimulationReport simulate(const schemes::BroadcastScheme& scheme,
   if (sink != nullptr) {
     sink->metrics.gauge("sim.max_concurrent_downloads")
         .max_of(static_cast<double>(report.max_concurrent_downloads));
+    if (cache.has_value()) {
+      const auto& cs = cache->stats();
+      // Counters so replication sinks sum: hits + misses == clients_served
+      // is the invariant scripts/verify_all.sh asserts via metrics_check.
+      sink->metrics.counter("sim.plan_cache.hits").add(cs.hits);
+      sink->metrics.counter("sim.plan_cache.misses").add(cs.misses);
+      sink->metrics.gauge("sim.plan_cache.entries")
+          .max_of(static_cast<double>(cs.entries));
+      sink->metrics.gauge("sim.plan_cache.bytes")
+          .max_of(static_cast<double>(cs.bytes));
+    }
+    sink->metrics.counter("sim.stats.samples_folded")
+        .add(report.latency_minutes.samples_folded() +
+             report.buffer_peak_mbits.samples_folded() +
+             report.fault_penalty_minutes.samples_folded());
     obs::logf(obs::LogLevel::kDebug,
               "simulate: done, %llu clients, %llu jitter events",
               static_cast<unsigned long long>(report.clients_served),

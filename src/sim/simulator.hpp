@@ -30,6 +30,18 @@ struct SimulationConfig {
   std::uint64_t seed = 42;
   /// Run the exact SB reception plan per client (slower; SB schemes only).
   bool plan_clients = false;
+  /// Serve reception plans through the phase-keyed client::PlanCache: SB
+  /// schedules repeat with period P = lcm(slot periods), so every arrival
+  /// phase shares one canonical plan served as a shifted view. Output is
+  /// bit-identical either way (the invariance is pinned by
+  /// tests/test_plan_cache.cpp); off recomputes per arrival — the A/B lever
+  /// for bench/ext_metro_scale.
+  bool plan_cache = true;
+  /// Sample cap for the report's Distributions (latency, buffer peaks,
+  /// fault penalties): 0 (the default) retains every sample exactly;
+  /// a positive cap folds into a bounded quantile sketch past the cap so
+  /// report memory stays O(1) in clients. See Distribution::set_sample_cap.
+  std::size_t stats_sample_cap = 0;
   /// Optional observability attachment (not owned). When set, the run
   /// records "sim.*" / "client.*" metrics and traces client arrival,
   /// tune-in, download, jitter and channel-slot events. Null (the default)

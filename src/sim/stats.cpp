@@ -9,55 +9,162 @@
 
 namespace vodbcast::sim {
 
-void Distribution::add(double sample) {
-  samples_.push_back(sample);
-  sum_ += sample;
-  sorted_valid_ = false;
-}
+namespace {
 
-void Distribution::merge(const Distribution& other) {
-  samples_.insert(samples_.end(), other.samples_.begin(),
-                  other.samples_.end());
-  sum_ += other.sum_;
-  sorted_valid_ = false;
-}
+/// One sketch bucket lives in a std::map node: key + count + tree overhead.
+constexpr std::size_t kSketchBucketBytes = 48;
 
-double Distribution::mean() const {
-  VB_EXPECTS(!samples_.empty());
-  return sum_ / static_cast<double>(samples_.size());
-}
+}  // namespace
 
-void Distribution::ensure_sorted() const {
-  if (!sorted_valid_) {
-    sorted_ = samples_;
-    std::sort(sorted_.begin(), sorted_.end());
-    sorted_valid_ = true;
+Distribution::Distribution(const Distribution& other)
+    : samples_(other.samples_),
+      cap_(other.cap_),
+      count_(other.count_),
+      sum_(other.sum_),
+      min_(other.min_),
+      max_(other.max_),
+      welford_mean_(other.welford_mean_),
+      welford_m2_(other.welford_m2_) {
+  if (other.sketch_ != nullptr) {
+    // QuantileSketch is non-copyable; an empty sketch on the same bucket
+    // grid plus a bucket-wise merge reproduces the state exactly.
+    sketch_ = std::make_unique<obs::QuantileSketch>(other.sketch_->options());
+    sketch_->merge_from(*other.sketch_);
   }
 }
 
+Distribution& Distribution::operator=(const Distribution& other) {
+  if (this != &other) {
+    Distribution copy(other);
+    *this = std::move(copy);
+  }
+  return *this;
+}
+
+void Distribution::add(double sample) {
+  if (count_ == 0) {
+    min_ = sample;
+    max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+  ++count_;
+  sum_ += sample;
+  const double delta = sample - welford_mean_;
+  welford_mean_ += delta / static_cast<double>(count_);
+  welford_m2_ += delta * (sample - welford_mean_);
+  if (sketch_ != nullptr) {
+    sketch_->observe(sample);
+    return;
+  }
+  if (cap_ != 0 && samples_.size() >= cap_) {
+    fold_now();
+    sketch_->observe(sample);
+    return;
+  }
+  samples_.push_back(sample);
+}
+
+void Distribution::fold_now() {
+  if (sketch_ == nullptr) {
+    sketch_ = std::make_unique<obs::QuantileSketch>();
+  }
+  for (const double s : samples_) {
+    sketch_->observe(s);
+  }
+  samples_.clear();
+  samples_.shrink_to_fit();
+}
+
+void Distribution::merge(const Distribution& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  // Chan's parallel combination of the streaming moments; merging in a
+  // fixed shard order keeps the floats bit-identical at any thread count.
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.welford_mean_ - welford_mean_;
+  welford_mean_ += delta * nb / (na + nb);
+  welford_m2_ += other.welford_m2_ + delta * delta * na * nb / (na + nb);
+  count_ += other.count_;
+  sum_ += other.sum_;
+
+  const bool must_fold =
+      sketch_ != nullptr || other.sketch_ != nullptr ||
+      (cap_ != 0 && samples_.size() + other.samples_.size() > cap_);
+  if (!must_fold) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    return;
+  }
+  fold_now();
+  for (const double s : other.samples_) {
+    sketch_->observe(s);
+  }
+  if (other.sketch_ != nullptr) {
+    sketch_->merge_from(*other.sketch_);
+  }
+}
+
+void Distribution::set_sample_cap(std::size_t cap) {
+  cap_ = cap;
+  if (cap_ != 0 && samples_.size() > cap_) {
+    fold_now();
+  }
+}
+
+std::uint64_t Distribution::samples_folded() const noexcept {
+  return sketch_ != nullptr ? sketch_->count() : 0;
+}
+
+double Distribution::mean() const {
+  VB_EXPECTS(count_ != 0);
+  return sum_ / static_cast<double>(count_);
+}
+
 double Distribution::min() const {
-  VB_EXPECTS(!samples_.empty());
-  ensure_sorted();
-  return sorted_.front();
+  VB_EXPECTS(count_ != 0);
+  return min_;
 }
 
 double Distribution::max() const {
-  VB_EXPECTS(!samples_.empty());
-  ensure_sorted();
-  return sorted_.back();
+  VB_EXPECTS(count_ != 0);
+  return max_;
+}
+
+std::vector<double> Distribution::sorted_copy() const {
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
 }
 
 double Distribution::quantile(double q) const {
-  VB_EXPECTS(!samples_.empty());
+  VB_EXPECTS(count_ != 0);
   VB_EXPECTS(q >= 0.0 && q <= 1.0);
-  ensure_sorted();
-  return util::interpolated_quantile(sorted_, q);
+  if (sketch_ != nullptr) {
+    return sketch_->quantile(q);
+  }
+  // Scratch sort, freed on return: the distribution never retains a second
+  // copy of its samples between queries.
+  return util::interpolated_quantile(sorted_copy(), q);
 }
 
 double Distribution::stddev() const {
-  VB_EXPECTS(!samples_.empty());
-  if (samples_.size() < 2) {
+  VB_EXPECTS(count_ != 0);
+  if (count_ < 2) {
     return 0.0;
+  }
+  if (sketch_ != nullptr) {
+    return std::sqrt(welford_m2_ / static_cast<double>(count_));
   }
   // Two-pass: center first, then accumulate squared deviations. The
   // sum_sq/n - m^2 identity loses every significant digit when the mean is
@@ -68,12 +175,22 @@ double Distribution::stddev() const {
     const double d = s - m;
     acc += d * d;
   }
-  return std::sqrt(acc / static_cast<double>(samples_.size()));
+  return std::sqrt(acc / static_cast<double>(count_));
+}
+
+std::size_t Distribution::retained_bytes() const noexcept {
+  std::size_t bytes = samples_.capacity() * sizeof(double);
+  if (sketch_ != nullptr) {
+    bytes += sketch_->bucket_count() * kSketchBucketBytes;
+  }
+  return bytes;
 }
 
 HistogramBins Distribution::histogram(std::size_t bins) const {
-  VB_EXPECTS(!samples_.empty());
+  VB_EXPECTS(count_ != 0);
   VB_EXPECTS(bins >= 1);
+  VB_EXPECTS_MSG(sketch_ == nullptr,
+                 "histogram() needs the raw samples; distribution is folded");
   HistogramBins out;
   out.lo = min();
   out.hi = max();
@@ -91,15 +208,19 @@ HistogramBins Distribution::histogram(std::size_t bins) const {
 }
 
 std::string Distribution::summary() const {
-  if (samples_.empty()) {
+  if (count_ == 0) {
     return "n=0";
   }
-  char buf[160];
+  char buf[192];
   std::snprintf(buf, sizeof buf,
                 "n=%zu mean=%.4g p50=%.4g p95=%.4g p99=%.4g max=%.4g",
-                samples_.size(), mean(), quantile(0.5), quantile(0.95),
+                count(), mean(), quantile(0.5), quantile(0.95),
                 quantile(0.99), max());
-  return buf;
+  std::string out = buf;
+  if (sketch_ != nullptr) {
+    out += " folded=" + std::to_string(samples_folded());
+  }
+  return out;
 }
 
 }  // namespace vodbcast::sim

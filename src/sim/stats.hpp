@@ -3,8 +3,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
+
+#include "obs/quantile_sketch.hpp"
 
 namespace vodbcast::sim {
 
@@ -16,18 +19,55 @@ struct HistogramBins {
 };
 
 /// Accumulates scalar samples; quantiles are computed on demand.
+///
+/// Two accounting modes:
+///   * exact (the default, cap 0): every sample is retained and quantiles
+///     interpolate over the sorted samples — bit-for-bit the historical
+///     behavior;
+///   * streaming (set_sample_cap(n)): samples are retained exactly up to
+///     the cap; crossing it folds everything into an obs::QuantileSketch
+///     and frees the sample storage, so memory stays O(sketch buckets) no
+///     matter how many samples arrive. Count, sum, mean, min and max stay
+///     exact in both modes; folded quantiles carry the sketch's relative
+///     accuracy and stddev switches to the streaming (Welford) moments.
+///
+/// Merging two distributions in a fixed order yields identical state at
+/// any thread count, in either mode (sketch buckets are order-free and the
+/// scalar moments combine in merge order).
 class Distribution {
  public:
+  Distribution() = default;
+  Distribution(const Distribution& other);
+  Distribution& operator=(const Distribution& other);
+  Distribution(Distribution&&) noexcept = default;
+  Distribution& operator=(Distribution&&) noexcept = default;
+
   void add(double sample);
 
   /// Folds `other`'s samples into this distribution (shard merging: each
-  /// worker accumulates locally, then the results are combined).
+  /// worker accumulates locally, then the results are combined). If either
+  /// side has folded — or the combined retained count would cross this
+  /// side's cap — the result is folded.
   void merge(const Distribution& other);
 
-  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
-  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
-  /// Samples in insertion order (replication merges append in rep order, so
-  /// two runs match exactly iff these vectors match).
+  /// Streaming mode: retain at most `cap` samples exactly, then fold into
+  /// a bounded quantile sketch. 0 (the default) retains everything. If
+  /// more than `cap` samples are already retained, they fold immediately.
+  void set_sample_cap(std::size_t cap);
+  [[nodiscard]] std::size_t sample_cap() const noexcept { return cap_; }
+  /// True once samples have been folded into the sketch (quantiles are now
+  /// sketch-backed estimates; count/sum/mean/min/max remain exact).
+  [[nodiscard]] bool folded() const noexcept { return sketch_ != nullptr; }
+  /// Samples represented only by the sketch; 0 while exact.
+  [[nodiscard]] std::uint64_t samples_folded() const noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept {
+    return static_cast<std::size_t>(count_);
+  }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  /// Retained samples in insertion order (replication merges append in rep
+  /// order, so two runs match exactly iff these vectors match). Empty once
+  /// folded.
   [[nodiscard]] const std::vector<double>& samples() const noexcept {
     return samples_;
   }
@@ -36,28 +76,46 @@ class Distribution {
   [[nodiscard]] double max() const;
   /// Interpolated quantile (util::interpolated_quantile over the sorted
   /// samples) — the same definition the obs exports and bench timing stats
-  /// report, so one dataset never prints two different percentiles.
+  /// report, so one dataset never prints two different percentiles. Once
+  /// folded, the sketch's estimate (within its relative accuracy).
   /// q in [0, 1]. Precondition: non-empty.
   [[nodiscard]] double quantile(double q) const;
-  /// Population standard deviation, computed two-pass over the samples
+  /// Population standard deviation. Exact mode: two-pass mean-centered sum
   /// (no sum-of-squares identity: that cancels catastrophically when the
-  /// mean dwarfs the spread). 0 for fewer than two samples.
+  /// mean dwarfs the spread). Folded mode: streaming Welford moments.
+  /// 0 for fewer than two samples.
   [[nodiscard]] double stddev() const;
 
+  /// Heap bytes retained by this distribution right now (sample storage
+  /// plus sketch buckets). Quantile calls sort into a scratch copy that is
+  /// freed before returning, so this is also the post-query high water.
+  [[nodiscard]] std::size_t retained_bytes() const noexcept;
+
   /// Equal-width bins spanning [min(), max()]; the top edge is inclusive so
-  /// every sample lands in a bin. Preconditions: non-empty, bins >= 1.
+  /// every sample lands in a bin. Preconditions: non-empty, bins >= 1,
+  /// not folded (bins need the raw samples).
   [[nodiscard]] HistogramBins histogram(std::size_t bins) const;
 
-  /// "n=100 mean=1.23 p50=1.10 p99=4.56 max=5.00"
+  /// "n=100 mean=1.23 p50=1.10 p99=4.56 max=5.00"; a folded distribution
+  /// appends " folded=N" so sketch-backed quantiles are recognizable.
   [[nodiscard]] std::string summary() const;
 
  private:
-  void ensure_sorted() const;
+  /// Moves every retained sample into the sketch and frees the storage.
+  void fold_now();
+  [[nodiscard]] std::vector<double> sorted_copy() const;
 
   std::vector<double> samples_;
-  mutable std::vector<double> sorted_;
-  mutable bool sorted_valid_ = false;
+  std::size_t cap_ = 0;  ///< 0 = retain everything
+  std::unique_ptr<obs::QuantileSketch> sketch_;
+  std::uint64_t count_ = 0;
   double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  // Streaming (Welford) moments, maintained alongside the exact samples so
+  // stddev stays available after a fold.
+  double welford_mean_ = 0.0;
+  double welford_m2_ = 0.0;
 };
 
 }  // namespace vodbcast::sim

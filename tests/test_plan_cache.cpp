@@ -1,0 +1,259 @@
+// Phase-keyed plan cache: the shift-invariance property it relies on, the
+// cache's equivalence to direct planning, and the simulator-level identity
+// contracts (cache on/off, any thread count, with and without faults).
+#include "client/plan_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <tuple>
+
+#include "client/reception_plan.hpp"
+#include "fault/injector.hpp"
+#include "schemes/skyscraper.hpp"
+#include "series/broadcast_series.hpp"
+#include "sim/simulator.hpp"
+
+namespace vodbcast::client {
+namespace {
+
+series::SegmentLayout make_layout(int k, std::uint64_t width) {
+  static const series::SkyscraperSeries law;
+  return series::SegmentLayout(
+      law, k, width,
+      core::VideoParams{core::Minutes{120.0}, core::MbitPerSec{1.5}});
+}
+
+void expect_plans_equal(const ReceptionPlan& a, const ReceptionPlan& b,
+                        std::uint64_t shift) {
+  // a must equal b shifted forward by `shift` in every observable field.
+  EXPECT_EQ(a.playback_start, b.playback_start + shift);
+  EXPECT_EQ(a.jitter_free, b.jitter_free);
+  EXPECT_EQ(a.max_concurrent_downloads, b.max_concurrent_downloads);
+  EXPECT_EQ(a.max_buffer_units, b.max_buffer_units);
+  ASSERT_EQ(a.downloads.size(), b.downloads.size());
+  for (std::size_t i = 0; i < a.downloads.size(); ++i) {
+    EXPECT_EQ(a.downloads[i].segment, b.downloads[i].segment);
+    EXPECT_EQ(a.downloads[i].loader, b.downloads[i].loader);
+    EXPECT_EQ(a.downloads[i].length, b.downloads[i].length);
+    EXPECT_EQ(a.downloads[i].start, b.downloads[i].start + shift);
+    EXPECT_EQ(a.downloads[i].deadline, b.downloads[i].deadline + shift);
+  }
+  ASSERT_EQ(a.trace.points().size(), b.trace.points().size());
+  for (std::size_t i = 0; i < a.trace.points().size(); ++i) {
+    EXPECT_EQ(a.trace.points()[i].time, b.trace.points()[i].time + shift);
+    EXPECT_EQ(a.trace.points()[i].level, b.trace.points()[i].level);
+  }
+}
+
+TEST(PhasePeriodTest, MatchesLcmOfSlotPeriods) {
+  // SB:W=52 active sizes {1, 2, 5, 12, 25, 52}: lcm = 3900.
+  EXPECT_EQ(phase_period(make_layout(10, 52), 1 << 16),
+            std::optional<std::uint64_t>{3900});
+  // W=1 degenerates to the flat staggered layout: period 1.
+  EXPECT_EQ(phase_period(make_layout(6, 1), 1 << 16),
+            std::optional<std::uint64_t>{1});
+}
+
+TEST(PhasePeriodTest, NulloptWhenOverBudget) {
+  EXPECT_EQ(phase_period(make_layout(10, 52), 100), std::nullopt);
+}
+
+// The invariant PlanCache relies on, pinned independently of the cache:
+// plan_reception(layout, t0) equals the canonical plan at t0 mod P with
+// every time shifted by t0 - t0 mod P.
+class PlanShiftPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(PlanShiftPropertyTest, PlanCommutesWithPhaseShift) {
+  const auto layout =
+      make_layout(std::get<0>(GetParam()), std::get<1>(GetParam()));
+  const auto period = phase_period(layout, 1 << 16);
+  ASSERT_TRUE(period.has_value());
+  const std::uint64_t p = *period;
+  // Arrival offsets spanning several periods plus a far-future arrival.
+  const std::uint64_t offsets[] = {0,      1,           p - 1,     p,
+                                   p + 1,  2 * p + 3,   7 * p + 5, 1000003};
+  for (const std::uint64_t t0 : offsets) {
+    const std::uint64_t phase = t0 % p;
+    const auto direct = plan_reception(layout, t0);
+    const auto canonical = plan_reception(layout, phase);
+    expect_plans_equal(direct, canonical, t0 - phase);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemeGrid, PlanShiftPropertyTest,
+    ::testing::Combine(::testing::Values(2, 4, 6, 8, 10, 12),
+                       ::testing::Values(std::uint64_t{2}, std::uint64_t{5},
+                                         std::uint64_t{12}, std::uint64_t{25},
+                                         std::uint64_t{52})));
+
+TEST(PlanCacheTest, ViewMatchesDirectPlanEverywhere) {
+  const auto layout = make_layout(10, 52);
+  PlanCache cache(layout);
+  ASSERT_TRUE(cache.enabled());
+  EXPECT_EQ(cache.period(), 3900U);
+  for (std::uint64_t t0 = 0; t0 < 600; ++t0) {
+    const auto view = cache.at(t0 * 7);  // stride past the period
+    const auto direct = plan_reception(layout, t0 * 7);
+    ASSERT_TRUE(view.valid());
+    EXPECT_EQ(view.playback_start(), direct.playback_start);
+    EXPECT_EQ(view.jitter_free(), direct.jitter_free);
+    EXPECT_EQ(view.max_concurrent_downloads(),
+              direct.max_concurrent_downloads);
+    EXPECT_EQ(view.max_buffer_units(), direct.max_buffer_units);
+    ASSERT_EQ(view.download_count(), direct.downloads.size());
+    for (std::size_t i = 0; i < direct.downloads.size(); ++i) {
+      const auto d = view.download(i);
+      EXPECT_EQ(d.segment, direct.downloads[i].segment);
+      EXPECT_EQ(d.loader, direct.downloads[i].loader);
+      EXPECT_EQ(d.start, direct.downloads[i].start);
+      EXPECT_EQ(d.length, direct.downloads[i].length);
+      EXPECT_EQ(d.deadline, direct.downloads[i].deadline);
+    }
+    expect_plans_equal(view.materialize(), direct, 0);
+  }
+  const auto& stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, 600U);
+  EXPECT_EQ(stats.entries, stats.misses);
+  EXPECT_LE(stats.entries, cache.period());
+  EXPECT_GT(stats.bytes, 0U);
+}
+
+TEST(PlanCacheTest, RepeatLookupIsAHitOnTheSameCanonicalPlan) {
+  const auto layout = make_layout(10, 52);
+  PlanCache cache(layout);
+  const auto first = cache.at(17);
+  EXPECT_FALSE(first.hit());
+  const auto again = cache.at(17 + cache.period());
+  EXPECT_TRUE(again.hit());
+  EXPECT_EQ(&again.base(), &first.base());
+  EXPECT_EQ(again.shift(), first.shift() + cache.period());
+  EXPECT_EQ(cache.stats().hits, 1U);
+  EXPECT_EQ(cache.stats().misses, 1U);
+  EXPECT_EQ(cache.stats().entries, 1U);
+}
+
+TEST(PlanCacheTest, PassThroughWhenPeriodExceedsBudget) {
+  const auto layout = make_layout(10, 52);
+  PlanCache cache(layout, 100);  // period 3900 > 100
+  EXPECT_FALSE(cache.enabled());
+  EXPECT_EQ(cache.period(), 0U);
+  EXPECT_FALSE(cache.contains(5));
+  const auto view = cache.at(4242);
+  const auto direct = plan_reception(layout, 4242);
+  EXPECT_FALSE(view.hit());
+  expect_plans_equal(view.materialize(), direct, 0);
+  EXPECT_EQ(cache.stats().hits, 0U);
+  EXPECT_EQ(cache.stats().misses, 1U);
+  EXPECT_EQ(cache.stats().entries, 0U);
+}
+
+// ---------------------------------------------------------------------------
+// Simulator-level identity contracts
+
+schemes::DesignInput sim_input() {
+  return schemes::DesignInput{
+      .server_bandwidth = core::MbitPerSec{300.0},
+      .num_videos = 10,
+      .video = core::VideoParams{core::Minutes{120.0},
+                                 core::MbitPerSec{1.5}},
+  };
+}
+
+sim::SimulationConfig sim_config(bool cache) {
+  sim::SimulationConfig config;
+  config.horizon = core::Minutes{120.0};
+  config.arrivals_per_minute = 5.0;
+  config.seed = 99;
+  config.plan_clients = true;
+  config.plan_cache = cache;
+  return config;
+}
+
+TEST(SimulatorPlanCacheTest, CacheOnOffOutputsAreBitIdentical) {
+  const schemes::SkyscraperScheme sb(52);
+  const auto input = sim_input();
+  const auto on = sim::simulate(sb, input, sim_config(true));
+  const auto off = sim::simulate(sb, input, sim_config(false));
+  EXPECT_EQ(on.clients_served, off.clients_served);
+  EXPECT_EQ(on.jitter_events, off.jitter_events);
+  EXPECT_EQ(on.max_concurrent_downloads, off.max_concurrent_downloads);
+  EXPECT_EQ(on.latency_minutes.samples(), off.latency_minutes.samples());
+  EXPECT_EQ(on.buffer_peak_mbits.samples(), off.buffer_peak_mbits.samples());
+}
+
+TEST(SimulatorPlanCacheTest, CacheIdentityHoldsAtAnyThreadCount) {
+  const schemes::SkyscraperScheme sb(52);
+  const auto input = sim_input();
+  const auto serial =
+      sim::simulate_replicated(sb, input, sim_config(true), 4, 1U);
+  const auto parallel =
+      sim::simulate_replicated(sb, input, sim_config(true), 4, 4U);
+  const auto baseline =
+      sim::simulate_replicated(sb, input, sim_config(false), 4, 3U);
+  EXPECT_EQ(serial.merged.clients_served, parallel.merged.clients_served);
+  EXPECT_EQ(serial.merged.latency_minutes.samples(),
+            parallel.merged.latency_minutes.samples());
+  EXPECT_EQ(serial.merged.latency_minutes.samples(),
+            baseline.merged.latency_minutes.samples());
+  EXPECT_EQ(serial.latency_mean_ci95, parallel.latency_mean_ci95);
+  EXPECT_EQ(serial.latency_mean_ci95, baseline.latency_mean_ci95);
+}
+
+TEST(SimulatorPlanCacheTest, StreamingCapKeepsExactCountAndMoments) {
+  const schemes::SkyscraperScheme sb(52);
+  const auto input = sim_input();
+  auto capped = sim_config(true);
+  capped.stats_sample_cap = 64;
+  const auto exact = sim::simulate(sb, input, sim_config(true));
+  const auto folded = sim::simulate(sb, input, capped);
+  EXPECT_EQ(folded.clients_served, exact.clients_served);
+  EXPECT_TRUE(folded.latency_minutes.folded());
+  EXPECT_TRUE(folded.latency_minutes.samples().empty());
+  EXPECT_EQ(folded.latency_minutes.count(), exact.latency_minutes.count());
+  EXPECT_DOUBLE_EQ(folded.latency_minutes.mean(),
+                   exact.latency_minutes.mean());
+  EXPECT_DOUBLE_EQ(folded.latency_minutes.min(), exact.latency_minutes.min());
+  EXPECT_DOUBLE_EQ(folded.latency_minutes.max(), exact.latency_minutes.max());
+  // Sketch-backed quantiles are within the sketch's relative accuracy.
+  EXPECT_NEAR(folded.latency_minutes.quantile(0.5),
+              exact.latency_minutes.quantile(0.5),
+              0.02 * exact.latency_minutes.max() + 1e-9);
+}
+
+// Fault-path compatibility: cached plans hand out absolutely-shifted
+// download windows, so damage assessment is identical with and without the
+// cache, and the PR 8 accounting invariant keeps holding under it.
+TEST(SimulatorPlanCacheTest, FaultRunsIdenticalWithAndWithoutCache) {
+  const schemes::SkyscraperScheme sb(52);
+  const auto input = sim_input();
+  fault::PlanSpec spec;
+  spec.horizon_min = 120.0;
+  spec.channels = 10;
+  spec.outages = 2;
+  spec.bursts = 2;
+  spec.disk_stalls = 1;
+  const fault::Injector injector{fault::Plan::generate(spec, 3),
+                                 fault::RecoveryPolicy{.retry_budget = 1}};
+  auto on = sim_config(true);
+  auto off = sim_config(false);
+  on.injector = &injector;
+  off.injector = &injector;
+  const auto cached = sim::simulate(sb, input, on);
+  const auto direct = sim::simulate(sb, input, off);
+  EXPECT_GT(cached.fault_hits, 0U);
+  EXPECT_EQ(cached.fault_hits, direct.fault_hits);
+  EXPECT_EQ(cached.fault_repairs, direct.fault_repairs);
+  EXPECT_EQ(cached.fault_degraded, direct.fault_degraded);
+  EXPECT_EQ(cached.fault_penalty_minutes.samples(),
+            direct.fault_penalty_minutes.samples());
+  // The PR 8 invariant: every hit is repaired or surfaced, never silent.
+  EXPECT_EQ(cached.fault_hits, cached.fault_repairs + cached.fault_degraded);
+  EXPECT_EQ(cached.jitter_events, 0U);
+  EXPECT_EQ(cached.fault_penalty_minutes.count(), cached.fault_repairs);
+}
+
+}  // namespace
+}  // namespace vodbcast::client

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
+
 #include "series/broadcast_series.hpp"
 
 namespace vodbcast::client {
@@ -143,6 +146,69 @@ TEST(ReceptionPlanTest, WorstCasePhaseCapRespected) {
   const auto layout = make_layout(13);  // lcm includes 105 -> large
   const auto worst = worst_case_over_phases(layout, 32);
   EXPECT_EQ(worst.phases_examined, 32U);
+}
+
+// Reference trace builder: the pre-rewrite O(breakpoints * W) form that
+// rescans every download per breakpoint. The production build_trace is now
+// a single event-sweep with running rate deltas; this regression pins the
+// two bit-identical over a full W=52 phase sweep.
+BufferTrace reference_trace(const std::vector<SegmentDownload>& downloads,
+                            std::uint64_t t0, std::uint64_t total_units) {
+  std::set<std::uint64_t> breakpoints{t0, t0 + total_units};
+  for (const auto& d : downloads) {
+    breakpoints.insert(d.start);
+    breakpoints.insert(d.end());
+  }
+  std::vector<BufferPoint> points;
+  for (const std::uint64_t t : breakpoints) {
+    std::int64_t downloaded = 0;
+    for (const auto& d : downloads) {
+      const std::uint64_t progress =
+          t <= d.start ? 0 : std::min(t - d.start, d.length);
+      downloaded += static_cast<std::int64_t>(progress);
+    }
+    const std::uint64_t consumed =
+        t <= t0 ? 0 : std::min(t - t0, total_units);
+    points.push_back(BufferPoint{
+        .time = t,
+        .level = downloaded - static_cast<std::int64_t>(consumed),
+    });
+  }
+  return BufferTrace(std::move(points));
+}
+
+TEST(ReceptionPlanTest, EventSweepTraceMatchesReferenceRescanAtW52) {
+  const auto layout = make_layout(10, 52);
+  // Every distinct arrival phase of the W=52 layout (period 3900), plus the
+  // parallel (Fast Broadcasting) planner's traces for good measure.
+  for (std::uint64_t t0 = 0; t0 < 3900; ++t0) {
+    const auto plan = plan_reception(layout, t0);
+    const auto reference =
+        reference_trace(plan.downloads, t0, layout.total_units());
+    ASSERT_EQ(plan.trace.points().size(), reference.points().size())
+        << "t0 = " << t0;
+    for (std::size_t i = 0; i < reference.points().size(); ++i) {
+      ASSERT_EQ(plan.trace.points()[i].time, reference.points()[i].time)
+          << "t0 = " << t0 << " i = " << i;
+      ASSERT_EQ(plan.trace.points()[i].level, reference.points()[i].level)
+          << "t0 = " << t0 << " i = " << i;
+    }
+    EXPECT_EQ(plan.max_buffer_units, reference.max_level());
+  }
+}
+
+TEST(ReceptionPlanTest, EventSweepTraceMatchesReferenceForParallelPlanner) {
+  const auto layout = make_layout(6, 12);
+  for (std::uint64_t t0 = 0; t0 < 64; ++t0) {
+    const auto plan = plan_parallel_reception(layout, t0);
+    const auto reference =
+        reference_trace(plan.downloads, t0, layout.total_units());
+    ASSERT_EQ(plan.trace.points().size(), reference.points().size());
+    for (std::size_t i = 0; i < reference.points().size(); ++i) {
+      EXPECT_EQ(plan.trace.points()[i].time, reference.points()[i].time);
+      EXPECT_EQ(plan.trace.points()[i].level, reference.points()[i].level);
+    }
+  }
 }
 
 }  // namespace

@@ -145,5 +145,199 @@ TEST(DistributionTest, SummaryMentionsCount) {
   EXPECT_NE(s.find("mean=3"), std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// Streaming (sample-capped) mode
+
+TEST(StreamingDistributionTest, UnderCapIsBitIdenticalToExact) {
+  Distribution exact;
+  Distribution capped;
+  capped.set_sample_cap(100);
+  for (int i = 0; i < 100; ++i) {
+    const double x = static_cast<double>((i * 37) % 100);
+    exact.add(x);
+    capped.add(x);
+  }
+  EXPECT_FALSE(capped.folded());
+  EXPECT_EQ(capped.samples_folded(), 0U);
+  EXPECT_EQ(capped.samples(), exact.samples());
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(capped.quantile(q), exact.quantile(q));
+  }
+  EXPECT_DOUBLE_EQ(capped.stddev(), exact.stddev());
+}
+
+TEST(StreamingDistributionTest, CrossingCapFoldsAndFreesSamples) {
+  Distribution d;
+  d.set_sample_cap(50);
+  for (int i = 1; i <= 500; ++i) {
+    d.add(static_cast<double>(i));
+  }
+  EXPECT_TRUE(d.folded());
+  EXPECT_TRUE(d.samples().empty());
+  EXPECT_EQ(d.samples_folded(), 500U);
+  // Count, sum moments and extrema stay exact after the fold.
+  EXPECT_EQ(d.count(), 500U);
+  EXPECT_DOUBLE_EQ(d.mean(), 250.5);
+  EXPECT_DOUBLE_EQ(d.min(), 1.0);
+  EXPECT_DOUBLE_EQ(d.max(), 500.0);
+  // Sketch-backed quantiles within the sketch's 1% relative accuracy.
+  EXPECT_NEAR(d.quantile(0.5), 250.5, 0.02 * 250.5);
+  EXPECT_NEAR(d.quantile(0.99), 495.05, 0.02 * 495.05);
+  // Streaming stddev: Welford matches the exact value closely.
+  EXPECT_NEAR(d.stddev(), 144.337, 0.01);
+  // Folded distributions refuse raw-sample queries and flag the summary.
+  EXPECT_THROW((void)d.histogram(4), util::ContractViolation);
+  EXPECT_NE(d.summary().find("folded=500"), std::string::npos);
+}
+
+TEST(StreamingDistributionTest, RetainedBytesReflectOneCopy) {
+  // The sorted_ duplication fix: quantile() sorts into a scratch freed on
+  // return, so the high-water retained storage is exactly the sample
+  // vector — querying quantiles must not grow it.
+  Distribution d;
+  for (int i = 0; i < 1000; ++i) {
+    d.add(static_cast<double>((i * 7919) % 1000));
+  }
+  const std::size_t before = d.retained_bytes();
+  EXPECT_GE(before, 1000 * sizeof(double));
+  (void)d.quantile(0.5);
+  (void)d.quantile(0.99);
+  (void)d.summary();
+  EXPECT_EQ(d.retained_bytes(), before);
+  // Folding swaps O(n) samples for O(buckets) sketch state — visible once
+  // the sample count dwarfs the sketch's bucket budget.
+  Distribution big;
+  for (int i = 0; i < 50000; ++i) {
+    big.add(static_cast<double>(i % 977));
+  }
+  const std::size_t unfolded = big.retained_bytes();
+  big.set_sample_cap(100);
+  EXPECT_TRUE(big.folded());
+  EXPECT_LT(big.retained_bytes(), unfolded / 4);
+}
+
+TEST(StreamingDistributionTest, QuantileLawUnchangedByScratchSort) {
+  // Pinned against util::interpolated_quantile: rank q*(n-1) interpolation,
+  // same values the pre-rewrite sorted_ cache produced.
+  Distribution d;
+  for (int i = 100; i >= 1; --i) {
+    d.add(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(d.quantile(0.5), 50.5);
+  EXPECT_NEAR(d.quantile(0.99), 99.01, 1e-9);
+  EXPECT_DOUBLE_EQ(d.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.quantile(1.0), 100.0);
+  // Re-query after another add: results track the new sample set.
+  d.add(1000.0);
+  EXPECT_DOUBLE_EQ(d.quantile(1.0), 1000.0);
+}
+
+TEST(StreamingDistributionTest, MergePastCapFoldsBothSides) {
+  Distribution a;
+  a.set_sample_cap(6);
+  Distribution b;
+  for (int i = 1; i <= 4; ++i) {
+    a.add(static_cast<double>(i));        // 1..4
+    b.add(static_cast<double>(i + 4));    // 5..8
+  }
+  a.merge(b);  // 8 retained > cap 6: fold
+  EXPECT_TRUE(a.folded());
+  EXPECT_EQ(a.count(), 8U);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 8.0);
+  EXPECT_EQ(a.samples_folded(), 8U);
+  // b is untouched and still exact.
+  EXPECT_FALSE(b.folded());
+  EXPECT_EQ(b.samples().size(), 4U);
+}
+
+TEST(StreamingDistributionTest, MergeFoldedIntoExactAndViceVersa) {
+  Distribution folded;
+  folded.set_sample_cap(2);
+  for (int i = 1; i <= 10; ++i) {
+    folded.add(static_cast<double>(i));
+  }
+  ASSERT_TRUE(folded.folded());
+  Distribution exact;
+  exact.add(100.0);
+  exact.merge(folded);
+  EXPECT_TRUE(exact.folded());
+  EXPECT_EQ(exact.count(), 11U);
+  EXPECT_DOUBLE_EQ(exact.max(), 100.0);
+  EXPECT_DOUBLE_EQ(exact.mean(), 155.0 / 11.0);
+
+  Distribution other;
+  other.set_sample_cap(2);
+  other.add(0.5);
+  other.add(0.25);
+  other.add(0.75);  // folds
+  ASSERT_TRUE(other.folded());
+  other.merge(folded);  // sketch-to-sketch, bucket-wise
+  EXPECT_EQ(other.count(), 13U);
+  EXPECT_DOUBLE_EQ(other.min(), 0.25);
+  EXPECT_DOUBLE_EQ(other.max(), 10.0);
+}
+
+TEST(StreamingDistributionTest, MergeOrderIsDeterministic) {
+  // Shard-merge determinism: merging the same per-shard distributions in
+  // the same order must give bit-identical state — the parallel
+  // replication contract, now including folded mode.
+  const auto build = [] {
+    std::vector<Distribution> shards(4);
+    for (int s = 0; s < 4; ++s) {
+      shards[s].set_sample_cap(8);
+      for (int i = 0; i < 32; ++i) {
+        shards[s].add(static_cast<double>((s * 1009 + i * 31) % 97));
+      }
+    }
+    Distribution merged;
+    merged.set_sample_cap(8);
+    for (const auto& shard : shards) {
+      merged.merge(shard);
+    }
+    return merged;
+  };
+  const auto a = build();
+  const auto b = build();
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_DOUBLE_EQ(a.mean(), b.mean());
+  EXPECT_DOUBLE_EQ(a.stddev(), b.stddev());
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), b.quantile(0.5));
+  EXPECT_DOUBLE_EQ(a.quantile(0.99), b.quantile(0.99));
+}
+
+TEST(StreamingDistributionTest, CopyOfFoldedDistributionIsDeep) {
+  Distribution d;
+  d.set_sample_cap(2);
+  for (int i = 1; i <= 8; ++i) {
+    d.add(static_cast<double>(i));
+  }
+  ASSERT_TRUE(d.folded());
+  Distribution copy = d;
+  EXPECT_TRUE(copy.folded());
+  EXPECT_EQ(copy.count(), 8U);
+  EXPECT_DOUBLE_EQ(copy.quantile(0.5), d.quantile(0.5));
+  copy.add(1000.0);  // must not leak into the original
+  EXPECT_EQ(d.count(), 8U);
+  EXPECT_DOUBLE_EQ(d.max(), 8.0);
+  Distribution assigned;
+  assigned = d;
+  EXPECT_EQ(assigned.count(), 8U);
+  EXPECT_DOUBLE_EQ(assigned.quantile(0.99), d.quantile(0.99));
+}
+
+TEST(StreamingDistributionTest, LateCapOnOversizedSetFoldsImmediately) {
+  Distribution d;
+  for (int i = 1; i <= 100; ++i) {
+    d.add(static_cast<double>(i));
+  }
+  d.set_sample_cap(10);
+  EXPECT_TRUE(d.folded());
+  EXPECT_TRUE(d.samples().empty());
+  EXPECT_EQ(d.count(), 100U);
+  EXPECT_DOUBLE_EQ(d.mean(), 50.5);
+}
+
 }  // namespace
 }  // namespace vodbcast::sim

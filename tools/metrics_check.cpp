@@ -22,7 +22,10 @@
 //   sum(sb_client_wait_count{title=*}) == sim_clients_served_total
 //   net_packets_lost_total{channel=0} <= net_packets_sent_total{channel=0}
 //   sum(ctrl_title_promotions_total{title=*}) >= 1
+//   sim_plan_cache_hits_total + sim_plan_cache_misses_total == sim_clients_served_total
 //
+//   expr := side cmp side
+//   side := term ( + term )*      (whitespace-separated, so quote the expr)
 //   term := number | selector | sum(selector)
 //   cmp  := == | != | <= | >= | < | >
 //   selector := name or name{key=value,...}; value `*` matches any, so
@@ -530,29 +533,70 @@ bool nearly_equal(double a, double b) {
   return std::fabs(a - b) <= 1e-9 * scale;
 }
 
+/// Evaluates one whitespace-tokenized side of an assert: `term ( + term )*`.
+bool eval_side(const ParsedFile& parsed,
+               const std::vector<std::string>& tokens, std::size_t begin,
+               std::size_t end, double* out, std::string* error) {
+  if (begin >= end) {
+    *error = "empty side";
+    return false;
+  }
+  double total = 0.0;
+  bool expect_term = true;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (expect_term) {
+      double value = 0.0;
+      if (!eval_term(parsed, tokens[i], &value, error)) {
+        return false;
+      }
+      total += value;
+    } else if (tokens[i] != "+") {
+      *error = "expected '+' before '" + tokens[i] + "'";
+      return false;
+    }
+    expect_term = !expect_term;
+  }
+  if (expect_term) {
+    *error = "dangling '+'";
+    return false;
+  }
+  *out = total;
+  return true;
+}
+
 void run_assert(const ParsedFile& parsed, const std::string& expr) {
   static const std::vector<std::string> kOps = {"==", "!=", "<=",
                                                 ">=", "<",  ">"};
-  std::istringstream tokens(expr);
-  std::string lhs_text;
-  std::string op;
-  std::string rhs_text;
-  std::string extra;
-  tokens >> lhs_text >> op >> rhs_text;
-  if (tokens >> extra) {
-    fail(0, "assert '" + expr + "': trailing token '" + extra + "'");
-    return;
+  std::vector<std::string> tokens;
+  {
+    std::istringstream in(expr);
+    std::string token;
+    while (in >> token) {
+      tokens.push_back(token);
+    }
   }
-  if (std::find(kOps.begin(), kOps.end(), op) == kOps.end()) {
-    fail(0, "assert '" + expr + "': unknown comparator '" + op +
-                "' (want one of == != <= >= < >)");
+  std::size_t cmp_at = tokens.size();
+  std::string op;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (std::find(kOps.begin(), kOps.end(), tokens[i]) != kOps.end()) {
+      if (cmp_at != tokens.size()) {
+        fail(0, "assert '" + expr + "': more than one comparator");
+        return;
+      }
+      cmp_at = i;
+      op = tokens[i];
+    }
+  }
+  if (cmp_at == tokens.size()) {
+    fail(0, "assert '" + expr +
+                "': no comparator (want one of == != <= >= < >)");
     return;
   }
   double lhs = 0.0;
   double rhs = 0.0;
   std::string error;
-  if (!eval_term(parsed, lhs_text, &lhs, &error) ||
-      !eval_term(parsed, rhs_text, &rhs, &error)) {
+  if (!eval_side(parsed, tokens, 0, cmp_at, &lhs, &error) ||
+      !eval_side(parsed, tokens, cmp_at + 1, tokens.size(), &rhs, &error)) {
     fail(0, "assert '" + expr + "': " + error);
     return;
   }

@@ -301,6 +301,11 @@ int cmd_simulate(const util::ArgParser& args) {
   config.arrivals_per_minute = args.get_double("arrivals", 4.0);
   config.seed = args.get_uint("seed", 42);
   config.plan_clients = true;
+  // --plan-cache 0 recomputes every reception plan (the A/B baseline);
+  // output is bit-identical either way.
+  config.plan_cache = args.get_uint("plan-cache", 1) != 0;
+  config.stats_sample_cap =
+      static_cast<std::size_t>(args.get_uint("stats-cap", 0));
   // Fault channels are the SB segment indices; size the plan to the design.
   const auto design = scheme->design(input);
   const auto injector = make_injector(
@@ -538,6 +543,8 @@ int cmd_hybrid(const util::ArgParser& args) {
   config.arrivals_per_minute = args.get_double("arrivals", 3.0);
   config.horizon = core::Minutes{args.get_double("horizon", 1500.0)};
   config.seed = args.get_uint("seed", 11);
+  config.stats_sample_cap =
+      static_cast<std::size_t>(args.get_uint("stats-cap", 0));
   obs::Sink sink(static_cast<std::size_t>(
       args.get_uint("trace-limit", 65536)), spans_limit(args));
   if (wants_observability(args)) {
@@ -640,6 +647,10 @@ int cmd_help() {
       "           [--fault-plan outages=2,bursts=1,stalls=1,restart=1,...]\n"
       "           [--fault-seed N] [--fault-retries 1]  seeded failure\n"
       "           episodes + recovery (check with trace_check --faults)\n"
+      "           [--plan-cache 0|1]  phase-keyed reception-plan cache\n"
+      "           (default on; identical output, metro-scale speed)\n"
+      "           [--stats-cap N]  fold wait samples into a quantile sketch\n"
+      "           past N (0 = exact; hybrid accepts --stats-cap too)\n"
       "  width    --bandwidth B --latency L             width for a target\n"
       "  guide    --scheme <label> [--from --until]     emission timetable\n"
       "  hybrid   [--hot N --channels K --policy mql]   hybrid server\n"
