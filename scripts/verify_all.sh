@@ -6,8 +6,11 @@
 # simulate --spans-out run must reconcile against its own --metrics-out dump
 # under tools/trace_analyze --check), a fault-injection self-check (a
 # seeded simulate --fault-plan trace must satisfy the hit = repair +
-# degraded contract under tools/trace_check --faults), a quick pass of the
-# bench suite to
+# degraded contract under tools/trace_check --faults), a metro federation
+# self-check (a seeded 4-region vodbcast metro run must conserve arrivals
+# across served-local/rerouted/rejected under tools/metrics_check and
+# reproduce its stdout and metrics byte for byte at --threads 4), a quick
+# pass of the bench suite to
 # prove every binary still writes a valid BENCH_*.json that bench_diff can
 # read back, and (opt-in) the mechanical perf gate against the committed
 # trajectory.
@@ -99,6 +102,34 @@ build/tools/vodbcast simulate --scheme SB:W=12 --bandwidth 300 \
   --fault-plan outages=2,bursts=2,stalls=1,restart=1 --fault-seed 7 \
   --trace-out "$om_dir/faults.jsonl" --trace-limit 262144
 build/tools/trace_check "$om_dir/faults.jsonl" --faults
+
+echo "== metro federation self-check =="
+# A seeded 4-region federation. Every arrival must be accounted for by
+# exactly one of the three admission outcomes (the router's conservation
+# law), and the slot/merge contract must hold end to end: the --threads 4
+# run reproduces the serial stdout and metrics dump byte for byte.
+fed_args=(--regions 40,30,20,10 --channels 120 --horizon 120 --seed 7
+          --replicate-top 8)
+build/tools/vodbcast metro "${fed_args[@]}" \
+  --metrics-format openmetrics --metrics-out "$om_dir/fed.txt" \
+  > "$om_dir/fed_serial.txt"
+build/tools/metrics_check "$om_dir/fed.txt" \
+  'sum(metro_served_local_total{region=*}) + sum(metro_rerouted_total{region=*}) + sum(metro_rejected_total{region=*}) == metro_arrivals_total' \
+  'sum(metro_region_arrivals_total{region=*}) == metro_arrivals_total' \
+  --verbose
+build/tools/vodbcast metro "${fed_args[@]}" --threads 4 \
+  --metrics-format openmetrics --metrics-out "$om_dir/fed_t4.txt" \
+  > "$om_dir/fed_pooled.txt"
+diff "$om_dir/fed_serial.txt" "$om_dir/fed_pooled.txt"
+diff "$om_dir/fed.txt" "$om_dir/fed_t4.txt"
+# One region dark: the federation must keep the conservation law while
+# rerouting the survivors' share of the dark head end's broadcast demand.
+build/tools/vodbcast metro "${fed_args[@]}" --dark 0 \
+  --metrics-format openmetrics --metrics-out "$om_dir/fed_dark.txt" \
+  > /dev/null
+build/tools/metrics_check "$om_dir/fed_dark.txt" \
+  'sum(metro_served_local_total{region=*}) + sum(metro_rerouted_total{region=*}) + sum(metro_rejected_total{region=*}) == metro_arrivals_total' \
+  --verbose
 
 echo "== bench suite (quick) + self-diff =="
 suite_dir=$(mktemp -d)

@@ -3,11 +3,12 @@
 # regular tier-1 build stays untouched:
 #   build-asan  ASan+UBSan over the observability subsystem, simulator,
 #               event-engine slab allocator, batching server, net
-#               reassembly/loss paths, the fault-injection/recovery layer
-#               and the adaptive control plane;
+#               reassembly/loss paths, the fault-injection/recovery layer,
+#               the adaptive control plane and the metro federation;
 #   build-tsan  TSan over the TaskPool and its parallel adopters, including
-#               simulate_replicated and simulate_adaptive_replicated runs
-#               (the data races serial ctest cannot see).
+#               simulate_replicated, simulate_adaptive_replicated and
+#               simulate_federation runs (the data races serial ctest
+#               cannot see).
 #
 #   scripts/verify_sanitize.sh [all|asan|thread]   (default: all)
 set -euo pipefail
@@ -29,7 +30,7 @@ if [[ $mode == all || $mode == asan ]]; then
     test_obs_sampler test_obs_family test_obs_sketch test_obs_openmetrics \
     test_util_json test_bench_harness test_simulator test_task_pool \
     test_parallel test_event_queue test_batching test_net test_ctrl \
-    test_fault test_plan_cache test_stats
+    test_fault test_metro test_plan_cache test_stats
 
   ./build-asan/tests/test_obs_registry
   ./build-asan/tests/test_obs_trace
@@ -48,6 +49,7 @@ if [[ $mode == all || $mode == asan ]]; then
   ./build-asan/tests/test_net
   ./build-asan/tests/test_ctrl
   ./build-asan/tests/test_fault
+  ./build-asan/tests/test_metro
   ./build-asan/tests/test_plan_cache
   ./build-asan/tests/test_stats
 fi
@@ -55,12 +57,14 @@ fi
 if [[ $mode == all || $mode == thread ]]; then
   cmake -B build-tsan -S . -DVODBCAST_SANITIZE=thread
   cmake --build build-tsan -j "$(nproc)" \
-    --target test_task_pool test_parallel test_simulator test_ctrl
+    --target test_task_pool test_parallel test_simulator test_ctrl \
+    test_metro
 
   ./build-tsan/tests/test_task_pool
   ./build-tsan/tests/test_parallel
   ./build-tsan/tests/test_simulator
   ./build-tsan/tests/test_ctrl
+  ./build-tsan/tests/test_metro
 fi
 
 echo "sanitize verify ($mode): OK"

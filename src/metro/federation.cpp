@@ -1,0 +1,339 @@
+#include "metro/federation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "schemes/skyscraper.hpp"
+#include "util/rng.hpp"
+#include "workload/request.hpp"
+
+namespace vodbcast::metro {
+
+namespace {
+
+/// D1 of the replicated head's per-region SB design: each region gives
+/// every head title K channels, so the broadcast latency is the SB access
+/// latency at bandwidth K*b for one video. Throws when the design is
+/// infeasible (K < 1).
+double broadcast_d1(const FederationConfig& config) {
+  if (config.replicate_top == 0) {
+    return 0.0;
+  }
+  if (config.sb_channels_per_title < 1) {
+    throw std::invalid_argument(
+        "metro federation needs at least one SB channel per replicated "
+        "title");
+  }
+  const schemes::SkyscraperScheme sb(config.sb_width);
+  const schemes::DesignInput input{
+      core::MbitPerSec{config.video.display_rate.v *
+                       config.sb_channels_per_title},
+      1, config.video};
+  const auto eval = sb.evaluate(input);
+  if (!eval.has_value()) {
+    throw std::invalid_argument(
+        "metro federation replicated-head SB design is infeasible at " +
+        std::to_string(config.sb_channels_per_title) + " channels per title");
+  }
+  return eval->metrics.access_latency.v;
+}
+
+/// Broadcast tune wait: time to the next segment-1 repetition boundary.
+double tune_wait(double t, double d1) {
+  const double into = std::fmod(t, d1);
+  return into == 0.0 ? 0.0 : d1 - into;
+}
+
+std::uint64_t mbits_to_bytes(double mbits) {
+  return static_cast<std::uint64_t>(std::llround(mbits * 125000.0));
+}
+
+}  // namespace
+
+FederationReport simulate_federation(const Topology& topology,
+                                     const FederationConfig& config,
+                                     util::TaskPool* pool) {
+  const std::size_t n = topology.size();
+  if (!config.fault_plans.empty() && config.fault_plans.size() != n) {
+    throw std::invalid_argument(
+        "metro federation fault plans must be empty or one per region");
+  }
+  if (!(config.horizon.v > 0.0)) {
+    throw std::invalid_argument("metro federation horizon must be positive");
+  }
+  const double d1 = broadcast_d1(config);
+
+  const PlacementSolver solver(config.catalog_size, config.zipf_theta);
+  const Placement placement = solver.solve(topology, config.replicate_top);
+
+  // Channel budgets: the replicated head claims K channels per title in
+  // every region; whatever is left serves the tail as stream slots.
+  std::vector<int> tail_slots(n, 0);
+  int tail_slots_total = 0;
+  const int head_channels =
+      static_cast<int>(placement.replicated) * config.sb_channels_per_title;
+  for (std::size_t r = 0; r < n; ++r) {
+    tail_slots[r] = std::max(0, topology.region(r).channels - head_channels);
+    tail_slots_total += tail_slots[r];
+  }
+
+  // Phase A — per-region workload. Region g's seed is the (g+1)-th output
+  // of SplitMix64(config.seed), derived up front so the schedule does not
+  // depend on execution order.
+  util::SplitMix64 seed_stream(config.seed);
+  std::vector<std::uint64_t> seeds(n);
+  for (auto& seed : seeds) {
+    seed = seed_stream.next();
+  }
+  std::vector<std::vector<workload::Request>> streams(n);
+  util::parallel_for_each(pool, n, [&](std::size_t g) {
+    workload::RequestGenerator gen(solver.popularity(),
+                                   topology.region(g).arrivals_per_minute,
+                                   util::Rng(seeds[g]));
+    streams[g] = gen.generate_until(config.horizon);
+  });
+
+  // Phase B — serial routing over the k-way time-ordered merge (ties break
+  // on the lower region index). The router's link/slot state is the one
+  // genuinely shared structure, so it gets exactly one writer.
+  RouterConfig router_config;
+  router_config.video = config.video;
+  router_config.patience = config.patience;
+  router_config.spill_wait = config.spill_wait;
+  router_config.fault_plans = &config.fault_plans;
+  Router router(topology, placement, tail_slots, router_config);
+
+  std::vector<std::vector<RouteDecision>> per_origin(n);
+  std::vector<std::uint64_t> rerouted_in(n, 0);
+  std::vector<std::size_t> cursor(n, 0);
+  for (;;) {
+    std::size_t next = n;
+    double best = 0.0;
+    for (std::size_t g = 0; g < n; ++g) {
+      if (cursor[g] >= streams[g].size()) {
+        continue;
+      }
+      const double at = streams[g][cursor[g]].arrival.v;
+      if (next == n || at < best) {
+        next = g;
+        best = at;
+      }
+    }
+    if (next == n) {
+      break;
+    }
+    const auto& req = streams[next][cursor[next]++];
+    const RouteDecision d = router.route(
+        Arrival{req.arrival, req.video, static_cast<std::uint32_t>(next)});
+    if (d.kind == RouteKind::kRerouted) {
+      ++rerouted_in[d.served_by];
+    }
+    per_origin[next].push_back(d);
+  }
+
+  // Phase C — per-region accounting into private sinks/distributions.
+  std::vector<RegionReport> region_reports(n);
+  std::vector<std::unique_ptr<obs::Sink>> sinks(n);
+  util::parallel_for_each(pool, n, [&](std::size_t g) {
+    auto& report = region_reports[g];
+    report.wait_minutes.set_sample_cap(config.stats_sample_cap);
+    report.rerouted_in = rerouted_in[g];
+
+    obs::Counter* arrivals_total = nullptr;
+    obs::Counter* region_arrivals = nullptr;
+    obs::Counter* served_local = nullptr;
+    obs::Counter* rerouted = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Counter* link_bytes = nullptr;
+    obs::Sink* sink = nullptr;
+    if (config.sink != nullptr) {
+      sinks[g] = std::make_unique<obs::Sink>(config.sink->trace.capacity(),
+                                             config.sink->spans.capacity());
+      sink = sinks[g].get();
+      auto& reg = sink->metrics;
+      const std::string label = std::to_string(g);
+      arrivals_total = &reg.counter("metro.arrivals");
+      region_arrivals =
+          &reg.counter_family("metro.region_arrivals", {"region"})
+               .with({label});
+      served_local =
+          &reg.counter_family("metro.served_local", {"region"}).with({label});
+      rerouted =
+          &reg.counter_family("metro.rerouted", {"region"}).with({label});
+      rejected =
+          &reg.counter_family("metro.rejected", {"region"}).with({label});
+      link_bytes =
+          &reg.counter_family("metro.link_bytes", {"region"}).with({label});
+    }
+
+    std::uint64_t ordinal = 0;
+    for (const auto& d : per_origin[g]) {
+      ++ordinal;
+      double wait = 0.0;
+      switch (d.kind) {
+        case RouteKind::kRejected:
+          wait = config.reject_penalty.v;
+          ++report.rejected;
+          break;
+        case RouteKind::kLocal:
+        case RouteKind::kRerouted:
+          wait = d.transit_min +
+                 (d.broadcast ? tune_wait(d.arrival_min + d.transit_min, d1)
+                              : d.queue_wait_min);
+          if (d.kind == RouteKind::kLocal) {
+            ++report.served_local;
+          } else {
+            ++report.rerouted_out;
+          }
+          break;
+      }
+      ++report.arrivals;
+      report.link_mbits += d.link_mbits;
+      report.wait_minutes.add(wait);
+
+      if (sink != nullptr) {
+        arrivals_total->add();
+        region_arrivals->add();
+        switch (d.kind) {
+          case RouteKind::kLocal:
+            served_local->add();
+            break;
+          case RouteKind::kRerouted:
+            rerouted->add();
+            break;
+          case RouteKind::kRejected:
+            rejected->add();
+            break;
+        }
+        if (d.link_mbits > 0.0) {
+          link_bytes->add(mbits_to_bytes(d.link_mbits));
+        }
+        obs::Span session;
+        session.start_min = d.arrival_min;
+        session.end_min = d.kind == RouteKind::kRejected
+                              ? d.arrival_min
+                              : d.arrival_min + wait + config.video.duration.v;
+        session.phase = obs::SpanPhase::kRegionSession;
+        session.channel = static_cast<std::int32_t>(d.served_by);
+        session.video = d.video;
+        session.client = ordinal;
+        session.value = wait;
+        const auto id = sink->spans.record(session);
+        if (d.kind == RouteKind::kRerouted) {
+          obs::Span hop;
+          hop.parent = id;
+          hop.start_min = d.arrival_min;
+          hop.end_min = d.arrival_min + d.transit_min;
+          hop.phase = obs::SpanPhase::kReroute;
+          hop.channel = static_cast<std::int32_t>(d.served_by);
+          hop.video = d.video;
+          hop.client = ordinal;
+          hop.value = d.transit_min;
+          sink->spans.record(hop);
+        }
+      }
+    }
+    if (sink != nullptr) {
+      obs::publish_drop_metrics(*sink);
+    }
+  });
+
+  // Phase D — fold in region index order.
+  FederationReport out;
+  out.regions = std::move(region_reports);
+  out.wait_minutes.set_sample_cap(config.stats_sample_cap);
+  out.replicated_titles = placement.replicated;
+  out.tail_slots_total = tail_slots_total;
+  out.broadcast_latency_min = d1;
+  for (std::size_t g = 0; g < n; ++g) {
+    const auto& r = out.regions[g];
+    out.arrivals += r.arrivals;
+    out.served_local += r.served_local;
+    out.rerouted += r.rerouted_out;
+    out.rejected += r.rejected;
+    out.link_mbits += r.link_mbits;
+    out.wait_minutes.merge(r.wait_minutes);
+    if (config.sink != nullptr) {
+      config.sink->metrics.merge_from(sinks[g]->metrics);
+      config.sink->trace.merge_from(sinks[g]->trace);
+      config.sink->spans.merge_from(sinks[g]->spans);
+    }
+  }
+  return out;
+}
+
+ReplicatedFederationReport simulate_federation_replicated(
+    const Topology& topology, const FederationConfig& config, std::size_t reps,
+    util::TaskPool* pool) {
+  if (reps < 1) {
+    throw std::invalid_argument(
+        "metro federation needs at least one replication");
+  }
+  // Replication r's seed is the (r+1)-th SplitMix64 output. Replications
+  // run serially — the pool parallelizes regions *within* each — and every
+  // merge happens in replication order, so the result is bit-identical at
+  // any thread count.
+  util::SplitMix64 seed_stream(config.seed);
+  std::vector<std::uint64_t> seeds(reps);
+  for (auto& seed : seeds) {
+    seed = seed_stream.next();
+  }
+
+  ReplicatedFederationReport out;
+  out.replications = reps;
+  out.merged.wait_minutes.set_sample_cap(config.stats_sample_cap);
+  for (std::size_t r = 0; r < reps; ++r) {
+    FederationConfig rep_config = config;
+    rep_config.seed = seeds[r];
+    const FederationReport rep =
+        simulate_federation(topology, rep_config, pool);
+    if (out.merged.regions.empty()) {
+      out.merged.regions.resize(rep.regions.size());
+      for (auto& region : out.merged.regions) {
+        region.wait_minutes.set_sample_cap(config.stats_sample_cap);
+      }
+      out.merged.replicated_titles = rep.replicated_titles;
+      out.merged.tail_slots_total = rep.tail_slots_total;
+      out.merged.broadcast_latency_min = rep.broadcast_latency_min;
+    }
+    for (std::size_t g = 0; g < rep.regions.size(); ++g) {
+      auto& into = out.merged.regions[g];
+      const auto& from = rep.regions[g];
+      into.arrivals += from.arrivals;
+      into.served_local += from.served_local;
+      into.rerouted_out += from.rerouted_out;
+      into.rerouted_in += from.rerouted_in;
+      into.rejected += from.rejected;
+      into.link_mbits += from.link_mbits;
+      into.wait_minutes.merge(from.wait_minutes);
+    }
+    out.merged.arrivals += rep.arrivals;
+    out.merged.served_local += rep.served_local;
+    out.merged.rerouted += rep.rerouted;
+    out.merged.rejected += rep.rejected;
+    out.merged.link_mbits += rep.link_mbits;
+    out.merged.wait_minutes.merge(rep.wait_minutes);
+    if (!rep.wait_minutes.empty()) {
+      out.replication_mean_wait.add(rep.wait_minutes.mean());
+    }
+  }
+
+  const auto n = out.replication_mean_wait.count();
+  if (n >= 2) {
+    // Population -> sample stddev, then the normal-approximation interval.
+    const double pop = out.replication_mean_wait.stddev();
+    const double s = pop * std::sqrt(static_cast<double>(n) /
+                                     static_cast<double>(n - 1));
+    out.wait_mean_ci95 = 1.96 * s / std::sqrt(static_cast<double>(n));
+  }
+  return out;
+}
+
+}  // namespace vodbcast::metro

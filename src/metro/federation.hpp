@@ -1,0 +1,143 @@
+// metro::simulate_federation — the multi-head-end campaign driver.
+//
+// One federation run has four phases on the PR 3 slot/merge contract
+// (parallelism changes who computes a slot, never where results land):
+//
+//   A. per-region workload (parallel, one region per util::TaskPool slot):
+//      region g draws its Poisson/Zipf request stream from a private Rng
+//      seeded with the (g+1)-th output of util::SplitMix64(config.seed);
+//   B. routing (serial): the per-region streams are k-way merged in time
+//      order (ties break on the lower region index) and fed through
+//      metro::Router, whose shared link/slot state demands one writer;
+//   C. per-region accounting (parallel): region g's slot walks the
+//      decisions for arrivals that originated there, computes each
+//      request's penalized wait (broadcast tune wait and/or tail admission
+//      wait, plus link transit, or the rejection penalty), and records
+//      metrics, spans and wait samples into a private obs::Sink and
+//      sim::Distribution;
+//   D. fold (serial): per-region sinks merge into config.sink via
+//      Registry::merge_from / SpanTracer::merge_from and per-region
+//      distributions merge metro-wide, all in region index order.
+//
+// The result is bit-identical at any thread count, including none.
+//
+// Observability (docs/OBSERVABILITY.md): the unlabeled counter
+// `metro.arrivals` plus {region}-labeled families `metro.region_arrivals`,
+// `metro.served_local`, `metro.rerouted`, `metro.rejected` and
+// `metro.link_bytes`, all labeled by the ORIGIN region (demand-side
+// accounting, which is what keeps phase C single-writer); conservation
+//
+//   sum(served_local) + sum(rerouted) + sum(rejected) == arrivals
+//
+// holds exactly. Per arrival a `region_session` span (value = penalized
+// wait, channel = serving region) is recorded, with a `reroute` child
+// (value = transit minutes) under every spilled session.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/video.hpp"
+#include "fault/plan.hpp"
+#include "metro/placement.hpp"
+#include "metro/router.hpp"
+#include "metro/topology.hpp"
+#include "obs/sink.hpp"
+#include "sim/stats.hpp"
+#include "util/task_pool.hpp"
+#include "workload/zipf.hpp"
+
+namespace vodbcast::metro {
+
+struct FederationConfig {
+  std::size_t catalog_size = 100;
+  double zipf_theta = workload::kPaperSkew;
+  /// Replication degree R: the top-R titles broadcast from every region.
+  std::size_t replicate_top = 10;
+  /// SB channels each region devotes to each replicated title.
+  int sb_channels_per_title = 6;
+  /// Skyscraper width for the replicated head's broadcast design.
+  std::uint64_t sb_width = 52;
+  core::VideoParams video{};
+  core::Minutes horizon{600.0};
+  core::Minutes patience{15.0};
+  core::Minutes spill_wait{5.0};
+  /// Penalized wait charged to a rejected request (the "call back later"
+  /// cost), so the headline mean cannot be gamed by rejecting everyone.
+  core::Minutes reject_penalty{30.0};
+  std::uint64_t seed = 1;
+  /// Streaming cap for the wait distributions (0 = retain everything).
+  std::size_t stats_sample_cap = 0;
+  obs::Sink* sink = nullptr;  ///< optional; per-region sinks fold into it
+  /// Per-region fault domains: empty, or exactly one plan per region.
+  std::vector<fault::Plan> fault_plans{};
+};
+
+struct RegionReport {
+  std::uint64_t arrivals = 0;
+  std::uint64_t served_local = 0;
+  std::uint64_t rerouted_out = 0;  ///< originated here, served elsewhere
+  std::uint64_t rerouted_in = 0;   ///< served here for another region
+  std::uint64_t rejected = 0;
+  double link_mbits = 0.0;  ///< link traffic serving this region's demand
+  /// Penalized wait (minutes) of every request originating here: tune/
+  /// admission wait + link transit for served ones, reject_penalty for
+  /// rejected ones.
+  sim::Distribution wait_minutes;
+};
+
+struct FederationReport {
+  std::vector<RegionReport> regions;
+  std::uint64_t arrivals = 0;
+  std::uint64_t served_local = 0;
+  std::uint64_t rerouted = 0;
+  std::uint64_t rejected = 0;
+  double link_mbits = 0.0;
+  sim::Distribution wait_minutes;  ///< metro-wide penalized waits
+  std::size_t replicated_titles = 0;
+  int tail_slots_total = 0;
+  /// D1 of the replicated head's per-region SB design (minutes); 0 when
+  /// nothing is replicated.
+  double broadcast_latency_min = 0.0;
+
+  [[nodiscard]] double mean_penalized_wait_min() const {
+    return wait_minutes.empty() ? 0.0 : wait_minutes.mean();
+  }
+  [[nodiscard]] double reroute_rate() const {
+    return arrivals == 0
+               ? 0.0
+               : static_cast<double>(rerouted) / static_cast<double>(arrivals);
+  }
+  [[nodiscard]] double rejection_rate() const {
+    return arrivals == 0
+               ? 0.0
+               : static_cast<double>(rejected) / static_cast<double>(arrivals);
+  }
+};
+
+/// One federation campaign over `topology`. Throws std::invalid_argument
+/// on a malformed config (fault plan count, infeasible SB head design,
+/// non-positive horizon).
+[[nodiscard]] FederationReport simulate_federation(
+    const Topology& topology, const FederationConfig& config,
+    util::TaskPool* pool = nullptr);
+
+/// R independent federation replications, run serially with the pool
+/// applied inside each (regions stay the parallel unit). Replication r's
+/// seed is the (r+1)-th output of util::SplitMix64(config.seed); reports,
+/// distributions and sinks merge in replication order, so the result is
+/// bit-identical at any thread count.
+struct ReplicatedFederationReport {
+  FederationReport merged;  ///< all replications folded in rep order
+  std::size_t replications = 0;
+  /// Per-replication mean penalized wait, in replication order.
+  sim::Distribution replication_mean_wait;
+  /// 1.96 * s / sqrt(R) on the mean penalized wait; 0 when R < 2.
+  double wait_mean_ci95 = 0.0;
+};
+
+[[nodiscard]] ReplicatedFederationReport simulate_federation_replicated(
+    const Topology& topology, const FederationConfig& config,
+    std::size_t reps, util::TaskPool* pool = nullptr);
+
+}  // namespace vodbcast::metro

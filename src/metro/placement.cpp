@@ -1,0 +1,73 @@
+#include "metro/placement.hpp"
+
+#include <stdexcept>
+
+#include "core/units.hpp"
+#include "ctrl/popularity.hpp"
+#include "workload/zipf.hpp"
+
+namespace vodbcast::metro {
+
+PlacementSolver::PlacementSolver(std::size_t catalog_size, double zipf_theta) {
+  if (catalog_size < 1) {
+    throw std::invalid_argument(
+        "metro::PlacementSolver catalog must be non-empty");
+  }
+  if (zipf_theta < 0.0 || zipf_theta > 1.0) {
+    throw std::invalid_argument(
+        "metro::PlacementSolver zipf theta must be in [0, 1]");
+  }
+  popularity_ = workload::zipf_probabilities(catalog_size, zipf_theta);
+}
+
+Placement PlacementSolver::solve(const Topology& topology,
+                                 std::size_t replicate_top) const {
+  const std::size_t catalog = popularity_.size();
+  const std::size_t regions = topology.size();
+
+  // Rank titles through the estimator the control plane uses, seeded with
+  // the stationary prior at the metro-wide rate. With the pure prior the
+  // ranking equals the Zipf order, but going through the estimator keeps
+  // one definition of popularity across layers (and lets callers re-solve
+  // against live weights later without changing this code path).
+  ctrl::PopularityEstimator estimator(catalog, core::Minutes{60.0});
+  estimator.seed_prior(popularity_, topology.total_arrivals_per_minute());
+
+  Placement out;
+  out.replicated = replicate_top < catalog ? replicate_top : catalog;
+  out.ranking = estimator.ranking(core::Minutes{0.0});
+  out.rank_of.assign(catalog, 0);
+  for (std::size_t rank = 0; rank < catalog; ++rank) {
+    out.rank_of[out.ranking[rank]] = rank;
+  }
+  out.home.assign(catalog, -1);
+  out.tail_mass.assign(regions, 0.0);
+
+  // Budget share per region: a region with twice the channels should carry
+  // twice the tail mass. Greedy in rank order onto the region whose
+  // relative load (assigned mass / budget share) is lowest; ties take the
+  // lower region index, so the assignment is deterministic.
+  const double total_channels = static_cast<double>(topology.total_channels());
+  std::vector<double> share(regions, 0.0);
+  for (std::size_t r = 0; r < regions; ++r) {
+    share[r] = static_cast<double>(topology.region(r).channels) /
+               total_channels;
+  }
+  for (std::size_t rank = out.replicated; rank < catalog; ++rank) {
+    const std::size_t title = out.ranking[rank];
+    std::size_t best = 0;
+    double best_load = out.tail_mass[0] / share[0];
+    for (std::size_t r = 1; r < regions; ++r) {
+      const double load = out.tail_mass[r] / share[r];
+      if (load < best_load) {
+        best = r;
+        best_load = load;
+      }
+    }
+    out.home[title] = static_cast<int>(best);
+    out.tail_mass[best] += popularity_[title];
+  }
+  return out;
+}
+
+}  // namespace vodbcast::metro

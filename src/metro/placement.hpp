@@ -1,0 +1,68 @@
+// Title placement across the federation: replicate the Zipf head
+// everywhere, partition the tail by home region.
+//
+// The replication-degree knob R trades channel budget against resilience:
+// the top-R titles by popularity rank are broadcast from every head end
+// (clients always tune locally; a dark region fails over to a neighbor's
+// broadcast), while each remaining title lives at exactly one home region.
+// Tail homes are assigned in rank order to the region with the most spare
+// budget-weighted capacity, so expected tail load is balanced against each
+// region's channel budget.
+//
+// Rankings come from ctrl::PopularityEstimator seeded with the stationary
+// Zipf prior at the metro-wide arrival rate — the same estimator the
+// adaptive control plane trusts — so placement, workload and control agree
+// on what "popular" means.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/video.hpp"
+#include "metro/topology.hpp"
+
+namespace vodbcast::metro {
+
+/// The solved assignment. `home[v]` is the tail title's home region, or -1
+/// when the title is in the replicated head (hosted by every region).
+struct Placement {
+  std::size_t replicated = 0;            ///< head size R (clamped to catalog)
+  std::vector<std::size_t> ranking;      ///< rank -> title id
+  std::vector<std::size_t> rank_of;      ///< title id -> rank
+  std::vector<int> home;                 ///< title id -> region, -1 = head
+  std::vector<double> tail_mass;         ///< per region: assigned Zipf mass
+
+  [[nodiscard]] bool is_replicated(core::VideoId v) const {
+    return home.at(v) < 0;
+  }
+  /// True when `region` holds a copy of `v` (its home, or `v` is in the
+  /// replicated head).
+  [[nodiscard]] bool hosts(std::size_t region, core::VideoId v) const {
+    const int h = home.at(v);
+    return h < 0 || static_cast<std::size_t>(h) == region;
+  }
+};
+
+class PlacementSolver {
+ public:
+  /// Preconditions (std::invalid_argument): catalog_size >= 1,
+  /// 0 <= zipf_theta <= 1.
+  PlacementSolver(std::size_t catalog_size, double zipf_theta);
+
+  /// Zipf access probabilities per title id (id == prior rank).
+  [[nodiscard]] const std::vector<double>& popularity() const noexcept {
+    return popularity_;
+  }
+
+  /// Solves the placement for `replicate_top` replicated head titles
+  /// (clamped to the catalog size). Deterministic: ranking ties break on
+  /// the lower title id (the estimator contract) and tail assignment ties
+  /// break on the lower region index.
+  [[nodiscard]] Placement solve(const Topology& topology,
+                                std::size_t replicate_top) const;
+
+ private:
+  std::vector<double> popularity_;
+};
+
+}  // namespace vodbcast::metro

@@ -1,0 +1,215 @@
+#include "metro/router.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace vodbcast::metro {
+
+namespace {
+
+constexpr double kNoPending = -1.0;
+
+}  // namespace
+
+Router::Router(const Topology& topology, const Placement& placement,
+               std::vector<int> tail_slots, RouterConfig config)
+    : topology_(&topology), placement_(&placement), config_(config) {
+  const std::size_t n = topology.size();
+  if (tail_slots.size() != n) {
+    throw std::invalid_argument(
+        "metro::Router tail_slots must be sized to the topology");
+  }
+  if (config_.fault_plans != nullptr && !config_.fault_plans->empty() &&
+      config_.fault_plans->size() != n) {
+    throw std::invalid_argument(
+        "metro::Router fault plans must be empty or one per region");
+  }
+  slots_.resize(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    if (tail_slots[r] < 0) {
+      throw std::invalid_argument(
+          "metro::Router tail slot budget must be non-negative");
+    }
+    for (int s = 0; s < tail_slots[r]; ++s) {
+      slots_[r].push(0.0);
+    }
+  }
+  pending_.assign(n, std::vector<double>(placement.home.size(), kNoPending));
+  busy_.assign(n * n, {});
+  order_.resize(n);
+  for (std::size_t o = 0; o < n; ++o) {
+    for (std::size_t s = 0; s < n; ++s) {
+      if (s != o) {
+        order_[o].push_back(static_cast<std::uint32_t>(s));
+      }
+    }
+    std::sort(order_[o].begin(), order_[o].end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                const int ha = topology.hops(o, a);
+                const int hb = topology.hops(o, b);
+                return ha != hb ? ha < hb : a < b;
+              });
+  }
+}
+
+bool Router::dark(std::size_t region, double t) const {
+  if (config_.fault_plans == nullptr || config_.fault_plans->empty()) {
+    return false;
+  }
+  for (const auto& e : (*config_.fault_plans)[region].episodes()) {
+    if (e.start_min > t) {
+      break;  // episodes are sorted by start time
+    }
+    if (e.kind == fault::EpisodeKind::kChannelOutage && t < e.end_min) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Router::link_free(std::size_t from, std::size_t to, double t) {
+  if (from == to) {
+    return true;
+  }
+  auto& releases = busy_[from * topology_->size() + to];
+  std::erase_if(releases, [t](double until) { return until <= t; });
+  return releases.size() <
+         static_cast<std::size_t>(topology_->link_capacity());
+}
+
+void Router::occupy_link(std::size_t from, std::size_t to, double until) {
+  if (from != to) {
+    busy_[from * topology_->size() + to].push_back(until);
+  }
+}
+
+RouteDecision Router::serve_tail_local(RouteDecision d, std::size_t home,
+                                       double start) {
+  const double dur = config_.video.duration.v;
+  slots_[home].pop();
+  slots_[home].push(start + dur);
+  pending_[home][d.video] = start;
+  d.kind = RouteKind::kLocal;
+  d.queue_wait_min = start - d.arrival_min;
+  if (home != d.origin) {
+    d.transit_min = topology_->transit(home, d.origin).v;
+    d.link_mbits = config_.video.size().v;
+    occupy_link(home, d.origin, start + d.transit_min + dur);
+  }
+  return d;
+}
+
+RouteDecision Router::route(const Arrival& arrival) {
+  const double t = arrival.at.v;
+  const double dur = config_.video.duration.v;
+  const double stream_mbits = config_.video.size().v;
+  const std::size_t o = arrival.origin;
+
+  RouteDecision d;
+  d.origin = arrival.origin;
+  d.served_by = arrival.origin;
+  d.video = arrival.video;
+  d.arrival_min = t;
+
+  if (placement_->is_replicated(arrival.video)) {
+    d.broadcast = true;
+    if (!dark(o, t)) {
+      return d;  // kLocal: tune into the origin region's own broadcast
+    }
+    // Failover: cheapest non-dark neighbor whose delivery link has room.
+    for (const std::uint32_t s : order_[o]) {
+      if (dark(s, t) || !link_free(s, o, t)) {
+        continue;
+      }
+      d.kind = RouteKind::kRerouted;
+      d.served_by = s;
+      d.transit_min = topology_->transit(s, o).v;
+      d.link_mbits = stream_mbits;
+      occupy_link(s, o, t + d.transit_min + dur);
+      return d;
+    }
+    d.kind = RouteKind::kRejected;
+    return d;
+  }
+
+  // Tail title: local-first means the placement home.
+  const auto h = static_cast<std::size_t>(placement_->home[arrival.video]);
+  d.served_by = static_cast<std::uint32_t>(h);
+  if (dark(h, t)) {
+    // The only copy is behind a dark head end: nothing to spill to.
+    d.kind = RouteKind::kRejected;
+    return d;
+  }
+  const bool home_link_ok = link_free(h, o, t);
+  const double patience = config_.patience.v;
+  if (home_link_ok) {
+    // Join a scheduled-but-not-started batch for this title.
+    const double pend = pending_[h][arrival.video];
+    if (pend >= t && pend - t <= patience) {
+      d.kind = RouteKind::kLocal;
+      d.queue_wait_min = pend - t;
+      if (h != o) {
+        d.transit_min = topology_->transit(h, o).v;
+        d.link_mbits = stream_mbits;
+        occupy_link(h, o, pend + d.transit_min + dur);
+      }
+      return d;
+    }
+    if (!slots_[h].empty()) {
+      const double start = std::max(t, slots_[h].top());
+      if (start - t <= config_.spill_wait.v) {
+        return serve_tail_local(d, h, start);
+      }
+    }
+  }
+  // Saturated home (or its delivery link is full): spill to the cheapest
+  // substitute that has a free slot now — it fetches the title from the
+  // home region over one link and streams to the subscriber over another.
+  std::vector<std::uint32_t> candidates;
+  for (std::uint32_t s = 0; s < topology_->size(); ++s) {
+    if (s != h) {
+      candidates.push_back(s);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              const int ca = topology_->hops(h, a) + topology_->hops(a, o);
+              const int cb = topology_->hops(h, b) + topology_->hops(b, o);
+              return ca != cb ? ca < cb : a < b;
+            });
+  for (const std::uint32_t s : candidates) {
+    if (dark(s, t) || slots_[s].empty() || slots_[s].top() > t) {
+      continue;
+    }
+    if (!link_free(h, s, t) || (s != o && !link_free(s, o, t))) {
+      continue;
+    }
+    slots_[s].pop();
+    slots_[s].push(t + dur);
+    d.kind = RouteKind::kRerouted;
+    d.served_by = s;
+    d.transit_min =
+        topology_->transit(h, s).v + topology_->transit(s, o).v;
+    occupy_link(h, s, t + dur + topology_->transit(h, s).v);
+    d.link_mbits = stream_mbits;
+    if (s != o) {
+      occupy_link(s, o, t + dur + d.transit_min);
+      d.link_mbits += stream_mbits;
+    }
+    return d;
+  }
+  // No spill target: queue at home as long as the subscriber's patience
+  // allows, otherwise renege.
+  if (home_link_ok && !slots_[h].empty()) {
+    const double start = std::max(t, slots_[h].top());
+    if (start - t <= patience) {
+      return serve_tail_local(d, h, start);
+    }
+  }
+  d.kind = RouteKind::kRejected;
+  return d;
+}
+
+}  // namespace vodbcast::metro

@@ -1,0 +1,70 @@
+#include "metro/topology.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace vodbcast::metro {
+
+Topology::Topology(std::vector<RegionSpec> regions, int link_capacity,
+                   core::Minutes link_latency_per_hop)
+    : regions_(std::move(regions)),
+      link_capacity_(link_capacity),
+      link_latency_per_hop_(link_latency_per_hop) {
+  if (regions_.empty()) {
+    throw std::invalid_argument("metro::Topology needs at least one region");
+  }
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    if (!(regions_[i].arrivals_per_minute > 0.0)) {
+      throw std::invalid_argument(
+          "metro::Topology region " + std::to_string(i) +
+          " arrival rate must be positive");
+    }
+    if (regions_[i].channels < 1) {
+      throw std::invalid_argument(
+          "metro::Topology region " + std::to_string(i) +
+          " needs at least one channel");
+    }
+  }
+  if (link_capacity_ < 0) {
+    throw std::invalid_argument(
+        "metro::Topology link capacity must be non-negative");
+  }
+  if (link_latency_per_hop_.v < 0.0) {
+    throw std::invalid_argument(
+        "metro::Topology link latency must be non-negative");
+  }
+}
+
+int Topology::hops(std::size_t from, std::size_t to) const {
+  const auto n = regions_.size();
+  if (from >= n || to >= n) {
+    throw std::invalid_argument("metro::Topology::hops region out of range");
+  }
+  const auto d = from > to ? from - to : to - from;
+  const auto around = n - d;
+  return static_cast<int>(d < around ? d : around);
+}
+
+core::Minutes Topology::transit(std::size_t from, std::size_t to) const {
+  return static_cast<double>(hops(from, to)) * link_latency_per_hop_;
+}
+
+double Topology::total_arrivals_per_minute() const noexcept {
+  double total = 0.0;
+  for (const auto& r : regions_) {
+    total += r.arrivals_per_minute;
+  }
+  return total;
+}
+
+int Topology::total_channels() const noexcept {
+  int total = 0;
+  for (const auto& r : regions_) {
+    total += r.channels;
+  }
+  return total;
+}
+
+}  // namespace vodbcast::metro

@@ -1,0 +1,72 @@
+// Federation topology: N regional head ends joined by capacity-limited
+// links.
+//
+// The paper sizes one head end for one metropolitan area; the federation
+// layer (DESIGN.md §12) scales the same machinery to several regions that
+// share a catalog. Each region is a head end with its own channel budget
+// and its own arrival intensity; any two regions are joined by a directed
+// logical link whose cost is the ring-hop distance between them (so
+// "cheapest neighbor" is well defined) and whose capacity bounds the
+// number of concurrent cross-region transit streams.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/units.hpp"
+
+namespace vodbcast::metro {
+
+/// One regional head end.
+struct RegionSpec {
+  /// Poisson intensity of requests originating in this region.
+  double arrivals_per_minute = 1.0;
+  /// Head-end channel budget (display-rate channels). Broadcast channels
+  /// for the replicated head are carved out of this; the remainder serves
+  /// the tail as stream slots.
+  int channels = 80;
+};
+
+/// The federation graph. Regions sit on a logical ring; the directed link
+/// i -> j is the direct path whose cost is the ring-hop distance, so spill
+/// routing has a deterministic "cheapest first" order.
+class Topology {
+ public:
+  /// Preconditions (std::invalid_argument): at least one region, positive
+  /// arrival rates, at least one channel per region, non-negative link
+  /// capacity and latency.
+  Topology(std::vector<RegionSpec> regions, int link_capacity,
+           core::Minutes link_latency_per_hop);
+
+  [[nodiscard]] std::size_t size() const noexcept { return regions_.size(); }
+  [[nodiscard]] const RegionSpec& region(std::size_t i) const {
+    return regions_.at(i);
+  }
+  [[nodiscard]] const std::vector<RegionSpec>& regions() const noexcept {
+    return regions_;
+  }
+
+  /// Concurrent transit streams each directed link can carry.
+  [[nodiscard]] int link_capacity() const noexcept { return link_capacity_; }
+  [[nodiscard]] core::Minutes link_latency_per_hop() const noexcept {
+    return link_latency_per_hop_;
+  }
+
+  /// Ring-hop distance between two regions (0 for i == j).
+  [[nodiscard]] int hops(std::size_t from, std::size_t to) const;
+  /// One-way transit latency between two regions: hops x per-hop latency.
+  [[nodiscard]] core::Minutes transit(std::size_t from, std::size_t to) const;
+
+  /// Sum of every region's arrival intensity (the metro-wide rate the
+  /// placement prior is seeded with).
+  [[nodiscard]] double total_arrivals_per_minute() const noexcept;
+  /// Sum of every region's channel budget.
+  [[nodiscard]] int total_channels() const noexcept;
+
+ private:
+  std::vector<RegionSpec> regions_;
+  int link_capacity_;
+  core::Minutes link_latency_per_hop_;
+};
+
+}  // namespace vodbcast::metro

@@ -57,6 +57,10 @@ const char* to_string(SpanPhase phase) noexcept {
       return "fault_episode";
     case SpanPhase::kRepair:
       return "repair";
+    case SpanPhase::kRegionSession:
+      return "region_session";
+    case SpanPhase::kReroute:
+      return "reroute";
   }
   return "unknown";
 }

@@ -43,6 +43,8 @@ enum class SpanPhase : std::uint8_t {
   kDrain,            ///< demoted title's channels draining; value = minutes
   kFaultEpisode,     ///< injected fault window; value = episode index
   kRepair,           ///< damage → heal window; value = wait penalty, minutes
+  kRegionSession,    ///< a metro request's stay; value = penalized wait, min
+  kReroute,          ///< cross-region spill hop; value = transit, minutes
 };
 
 [[nodiscard]] const char* to_string(SpanPhase phase) noexcept;

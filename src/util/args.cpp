@@ -102,4 +102,76 @@ std::uint64_t ArgParser::get_uint(const std::string& flag,
   return parsed;
 }
 
+namespace {
+
+/// Splits on ',' keeping empty pieces, so "4,,2" and "4,2," surface the
+/// empty element to the per-element validator instead of vanishing.
+std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  for (;;) {
+    const auto comma = text.find(',', begin);
+    if (comma == std::string::npos) {
+      parts.push_back(text.substr(begin));
+      return parts;
+    }
+    parts.push_back(text.substr(begin, comma - begin));
+    begin = comma + 1;
+  }
+}
+
+}  // namespace
+
+std::vector<double> ArgParser::get_double_list(
+    const std::string& flag, const std::vector<double>& fallback) const {
+  const auto value = get(flag);
+  if (!value.has_value()) {
+    return fallback;
+  }
+  VB_EXPECTS_MSG(!value->empty(),
+                 "--" + flag + " expects a comma-separated list, got ''");
+  std::vector<double> out;
+  const auto parts = split_list(*value);
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const std::string& part = parts[i];
+    char* end = nullptr;
+    const double parsed =
+        part.empty() ? 0.0 : std::strtod(part.c_str(), &end);
+    VB_EXPECTS_MSG(
+        !part.empty() && end != nullptr && *end == '\0' &&
+            end != part.c_str(),
+        "--" + flag + " element " + std::to_string(i + 1) +
+            " must be a number, got '" + part + "' in '" + *value + "'");
+    out.push_back(parsed);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> ArgParser::get_uint_list(
+    const std::string& flag,
+    const std::vector<std::uint64_t>& fallback) const {
+  const auto value = get(flag);
+  if (!value.has_value()) {
+    return fallback;
+  }
+  VB_EXPECTS_MSG(!value->empty(),
+                 "--" + flag + " expects a comma-separated list, got ''");
+  std::vector<std::uint64_t> out;
+  const auto parts = split_list(*value);
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const std::string& part = parts[i];
+    std::uint64_t parsed = 0;
+    const auto [ptr, ec] =
+        std::from_chars(part.data(), part.data() + part.size(), parsed);
+    VB_EXPECTS_MSG(
+        !part.empty() && ec == std::errc() &&
+            ptr == part.data() + part.size(),
+        "--" + flag + " element " + std::to_string(i + 1) +
+            " must be an unsigned integer, got '" + part + "' in '" +
+            *value + "'");
+    out.push_back(parsed);
+  }
+  return out;
+}
+
 }  // namespace vodbcast::util

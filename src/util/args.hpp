@@ -40,6 +40,17 @@ class ArgParser {
   [[nodiscard]] std::uint64_t get_uint(const std::string& flag,
                                        std::uint64_t fallback) const;
 
+  /// Comma-separated list values (e.g. `--regions 400,300,300`). Absent
+  /// flag -> `fallback`. Each element is validated individually; a
+  /// malformed, empty (leading/trailing/double comma) element throws
+  /// ContractViolation naming the flag, the 1-based element position and
+  /// the offending text.
+  [[nodiscard]] std::vector<double> get_double_list(
+      const std::string& flag, const std::vector<double>& fallback) const;
+  [[nodiscard]] std::vector<std::uint64_t> get_uint_list(
+      const std::string& flag,
+      const std::vector<std::uint64_t>& fallback) const;
+
   /// Flags that were parsed; lets a command reject unknown options.
   [[nodiscard]] const std::map<std::string, std::string>& flags()
       const noexcept {

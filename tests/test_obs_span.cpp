@@ -133,7 +133,8 @@ TEST(SpanTracerTest, EveryPhaseHasAName) {
        {SpanPhase::kSession, SpanPhase::kQueueWait, SpanPhase::kTune,
         SpanPhase::kSegmentDownload, SpanPhase::kPlayback,
         SpanPhase::kRetransmit, SpanPhase::kDiskStall, SpanPhase::kEpoch,
-        SpanPhase::kDrain, SpanPhase::kFaultEpisode, SpanPhase::kRepair}) {
+        SpanPhase::kDrain, SpanPhase::kFaultEpisode, SpanPhase::kRepair,
+        SpanPhase::kRegionSession, SpanPhase::kReroute}) {
     EXPECT_STRNE(to_string(phase), "unknown");
   }
 }

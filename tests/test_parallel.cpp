@@ -12,6 +12,8 @@
 #include "batching/queue_policies.hpp"
 #include "ctrl/adaptive.hpp"
 #include "fault/injector.hpp"
+#include "metro/federation.hpp"
+#include "metro/topology.hpp"
 #include "obs/sink.hpp"
 #include "schemes/registry.hpp"
 #include "sim/simulator.hpp"
@@ -397,6 +399,138 @@ TEST(ReplicatedAdaptiveTest, FaultRunsBitIdenticalAtAnyThreadCount) {
   EXPECT_EQ(serial.merged.served_hot, pooled.merged.served_hot);
   EXPECT_EQ(serial.merged.served_tail, pooled.merged.served_tail);
   EXPECT_EQ(serial.wait_mean_ci95, pooled.wait_mean_ci95);
+}
+
+metro::FederationConfig federation_config(obs::Sink* sink) {
+  metro::FederationConfig config;
+  config.catalog_size = 48;
+  config.replicate_top = 6;
+  config.horizon = core::Minutes{150.0};
+  config.seed = 21;
+  config.sink = sink;
+  // Region 2 goes dark mid-horizon so the failover/reroute paths (and their
+  // spans) participate in the comparison, not just the local fast path.
+  for (std::size_t r = 0; r < 4; ++r) {
+    std::vector<fault::Episode> episodes;
+    if (r == 2) {
+      episodes.push_back(fault::Episode{fault::EpisodeKind::kChannelOutage,
+                                        30.0, 100.0, -1, {}});
+    }
+    config.fault_plans.push_back(fault::Plan(std::move(episodes), 100 + r));
+  }
+  return config;
+}
+
+TEST(MetroFederationTest, FederationBitIdenticalAtAnyThreadCount) {
+  const metro::Topology topology(
+      {{3.0, 60}, {2.0, 60}, {1.5, 60}, {1.0, 60}}, 8, core::Minutes{0.5});
+  const auto run = [&](util::TaskPool* pool) {
+    auto sink = std::make_unique<obs::Sink>(16384, 16384);
+    auto report = metro::simulate_federation_replicated(
+        topology, federation_config(sink.get()), 2, pool);
+    return std::pair(std::move(sink), std::move(report));
+  };
+
+  const auto [serial_sink, serial] = run(nullptr);
+  util::TaskPool pool(4);
+  const auto [pooled_sink, pooled] = run(&pool);
+
+  EXPECT_EQ(serial.merged.arrivals, pooled.merged.arrivals);
+  EXPECT_EQ(serial.merged.served_local, pooled.merged.served_local);
+  EXPECT_EQ(serial.merged.rerouted, pooled.merged.rerouted);
+  EXPECT_EQ(serial.merged.rejected, pooled.merged.rejected);
+  EXPECT_EQ(serial.merged.link_mbits, pooled.merged.link_mbits);
+  EXPECT_EQ(serial.merged.wait_minutes.samples(),
+            pooled.merged.wait_minutes.samples());
+  EXPECT_EQ(serial.wait_mean_ci95, pooled.wait_mean_ci95);
+  ASSERT_EQ(serial.merged.regions.size(), pooled.merged.regions.size());
+  for (std::size_t r = 0; r < serial.merged.regions.size(); ++r) {
+    const auto& a = serial.merged.regions[r];
+    const auto& b = pooled.merged.regions[r];
+    EXPECT_EQ(a.arrivals, b.arrivals);
+    EXPECT_EQ(a.served_local, b.served_local);
+    EXPECT_EQ(a.rerouted_out, b.rerouted_out);
+    EXPECT_EQ(a.rerouted_in, b.rerouted_in);
+    EXPECT_EQ(a.rejected, b.rejected);
+    EXPECT_EQ(a.link_mbits, b.link_mbits);
+    EXPECT_EQ(a.wait_minutes.samples(), b.wait_minutes.samples());
+  }
+  EXPECT_EQ(serial_sink->metrics.to_openmetrics(),
+            pooled_sink->metrics.to_openmetrics());
+  EXPECT_EQ(serial_sink->spans.to_jsonl(), pooled_sink->spans.to_jsonl());
+  EXPECT_EQ(serial_sink->trace.to_jsonl(), pooled_sink->trace.to_jsonl());
+}
+
+// Satellite of the federation PR: the serial-vs-pool pins above are special
+// cases of a stronger property — folding K per-shard sinks in fixed shard
+// order yields the same registry and span trace for ANY K, because counters
+// and buckets add, gauges take maxima, and span ids are reassigned in merge
+// order. Each work unit records a self-contained span tree (root + two
+// children), so any contiguous partition keeps parent links shard-local and
+// the id remap lands identically.
+void record_shard_unit(obs::Registry& reg, obs::SpanTracer& spans,
+                       std::size_t u) {
+  reg.counter("events.total").add(1);
+  reg.counter_family("events.by_lane", {"lane"})
+      .with({std::to_string(u % 7)})
+      .add(u % 3 + 1);
+  reg.gauge("events.peak").max_of(static_cast<double>(u % 13));
+  reg.histogram("events.size", {1.0, 2.0, 4.0, 8.0})
+      .observe(static_cast<double>((u * 37) % 16));
+  reg.sketch("events.wait").observe(0.25 * static_cast<double>(u % 29) + 0.01);
+  reg.sketch_family("events.lane_wait", {"lane"})
+      .with({std::to_string(u % 3)})
+      .observe(0.5 * static_cast<double>(u % 11) + 0.02);
+
+  obs::Span root;
+  root.start_min = static_cast<double>(u);
+  root.end_min = static_cast<double>(u) + 3.0;
+  root.phase = obs::SpanPhase::kRegionSession;
+  root.client = u + 1;
+  root.value = static_cast<double>(u % 5);
+  const auto id = spans.record(root);
+  obs::Span tune;
+  tune.parent = id;
+  tune.start_min = root.start_min;
+  tune.end_min = root.start_min + 1.0;
+  tune.phase = obs::SpanPhase::kTune;
+  tune.client = u + 1;
+  spans.record(tune);
+  obs::Span hop;
+  hop.parent = id;
+  hop.start_min = root.start_min + 1.0;
+  hop.end_min = root.start_min + 1.5;
+  hop.phase = obs::SpanPhase::kReroute;
+  hop.client = u + 1;
+  spans.record(hop);
+}
+
+TEST(ShardMergeTest, KWayFoldIsIdenticalForAnyShardCount) {
+  constexpr std::size_t kUnits = 120;
+  const auto fold = [](std::size_t shards) {
+    obs::Registry merged;
+    obs::SpanTracer merged_spans(4096);
+    for (std::size_t j = 0; j < shards; ++j) {
+      obs::Registry reg;
+      obs::SpanTracer spans(4096);
+      const std::size_t begin = j * kUnits / shards;
+      const std::size_t end = (j + 1) * kUnits / shards;
+      for (std::size_t u = begin; u < end; ++u) {
+        record_shard_unit(reg, spans, u);
+      }
+      merged.merge_from(reg);
+      merged_spans.merge_from(spans);
+    }
+    return std::pair(merged.to_json() + "\n" + merged.to_openmetrics(),
+                     merged_spans.to_jsonl());
+  };
+
+  const auto baseline = fold(1);
+  for (const std::size_t shards : {2UL, 3UL, 5UL, 8UL}) {
+    const auto folded = fold(shards);
+    EXPECT_EQ(folded.first, baseline.first) << "K=" << shards;
+    EXPECT_EQ(folded.second, baseline.second) << "K=" << shards;
+  }
 }
 
 }  // namespace

@@ -56,6 +56,60 @@ TEST(ArgParserTest, RejectsJunkNumbers) {
   EXPECT_THROW((void)args.get_uint("count", 0), ContractViolation);
 }
 
+TEST(ArgParserTest, DoubleListParsesElements) {
+  const ArgParser args({"--regions", "400,300.5,300"});
+  const auto regions = args.get_double_list("regions", {});
+  ASSERT_EQ(regions.size(), 3U);
+  EXPECT_DOUBLE_EQ(regions[0], 400.0);
+  EXPECT_DOUBLE_EQ(regions[1], 300.5);
+  EXPECT_DOUBLE_EQ(regions[2], 300.0);
+}
+
+TEST(ArgParserTest, UintListParsesElements) {
+  const ArgParser args({"--channels=120,80,40"});
+  const auto channels = args.get_uint_list("channels", {});
+  ASSERT_EQ(channels.size(), 3U);
+  EXPECT_EQ(channels[0], 120U);
+  EXPECT_EQ(channels[1], 80U);
+  EXPECT_EQ(channels[2], 40U);
+}
+
+TEST(ArgParserTest, ListSingleElementAndFallback) {
+  const ArgParser args({"--regions", "250"});
+  EXPECT_EQ(args.get_double_list("regions", {}).size(), 1U);
+  const auto fallback = args.get_uint_list("missing", {7, 8});
+  ASSERT_EQ(fallback.size(), 2U);
+  EXPECT_EQ(fallback[0], 7U);
+}
+
+TEST(ArgParserTest, ListRejectsEmptyValue) {
+  const ArgParser args({"--regions="});
+  EXPECT_THROW((void)args.get_double_list("regions", {}), ContractViolation);
+  EXPECT_THROW((void)args.get_uint_list("regions", {}), ContractViolation);
+}
+
+TEST(ArgParserTest, ListRejectsTrailingComma) {
+  const ArgParser args({"--regions", "400,300,"});
+  EXPECT_THROW((void)args.get_double_list("regions", {}), ContractViolation);
+  const ArgParser dbl({"--regions", "400,,300"});
+  EXPECT_THROW((void)dbl.get_uint_list("regions", {}), ContractViolation);
+}
+
+TEST(ArgParserTest, ListErrorNamesTheBadElement) {
+  const ArgParser args({"--regions", "400,fast,300"});
+  try {
+    (void)args.get_double_list("regions", {});
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("element 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("'fast'"), std::string::npos) << what;
+    EXPECT_NE(what.find("regions"), std::string::npos) << what;
+  }
+  const ArgParser neg({"--channels", "12,-3"});
+  EXPECT_THROW((void)neg.get_uint_list("channels", {}), ContractViolation);
+}
+
 TEST(ArgParserTest, RejectsBareDoubleDash) {
   EXPECT_THROW(ArgParser({"--"}), ContractViolation);
 }

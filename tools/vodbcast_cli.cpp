@@ -21,6 +21,14 @@
 //                     [--promote-ratio 1.2] [--demote-ratio 0.8]
 //                     [--min-tail 1] [--popularity-flip] [--flip-at MIN]
 //                     [--fault-plan ...] [--fault-seed N] [--fault-retries 1]
+//   vodbcast metro    [--regions 200,150,100,50] [--channels 120]
+//                     [--replicate-top 10] [--link-capacity 32]
+//                     [--link-latency 0.5] [--catalog 100] [--theta 0.271]
+//                     [--sb-channels 6] [--width 52] [--horizon 600]
+//                     [--patience 15] [--spill-wait 5] [--reject-penalty 30]
+//                     [--dark R] [--fault-plan outages=2,...] [--fault-seed N]
+//                     [--seed 1] [--reps R] [--threads T] [--stats-cap N]
+//                     [--metrics-out ...] [--spans-out ...]
 //   vodbcast help
 #include <cstdio>
 #include <memory>
@@ -34,6 +42,7 @@
 #include "client/reception_plan.hpp"
 #include "ctrl/adaptive.hpp"
 #include "fault/injector.hpp"
+#include "metro/federation.hpp"
 #include "obs/sampler.hpp"
 #include "obs/sink.hpp"
 #include "schemes/registry.hpp"
@@ -625,6 +634,146 @@ int cmd_hybrid(const util::ArgParser& args) {
   return 0;
 }
 
+int cmd_metro(const util::ArgParser& args) {
+  // Regions come as a comma-separated arrival-rate list; channel budgets
+  // are one shared value or one per region.
+  const auto rates =
+      args.get_double_list("regions", {200.0, 150.0, 100.0, 50.0});
+  const auto channels = args.get_uint_list("channels", {120});
+  VB_EXPECTS_MSG(channels.size() == 1 || channels.size() == rates.size(),
+                 "--channels takes one budget or one per region");
+  std::vector<metro::RegionSpec> regions;
+  regions.reserve(rates.size());
+  for (std::size_t r = 0; r < rates.size(); ++r) {
+    regions.push_back(metro::RegionSpec{
+        rates[r],
+        static_cast<int>(channels[channels.size() == 1 ? 0 : r])});
+  }
+  const metro::Topology topology(
+      std::move(regions), static_cast<int>(args.get_uint("link-capacity", 32)),
+      core::Minutes{args.get_double("link-latency", 0.5)});
+
+  metro::FederationConfig config;
+  config.catalog_size = static_cast<std::size_t>(args.get_uint("catalog", 100));
+  config.zipf_theta = args.get_double("theta", workload::kPaperSkew);
+  config.replicate_top =
+      static_cast<std::size_t>(args.get_uint("replicate-top", 10));
+  config.sb_channels_per_title =
+      static_cast<int>(args.get_int("sb-channels", 6));
+  config.sb_width = args.get_uint("width", 52);
+  config.video = core::VideoParams{core::Minutes{args.get_double("duration", 120.0)},
+                                   core::MbitPerSec{args.get_double("rate", 1.5)}};
+  config.horizon = core::Minutes{args.get_double("horizon", 600.0)};
+  config.patience = core::Minutes{args.get_double("patience", 15.0)};
+  config.spill_wait = core::Minutes{args.get_double("spill-wait", 5.0)};
+  config.reject_penalty =
+      core::Minutes{args.get_double("reject-penalty", 30.0)};
+  config.seed = args.get_uint("seed", 1);
+  config.stats_sample_cap =
+      static_cast<std::size_t>(args.get_uint("stats-cap", 0));
+
+  // Per-region fault domains: --fault-plan generates a plan per region
+  // (region r's seed is the (r+1)-th output of SplitMix64(fault seed), the
+  // replication seed rule); --dark R blacks out one region whole-horizon.
+  const bool has_dark = args.has("dark");
+  if (args.has("fault-plan") || has_dark) {
+    const auto dark =
+        has_dark ? args.get_uint("dark", 0) : static_cast<std::uint64_t>(-1);
+    VB_EXPECTS_MSG(!has_dark || dark < topology.size(),
+                   "--dark region index out of range");
+    std::optional<fault::PlanSpec> spec;
+    if (const auto spec_text = args.get("fault-plan")) {
+      spec = fault::parse_plan_spec(*spec_text);
+      VB_EXPECTS_MSG(spec.has_value(),
+                     "malformed --fault-plan spec: " + *spec_text);
+      spec->horizon_min = config.horizon.v;
+      spec->channels = 1;
+    }
+    util::SplitMix64 fault_seeds(
+        args.get_uint("fault-seed", config.seed ^ 0x9E3779B97F4A7C15ULL));
+    for (std::size_t r = 0; r < topology.size(); ++r) {
+      const auto seed = fault_seeds.next();
+      std::vector<fault::Episode> episodes;
+      if (spec.has_value()) {
+        episodes = fault::Plan::generate(*spec, seed).episodes();
+      }
+      if (has_dark && r == dark) {
+        episodes.push_back(fault::Episode{fault::EpisodeKind::kChannelOutage,
+                                          0.0, config.horizon.v, -1, {}});
+      }
+      config.fault_plans.push_back(fault::Plan(std::move(episodes), seed));
+    }
+  }
+
+  obs::Sink sink(
+      static_cast<std::size_t>(args.get_uint("trace-limit", 65536)),
+      spans_limit(args));
+  if (wants_observability(args)) {
+    config.sink = &sink;
+  }
+  const auto pool = make_pool(args);
+  const auto reps = static_cast<std::size_t>(args.get_uint("reps", 1));
+
+  metro::FederationReport report;
+  if (reps > 1) {
+    const auto replicated = metro::simulate_federation_replicated(
+        topology, config, reps, pool.get());
+    report = std::move(replicated.merged);
+    std::printf("replications  : %zu\n", replicated.replications);
+    std::printf("mean pen. wait: %.4f +/- %.4f min (95%% CI)\n",
+                report.mean_penalized_wait_min(), replicated.wait_mean_ci95);
+  } else {
+    report = metro::simulate_federation(topology, config, pool.get());
+  }
+  export_observability(args, sink);
+
+  std::printf("regions       : %zu (link capacity %d, %.2f min/hop)\n",
+              topology.size(), topology.link_capacity(),
+              topology.link_latency_per_hop().v);
+  std::printf("placement     : %zu replicated head titles of %zu, "
+              "%d tail slots\n",
+              report.replicated_titles, config.catalog_size,
+              report.tail_slots_total);
+  if (report.replicated_titles > 0) {
+    std::printf("broadcast D1  : %.4f min (%d SB channels/title, W=%llu)\n",
+                report.broadcast_latency_min, config.sb_channels_per_title,
+                static_cast<unsigned long long>(config.sb_width));
+  }
+  const auto pct = [&](std::uint64_t part) {
+    return report.arrivals == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(part) /
+                     static_cast<double>(report.arrivals);
+  };
+  std::printf("arrivals      : %llu\n",
+              static_cast<unsigned long long>(report.arrivals));
+  std::printf("served local  : %llu (%.2f%%)\n",
+              static_cast<unsigned long long>(report.served_local),
+              pct(report.served_local));
+  std::printf("rerouted      : %llu (%.2f%%)\n",
+              static_cast<unsigned long long>(report.rerouted),
+              pct(report.rerouted));
+  std::printf("rejected      : %llu (%.2f%%)\n",
+              static_cast<unsigned long long>(report.rejected),
+              pct(report.rejected));
+  std::printf("mean pen. wait: %.4f min\n", report.mean_penalized_wait_min());
+  std::printf("waits (min)   : %s\n", report.wait_minutes.summary().c_str());
+  std::printf("link traffic  : %.1f Gbit\n", report.link_mbits / 1000.0);
+  for (std::size_t g = 0; g < report.regions.size(); ++g) {
+    const auto& r = report.regions[g];
+    std::printf(
+        "  region %zu    : arrivals=%llu local=%llu out=%llu in=%llu "
+        "rejected=%llu wait=%s\n",
+        g, static_cast<unsigned long long>(r.arrivals),
+        static_cast<unsigned long long>(r.served_local),
+        static_cast<unsigned long long>(r.rerouted_out),
+        static_cast<unsigned long long>(r.rerouted_in),
+        static_cast<unsigned long long>(r.rejected),
+        r.wait_minutes.empty() ? "n/a" : r.wait_minutes.summary().c_str());
+  }
+  return 0;
+}
+
 int cmd_help() {
   std::puts(
       "vodbcast — Skyscraper Broadcasting toolkit\n"
@@ -659,6 +808,16 @@ int cmd_help() {
       "           [--promote-ratio 1.2] [--demote-ratio 0.8] [--min-tail 1])\n"
       "           [--popularity-flip] [--flip-at MIN]  mid-run rank shuffle\n"
       "           [--fault-plan ...] outage-forced demotions + restarts\n"
+      "  metro    [--regions 200,150,100,50]  multi-head-end federation:\n"
+      "           per-region arrival rates (comma list), [--channels N|list]\n"
+      "           channel budgets, [--replicate-top R] replication degree,\n"
+      "           [--link-capacity N] [--link-latency MIN] inter-region\n"
+      "           links, [--sb-channels K] [--width W] replicated-head SB\n"
+      "           design, [--dark R] one region dark whole-horizon,\n"
+      "           [--fault-plan ...] [--fault-seed N] per-region fault\n"
+      "           domains, [--patience MIN] [--spill-wait MIN]\n"
+      "           [--reject-penalty MIN] routing knobs; --reps/--threads/\n"
+      "           --seed/--stats-cap/--metrics-out/--spans-out as simulate\n"
       "scheme labels: SB:W=<n|inf>, SB(fast|flat):W=<n>, PB:a, PB:b, PPB:a,\n"
       "               PPB:b, FB, HB, staggered");
   return 0;
@@ -694,6 +853,9 @@ int main(int argc, char** argv) {
     }
     if (command == "hybrid") {
       return cmd_hybrid(args);
+    }
+    if (command == "metro") {
+      return cmd_metro(args);
     }
     if (command == "help" || command == "--help") {
       return cmd_help();
